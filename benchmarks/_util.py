@@ -1,0 +1,51 @@
+"""Shared helpers for the per-table/figure benchmark harness.
+
+Every benchmark prints the paper-style rows/series it reproduces and
+also writes them to ``benchmarks/results/<experiment>.txt`` so the
+paper-vs-measured record in EXPERIMENTS.md can be regenerated.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from repro import Database, PredicateCache, PredicateCacheConfig, QueryEngine
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_report(experiment: str, text: str) -> None:
+    """Print the report and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+def fresh_database(num_slices: int = 4, rows_per_block: int = 500) -> Database:
+    return Database(num_slices=num_slices, rows_per_block=rows_per_block)
+
+
+def engine_with_cache(
+    database: Database, variant: str = "bitmap", **config
+) -> QueryEngine:
+    cache = PredicateCache(PredicateCacheConfig(variant=variant, **config))
+    return QueryEngine(database, predicate_cache=cache)
+
+
+def run_repeat(engine: QueryEngine, sql: str, warmups: int = 1):
+    """Cold run then measured repeat (the paper's populated-cache run)."""
+    cold = engine.execute(sql)
+    measured = cold
+    for _ in range(warmups):
+        measured = engine.execute(sql)
+    return cold, measured
+
+
+def ratio(before: float, after: float) -> float:
+    """Safe before/after speedup ratio."""
+    if after <= 0:
+        return float("inf") if before > 0 else 1.0
+    return before / after

@@ -1,0 +1,14 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.workloads import fleet
+
+
+@pytest.fixture(scope="session")
+def fleet_workloads():
+    """One synthetic fleet shared by the Section 2 benchmarks."""
+    profiles = fleet.sample_fleet(
+        num_clusters=120, statements_per_cluster=1500, seed=2023
+    )
+    return [fleet.generate_workload(p, seed=2023) for p in profiles]

@@ -1,0 +1,68 @@
+"""Ablation: index granularity vs precision vs memory (§4.1, §5.2).
+
+The paper states both variants are configurable "regarding the amount
+of space they use and their granularity" and that merged ranges trade
+precision (false positives) for space.  This bench sweeps:
+
+* the range variant's ``max_ranges_per_slice`` (16 … 16,384),
+* the bitmap variant's ``bitmap_block_rows`` (50 … 5,000),
+
+measuring repeat-scan rows (precision) and cache bytes (space) on the
+skewed TPC-H Q6+Q19 pair.
+"""
+
+from repro import Database, PredicateCache, PredicateCacheConfig, QueryEngine
+from repro.bench import format_table
+from repro.workloads import tpch
+
+from _util import save_report
+
+QUERIES = ["Q6", "Q19", "Q3"]
+
+
+def _measure(config):
+    db = Database(num_slices=4, rows_per_block=500)
+    tpch.load(db, scale_factor=0.01, skew=1.0, seed=42)
+    engine = QueryEngine(db, predicate_cache=PredicateCache(config))
+    rows = 0
+    for name in QUERIES:
+        sql = tpch.query(name, skewed=True)
+        engine.execute(sql)
+        rows += engine.execute(sql).counters.rows_scanned
+    return rows, engine.predicate_cache.total_nbytes
+
+
+def test_ablation_granularity(benchmark):
+    def run():
+        results = []
+        for max_ranges in (16, 256, 4096, 16384):
+            rows, nbytes = _measure(
+                PredicateCacheConfig(variant="range", max_ranges_per_slice=max_ranges)
+            )
+            results.append((f"range/{max_ranges}", rows, nbytes))
+        for block_rows in (50, 200, 1000, 5000):
+            rows, nbytes = _measure(
+                PredicateCacheConfig(variant="bitmap", bitmap_block_rows=block_rows)
+            )
+            results.append((f"bitmap/{block_rows}", rows, nbytes))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_table(
+        ["configuration", "repeat rows scanned", "cache bytes"],
+        results,
+        title=(
+            "Ablation - granularity vs precision vs memory "
+            "(Q6+Q19+Q3 repeats, skewed TPC-H)\n"
+            "finer granularity -> fewer false positives -> fewer rows, "
+            "more bytes"
+        ),
+    )
+    save_report("ablation_granularity", report)
+
+    by_name = {name: (rows, nbytes) for name, rows, nbytes in results}
+    # Range variant: more ranges => no worse precision.
+    assert by_name["range/16384"][0] <= by_name["range/16"][0]
+    # Bitmap variant: finer blocks => no worse precision, more memory.
+    assert by_name["bitmap/50"][0] <= by_name["bitmap/5000"][0]
+    assert by_name["bitmap/50"][1] >= by_name["bitmap/5000"][1]

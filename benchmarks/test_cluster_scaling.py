@@ -1,0 +1,102 @@
+"""§4.6: per-node caches scale with cluster size.
+
+The paper: "The state is maintained per node, avoiding communication
+and synchronization with other workers ... easily scales to large
+clusters with more than a hundred nodes."  This bench measures, as the
+node count grows with fixed data:
+
+* per-node cache memory shrinks ~1/N (each node indexes its slices),
+* a node failure loses only ~1/N of the cached state, and one repeat
+  execution fully restores it,
+* results and total scan work stay identical at every cluster size.
+"""
+
+import numpy as np
+
+from repro import Database, PredicateCacheConfig, QueryEngine
+from repro.bench import format_table
+from repro.cluster import ClusterCaches
+from repro.storage import ColumnSpec, DataType, TableSchema
+
+from _util import save_report
+
+NUM_SLICES = 32
+QUERY = "select count(*) as c from t where x between 2000 and 2300"
+
+
+def _build(num_nodes):
+    db = Database(num_slices=NUM_SLICES, rows_per_block=250)
+    db.create_table(
+        TableSchema("t", (ColumnSpec("x", DataType.INT64),))
+    )
+    caches = ClusterCaches(
+        num_nodes=num_nodes,
+        config=PredicateCacheConfig(variant="bitmap", bitmap_block_rows=250),
+    )
+    engine = QueryEngine(db, predicate_cache=caches)
+    rng = np.random.default_rng(64)
+    engine.insert("t", {"x": np.sort(rng.integers(0, 10_000, 160_000))})
+    return engine, caches
+
+
+def test_cluster_scaling(benchmark):
+    def run():
+        results = []
+        for num_nodes in (1, 4, 16, 32):
+            engine, caches = _build(num_nodes)
+            expected = engine.execute(QUERY).scalar()
+            warm = engine.execute(QUERY)
+            per_node = caches.per_node_nbytes()
+
+            # Fail one node; measure the relearn scope.
+            before_total = caches.total_nbytes
+            caches.fail_node(0)
+            lost = before_total - caches.total_nbytes
+            recovered = engine.execute(QUERY)
+            assert recovered.scalar() == expected
+            results.append(
+                (
+                    num_nodes,
+                    int(expected),
+                    warm.counters.rows_scanned,
+                    max(per_node),
+                    before_total,
+                    lost,
+                    caches.total_nbytes,
+                )
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            nodes, count, rows_scanned, per_node_max, total,
+            f"{lost}/{total}", restored,
+        ]
+        for nodes, count, rows_scanned, per_node_max, total, lost, restored in results
+    ]
+    report = format_table(
+        ["nodes", "answer", "warm rows scanned", "max per-node bytes",
+         "total bytes", "lost on failure", "after recovery"],
+        rows,
+        title=(
+            "§4.6 - per-node cache state vs cluster size (32 slices, "
+            "fixed data)\nper-node memory ~1/N; failure loses ~1/N; one "
+            "repeat restores it"
+        ),
+    )
+    save_report("cluster_scaling", report)
+
+    by_nodes = {r[0]: r for r in results}
+    # Same answer and same warm scan work at every size.
+    assert len({r[1] for r in results}) == 1
+    assert len({r[2] for r in results}) == 1
+    # Per-node memory shrinks as nodes grow.
+    assert by_nodes[32][3] < by_nodes[1][3]
+    assert by_nodes[16][3] <= by_nodes[4][3]
+    # Failure loses roughly 1/N of the state.
+    for nodes, *_rest in results:
+        _, _, _, _, total, lost, restored = by_nodes[nodes]
+        assert lost <= total / nodes + 64
+        assert restored == total  # fully relearned

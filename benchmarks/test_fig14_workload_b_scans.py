@@ -1,0 +1,58 @@
+"""Figure 14: scan repetitions in Workload B.
+
+Paper anchors: ~4,000 scans total over 401 unique scans; 183 occur
+once, 218 repeat; scans repeating >= 10 times account for ~3,243
+executions (>90 % of scans repeat).
+"""
+
+from repro.analysis import repetition_histogram
+from repro.bench import format_table
+from repro.workloads import customer
+
+from _util import save_report
+
+
+def test_fig14_workload_b_scans(benchmark):
+    events = benchmark.pedantic(
+        lambda: customer.workload_b(seed=14), rounds=1, iterations=1
+    )
+    keys = [e.scan_key for e in events]
+    histogram = repetition_histogram(keys)
+
+    total = len(events)
+    unique = len(set(keys))
+    singletons = histogram.get(1, 0)
+    repeating = unique - singletons
+    ten_plus_scans = sum(reps * count for reps, count in histogram.items() if reps >= 10)
+    repeat_share = sum(
+        reps * count for reps, count in histogram.items() if reps >= 2
+    ) / total
+
+    rows = [
+        ["total scans", total, "~4,000"],
+        ["unique scans", unique, "401"],
+        ["scans occurring once", singletons, "183"],
+        ["scans repeating", repeating, "218"],
+        ["executions from scans repeating >=10x", ten_plus_scans, "~3,243"],
+        ["share of scans that repeat", f"{repeat_share:.1%}", ">90 %"],
+    ]
+    histo_rows = [
+        [f"repeats {reps}x", count] for reps, count in sorted(histogram.items())[:12]
+    ]
+    report = (
+        format_table(
+            ["metric", "measured", "paper"],
+            rows,
+            title="Fig. 14 - scan repetitions in Workload B",
+        )
+        + "\n\n"
+        + format_table(["repetition count", "distinct scans"], histo_rows,
+                       title="left plot: distinct scans per repetition count")
+    )
+    save_report("fig14_workload_b_scans", report)
+
+    assert unique == 401
+    assert singletons == 183
+    assert repeating == 218
+    assert abs(ten_plus_scans - 3243) < 200
+    assert repeat_share > 0.9

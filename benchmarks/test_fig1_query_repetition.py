@@ -1,0 +1,37 @@
+"""Figure 1: percentage of queries that repeat per cluster.
+
+Paper: for more than 50 % of clusters, at least 75 % of queries repeat
+within a month; the fleet-average repetition is ≈71.9 %.
+"""
+
+import numpy as np
+
+from repro.analysis import query_repetition_rate
+from repro.bench import format_table
+
+from _util import save_report
+
+
+def test_fig1_query_repetition(benchmark, fleet_workloads):
+    def measure():
+        return [query_repetition_rate(w.statements) for w in fleet_workloads]
+
+    rates = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rates = np.array(rates)
+
+    deciles = np.percentile(rates, [10, 25, 50, 75, 90])
+    rows = [
+        ["mean repetition", f"{rates.mean():.3f}", "~0.712 (Fig. 4 text)"],
+        ["median cluster", f"{deciles[2]:.3f}", "-"],
+        ["clusters with >=75% repetition", f"{(rates >= 0.75).mean():.2%}", ">50 %"],
+        ["p10 / p90", f"{deciles[0]:.2f} / {deciles[4]:.2f}", "wide spread"],
+    ]
+    report = format_table(
+        ["metric", "measured", "paper"],
+        rows,
+        title="Fig. 1 - query repetition per cluster (synthetic fleet)",
+    )
+    save_report("fig1_query_repetition", report)
+
+    assert 0.55 < rates.mean() < 0.9
+    assert (rates >= 0.75).mean() > 0.4

@@ -1,0 +1,48 @@
+"""Figure 2: statement-type mix per cluster.
+
+Paper: selects dominate only for ~25 % of clusters (>50 % selects);
+data-manipulation statements account for nearly as much as selects.
+"""
+
+import numpy as np
+
+from repro.analysis import statement_mix
+from repro.bench import format_table
+
+from _util import save_report
+
+
+def test_fig2_statement_mix(benchmark, fleet_workloads):
+    def measure():
+        return [statement_mix(w.statements) for w in fleet_workloads]
+
+    mixes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    select_shares = np.array([m["select"] for m in mixes])
+    dml_shares = np.array(
+        [m["insert"] + m["copy"] + m["delete"] + m["update"] for m in mixes]
+    )
+
+    rows = [
+        [
+            "clusters with >50% selects",
+            f"{(select_shares > 0.5).mean():.2%}",
+            "~25 %",
+        ],
+        ["mean select share", f"{select_shares.mean():.3f}", "0.423"],
+        ["mean DML share", f"{dml_shares.mean():.3f}", "0.346"],
+        [
+            "select share p10/p90",
+            f"{np.percentile(select_shares, 10):.2f} / "
+            f"{np.percentile(select_shares, 90):.2f}",
+            "wide spread",
+        ],
+    ]
+    report = format_table(
+        ["metric", "measured", "paper"],
+        rows,
+        title="Fig. 2 - statement mix per cluster (synthetic fleet)",
+    )
+    save_report("fig2_statement_mix", report)
+
+    assert 0.1 < (select_shares > 0.5).mean() < 0.5
+    assert abs(select_shares.mean() - 0.423) < 0.1

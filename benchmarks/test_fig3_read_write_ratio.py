@@ -1,0 +1,39 @@
+"""Figure 3: reads vs writes per cluster.
+
+Paper: 60 % of clusters execute more read than write statements; for
+the remaining 40 % data manipulation dominates.
+"""
+
+import numpy as np
+
+from repro.analysis import read_write_ratio
+from repro.bench import format_table
+
+from _util import save_report
+
+
+def test_fig3_read_write_ratio(benchmark, fleet_workloads):
+    def measure():
+        return [read_write_ratio(w.statements) for w in fleet_workloads]
+
+    ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+    finite = np.array([r for r in ratios if np.isfinite(r)])
+    read_heavy = np.mean([r > 1 for r in ratios])
+
+    rows = [
+        ["clusters reading more than writing", f"{read_heavy:.2%}", "~60 %"],
+        ["median read/write ratio", f"{np.median(finite):.2f}", "-"],
+        [
+            "write-dominated clusters",
+            f"{np.mean([r <= 1 for r in ratios]):.2%}",
+            "~40 %",
+        ],
+    ]
+    report = format_table(
+        ["metric", "measured", "paper"],
+        rows,
+        title="Fig. 3 - read vs write statements per cluster",
+    )
+    save_report("fig3_read_write_ratio", report)
+
+    assert 0.35 < read_heavy < 0.85

@@ -1,0 +1,37 @@
+"""Figure 5: repetition rates grouped by scanned-table size.
+
+Paper: queries on extra-large tables are *less* repetitive than queries
+on small tables, but scan repetition is roughly size-independent — the
+argument for caching scans rather than query results.
+"""
+
+from repro.analysis import repetition_by_table_size
+from repro.bench import format_table
+from repro.workloads.fleet import TABLE_SIZE_BUCKETS
+
+from _util import save_report
+
+
+def test_fig5_repetition_by_size(benchmark, fleet_workloads):
+    def measure():
+        merged = [s for w in fleet_workloads for s in w.statements]
+        return repetition_by_table_size(merged)
+
+    buckets = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for name, _, _ in TABLE_SIZE_BUCKETS:
+        query_rate, scan_rate = buckets[name]
+        rows.append([name, f"{query_rate:.3f}", f"{scan_rate:.3f}"])
+    report = format_table(
+        ["table size", "query repetition", "scan repetition"],
+        rows,
+        title="Fig. 5 - repetition by scanned-table size "
+        "(paper: query rate drops for xlarge, scan rate does not)",
+    )
+    save_report("fig5_repetition_by_size", report)
+
+    q_small, s_small = buckets["small"]
+    q_xl, s_xl = buckets["xlarge"]
+    assert q_xl < q_small          # queries on huge tables repeat less
+    assert s_xl > q_xl             # ... but their scans still repeat

@@ -1,0 +1,40 @@
+"""Figure 6: result-cache hit rate per cluster.
+
+Paper: despite high query repetition, only ~15 % of clusters answer
+more than half their queries from the result cache; the fleet average
+is around 20 %.
+"""
+
+import numpy as np
+
+from repro.analysis import simulate_result_cache
+from repro.bench import format_table
+
+from _util import save_report
+
+
+def test_fig6_result_cache_hitrate(benchmark, fleet_workloads):
+    def measure():
+        return [simulate_result_cache(w.statements) for w in fleet_workloads]
+
+    sims = benchmark.pedantic(measure, rounds=1, iterations=1)
+    hit_rates = np.array([s.hit_rate for s in sims])
+
+    rows = [
+        ["fleet-average hit rate", f"{hit_rates.mean():.3f}", "~0.20"],
+        [
+            "clusters with >50% hit rate",
+            f"{(hit_rates > 0.5).mean():.2%}",
+            "~15 %",
+        ],
+        ["median hit rate", f"{np.median(hit_rates):.3f}", "low"],
+    ]
+    report = format_table(
+        ["metric", "measured", "paper"],
+        rows,
+        title="Fig. 6 - result cache hit rate per cluster",
+    )
+    save_report("fig6_result_cache_hitrate", report)
+
+    assert hit_rates.mean() < 0.5
+    assert (hit_rates > 0.5).mean() < 0.5

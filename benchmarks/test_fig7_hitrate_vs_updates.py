@@ -1,0 +1,57 @@
+"""Figure 7: result-cache hit rate vs update rate.
+
+Paper: clusters with almost no updates answer >80 % of queries from the
+result cache; the hit rate collapses as the update rate grows.
+"""
+
+import numpy as np
+
+from repro.analysis import simulate_result_cache
+from repro.bench import format_table
+from repro.workloads import fleet
+
+from _util import save_report
+
+
+def test_fig7_hitrate_vs_updates(benchmark, fleet_workloads):
+    def measure():
+        sims = [simulate_result_cache(w.statements) for w in fleet_workloads]
+        # Add a dedicated no-update cohort (the paper's left edge).
+        for i in range(8):
+            profile = fleet.ClusterProfile(
+                cluster_id=10_000 + i,
+                num_statements=1500,
+                target_repetition=0.85,
+                statement_mix={
+                    "select": 0.95, "insert": 0.0, "copy": 0.0,
+                    "delete": 0.0, "update": 0.0, "other": 0.05,
+                },
+                table_rows=[10**6] * 10,
+                scan_share=0.8,
+            )
+            workload = fleet.generate_workload(profile, seed=7)
+            sims.append(simulate_result_cache(workload.statements))
+        return sims
+
+    sims = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    bins = [(0.0, 0.02), (0.02, 0.1), (0.1, 0.25), (0.25, 0.5), (0.5, 1.01)]
+    rows = []
+    series = []
+    for lo, hi in bins:
+        rates = [s.hit_rate for s in sims if lo <= s.write_fraction < hi]
+        mean = float(np.mean(rates)) if rates else float("nan")
+        series.append((lo, mean, len(rates)))
+        rows.append([f"{lo:.0%}-{hi:.0%}", len(rates), f"{mean:.3f}"])
+    report = format_table(
+        ["update-rate bin", "clusters", "mean hit rate"],
+        rows,
+        title="Fig. 7 - result cache hit rate vs update rate "
+        "(paper: >0.8 with no updates, collapsing as updates grow)",
+    )
+    save_report("fig7_hitrate_vs_updates", report)
+
+    no_update = [m for lo, m, n in series if lo == 0.0 and n > 0]
+    heavy = [m for lo, m, n in series if lo >= 0.25 and n > 0]
+    assert no_update and no_update[0] > 0.6
+    assert all(no_update[0] > h for h in heavy)

@@ -1,0 +1,48 @@
+"""Table 2: fleet-wide SQL statement percentages.
+
+Paper: select 42.3 %, insert 17.8 %, copy 6.9 %, delete 6.3 %,
+update 3.6 %, other 23.3 %.
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.workloads.fleet import STATEMENT_KINDS
+
+from _util import save_report
+
+PAPER = {
+    "select": 42.3,
+    "insert": 17.8,
+    "copy": 6.9,
+    "delete": 6.3,
+    "update": 3.6,
+    "other": 23.3,
+}
+
+
+def test_table2_statement_breakdown(benchmark, fleet_workloads):
+    def measure():
+        counts = {kind: 0 for kind in STATEMENT_KINDS}
+        total = 0
+        for workload in fleet_workloads:
+            for statement in workload.statements:
+                counts[statement.kind] += 1
+                total += 1
+        return {kind: 100.0 * n / total for kind, n in counts.items()}
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = [
+        [kind, f"{measured[kind]:.1f} %", f"{PAPER[kind]:.1f} %"]
+        for kind in STATEMENT_KINDS
+    ]
+    report = format_table(
+        ["statement type", "measured", "paper"],
+        rows,
+        title="Table 2 - SQL statements run on the clusters (fleet-wide)",
+    )
+    save_report("table2_statement_breakdown", report)
+
+    for kind in STATEMENT_KINDS:
+        assert abs(measured[kind] - PAPER[kind]) < 8.0, kind

@@ -1,0 +1,139 @@
+"""Table 3: memory consumption of indexes vs caches for TPC-H Q6.
+
+Paper (18 B-row lineitem, 64 slices):
+
+    B-tree                  ~540 GB
+    Zonemap                 ~0.8 GB
+    Result cache            8 B
+    AutoMV                  42 MB
+    Predicate cache (range) 16 MB   (16,384 ranges x 64 slices)
+    Predicate cache (bitmap) 2 MB   (1 bit per 1,000 rows)
+    Predicate sorting       0 MB    (but rewrites the 750 GB table)
+
+We *measure* every structure at laptop scale and *extrapolate* with the
+structures' exact size formulas to the paper's scale.
+"""
+
+import numpy as np
+
+from repro import Database, PredicateCache, PredicateCacheConfig, QueryEngine
+from repro.baselines.automv import AutoMVManager
+from repro.baselines.btree import BPlusTree, btree_size_model
+from repro.baselines.result_cache import ResultCache
+from repro.bench import format_table
+from repro.bench.report import format_bytes
+from repro.workloads import tpch
+
+from _util import save_report
+
+PAPER_ROWS = 18_000_000_000
+PAPER_SLICES = 64
+
+
+def test_table3_memory(benchmark):
+    db = Database(num_slices=4, rows_per_block=500)
+    tpch.load(db, scale_factor=0.01, skew=0.0, seed=3)
+    lineitem = db.table("lineitem")
+    n_rows = lineitem.num_rows
+    q6 = tpch.query("Q6")
+
+    def measure():
+        results = {}
+
+        # Secondary B-tree over the three Q6 filter columns (composite).
+        ship = lineitem.read_column_all("l_shipdate")
+        disc = (lineitem.read_column_all("l_discount") * 100).astype(np.int64)
+        qty = lineitem.read_column_all("l_quantity").astype(np.int64)
+        composite = ship * 10_000 + disc * 100 + qty
+        tree = BPlusTree.build(composite)
+        results["btree"] = tree.nbytes
+
+        # Zone maps for the three columns (16 B per block per column).
+        zonemap_bytes = sum(
+            s.columns[c].zonemap.nbytes
+            for s in lineitem.slices
+            for c in ("l_shipdate", "l_discount", "l_quantity")
+        )
+        results["zonemap"] = zonemap_bytes
+
+        # Result cache: execute Q6, store its single-value result.
+        result_cache = ResultCache()
+        engine = QueryEngine(db, result_cache=result_cache)
+        engine.execute(q6)
+        engine.execute(q6)
+        results["result_cache"] = result_cache.nbytes
+
+        # AutoMV for the Q6 template.
+        mv_engine = QueryEngine(db)
+        manager = AutoMVManager(mv_engine, create_threshold=2)
+        manager.process(q6)
+        manager.process(q6)
+        view = next(iter(manager.views.values()))
+        results["automv"] = manager.view_nbytes(view)
+        results["automv_rows"] = db.table(view.name).num_rows
+
+        # Predicate cache, both variants.
+        for variant in ("range", "bitmap"):
+            cache = PredicateCache(PredicateCacheConfig(variant=variant))
+            pc_engine = QueryEngine(db, predicate_cache=cache)
+            pc_engine.execute(q6)
+            results[f"pc_{variant}"] = cache.total_nbytes
+        return results
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # Exact-formula extrapolations to the paper's 18 B rows, 64 slices.
+    extrapolated = {
+        "btree": btree_size_model(PAPER_ROWS, num_columns=3),
+        "zonemap": 3 * 16 * PAPER_ROWS // 1000,
+        "result_cache": 8,
+        # AutoMV: 4 values x 8 B per distinct filter combination
+        # (paper: <1.4 M distinct -> 42 MB).
+        "automv": 1_400_000 * 4 * 8,
+        # Range: 16,384 ranges x 16 B x 64 slices (+ watermarks).
+        "pc_range": PAPER_SLICES * (16_384 * 16 + 8),
+        # Bitmap: 1 bit per 1,000 rows.
+        "pc_bitmap": PAPER_ROWS // 1000 // 8 + PAPER_SLICES * 8,
+    }
+    paper = {
+        "btree": "~540 GB",
+        "zonemap": "~0.8 GB",
+        "result_cache": "8 B",
+        "automv": "42 MB",
+        "pc_range": "16 MB",
+        "pc_bitmap": "2 MB",
+    }
+    labels = {
+        "btree": "Sec. index  B-tree",
+        "zonemap": "Sec. index  Zonemap",
+        "result_cache": "Cache       Result Cache",
+        "automv": "Cache       AutoMV",
+        "pc_range": "Cache       Predicate Cache (range)",
+        "pc_bitmap": "Cache       Predicate Cache (bitmap)",
+    }
+    rows = [
+        [
+            labels[key],
+            format_bytes(measured[key]),
+            format_bytes(extrapolated[key]),
+            paper[key],
+        ]
+        for key in labels
+    ]
+    rows.append(["Cache       Predicate Sorting", "0 B", "0 B", "(0 MB)"])
+    report = format_table(
+        ["structure", f"measured ({n_rows} rows)", "extrapolated (18 B rows)", "paper"],
+        rows,
+        title="Table 3 - memory consumption for TPC-H Q6 structures",
+    )
+    save_report("table3_memory", report)
+
+    # Shape checks at paper scale.
+    assert 400e9 < extrapolated["btree"] < 700e9
+    assert 0.5e9 < extrapolated["zonemap"] < 1.2e9
+    assert extrapolated["result_cache"] == 8
+    assert 10e6 < extrapolated["pc_range"] < 20e6
+    assert 1.5e6 < extrapolated["pc_bitmap"] < 3e6
+    # Ordering holds at measured scale too: bitmap < range << btree.
+    assert measured["pc_bitmap"] < measured["pc_range"] < measured["btree"]
+    assert measured["result_cache"] == 8

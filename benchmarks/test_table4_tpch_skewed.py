@@ -1,0 +1,140 @@
+"""Table 4: TPC-H (skewed) under Orig / PC^B / PC^R / PS.
+
+Paper (geomeans over 22 queries on a 4-node cluster, 18 B-row scale):
+runtime 2.97 -> 2.61 / 2.60 / 2.57 s; rows scanned 5.46 B -> 1.80 B /
+1.45 B / 1.80 B (~3-4x fewer); blocks accessed 19.0 T -> 13.7 T /
+13.6 T / 19.0 T (~30 % fewer for PC, none for PS).
+
+We reproduce the *shape* at reduced scale: per-query counters for the
+same four variants, geomean summary, and the paper's headline ratios.
+"""
+
+from repro.bench import Variant, compare_variants, format_table, geomean
+from repro.core.config import PredicateCacheConfig
+from repro.predicates import parse_predicate
+from repro.workloads import tpch
+
+from _util import fresh_database, save_report
+
+SCALE = 0.01
+SKEW = 1.0
+
+# Predicate sorting clusters lineitem by common query predicates
+# (coarse date splits first so within-group date order survives).
+#
+# Note on fidelity: our generated lineitem is *naturally date-clustered*
+# (ingestion order), so zone maps already serve the many date-filtered
+# queries; re-sorting trades that away for predicate-bit clustering.
+# The paper's PS rows-scanned win (5.46 B -> 1.80 B) presupposes a
+# baseline whose layout does not already match the workload.  What we
+# reproduce exactly is the paper's *block-level* finding: PS does not
+# reduce blocks accessed and worsens compression (Section 5.6).
+SORT_PREDICATES = {
+    "lineitem": [
+        parse_predicate(f"l_shipdate >= {tpch.d('1996-01-01')}"),
+        parse_predicate(f"l_shipdate >= {tpch.d('1994-01-01')}"),
+        parse_predicate("l_discount between 0.07 and 0.09"),
+        parse_predicate("l_quantity >= 45"),
+        parse_predicate("l_returnflag = 'R'"),
+    ]
+}
+
+# The paper's bitmap granularity is 1,000 rows per bit on 281 M-row
+# slices (~4e-6 of a slice).  At laptop scale a proportional granularity
+# keeps the two variants comparable, exactly as in the paper; we use
+# 100 rows per bit on ~7.5 k-row slices.
+VARIANTS = [
+    Variant("Orig"),
+    Variant("PC^B", PredicateCacheConfig(variant="bitmap", bitmap_block_rows=100)),
+    Variant("PC^R", PredicateCacheConfig(variant="range", max_ranges_per_slice=16384)),
+    Variant("PS", sort_predicates=SORT_PREDICATES),
+]
+
+
+def test_table4_tpch_skewed(benchmark):
+    queries = tpch.queries(skewed=True)
+
+    def run():
+        return compare_variants(
+            lambda db: tpch.load(db, scale_factor=SCALE, skew=SKEW, seed=42),
+            fresh_database,
+            queries,
+            VARIANTS,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    by_variant = {
+        name: {row.query: row for row in rows} for name, rows in results.items()
+    }
+    table_rows = []
+    for query in queries:
+        orig = by_variant["Orig"][query]
+        row = [query]
+        for name in ("Orig", "PC^B", "PC^R", "PS"):
+            row.append(f"{by_variant[name][query].model_seconds:.4f}")
+        for name in ("Orig", "PC^B", "PC^R", "PS"):
+            row.append(by_variant[name][query].rows_scanned)
+        for name in ("Orig", "PC^B", "PC^R", "PS"):
+            row.append(by_variant[name][query].blocks_accessed)
+        table_rows.append(row)
+
+    def summary(metric):
+        return {
+            name: geomean([max(getattr(r, metric), 1e-9) for r in results[name]])
+            for name in by_variant
+        }
+
+    runtime = summary("model_seconds")
+    rows_scanned = {
+        name: sum(r.rows_scanned for r in results[name]) for name in by_variant
+    }
+    blocks = {
+        name: sum(r.blocks_accessed for r in results[name]) for name in by_variant
+    }
+    table_rows.append(
+        ["GeoMean/Total"]
+        + [f"{runtime[n]:.4f}" for n in ("Orig", "PC^B", "PC^R", "PS")]
+        + [rows_scanned[n] for n in ("Orig", "PC^B", "PC^R", "PS")]
+        + [blocks[n] for n in ("Orig", "PC^B", "PC^R", "PS")]
+    )
+
+    headers = (
+        ["Query"]
+        + [f"rt {n}" for n in ("Orig", "PC^B", "PC^R", "PS")]
+        + [f"rows {n}" for n in ("Orig", "PC^B", "PC^R", "PS")]
+        + [f"blk {n}" for n in ("Orig", "PC^B", "PC^R", "PS")]
+    )
+    report = format_table(
+        headers,
+        table_rows,
+        title=(
+            "Table 4 - TPC-H (skewed) runtime / rows scanned / blocks accessed\n"
+            "paper shape: PC cuts rows ~3-4x and blocks ~30%, runtime geomean "
+            "improves ~10-15%; PS cuts rows but not blocks"
+        ),
+    )
+    save_report("table4_tpch_skewed", report)
+
+    # -- shape assertions --------------------------------------------------
+    # PC scans several times fewer rows overall (paper: 5.46B -> 1.80B).
+    assert rows_scanned["PC^B"] < rows_scanned["Orig"] * 0.6
+    assert rows_scanned["PC^R"] <= rows_scanned["PC^B"] * 1.05  # range >= precise
+    # PC accesses fewer blocks (paper: ~30% fewer).
+    assert blocks["PC^B"] < blocks["Orig"] * 0.9
+    # Runtime geomean improves.
+    assert runtime["PC^B"] < runtime["Orig"]
+    assert runtime["PC^R"] < runtime["Orig"]
+    # Predicate sorting: at our scale the baseline layout is already
+    # date-clustered, so PS stays within ~10% of Orig on rows; the
+    # paper-exact finding is that PS does NOT reduce blocks (Table 4:
+    # 19.0 T vs 19.0 T) and degrades compression (more blocks).
+    assert rows_scanned["PS"] <= rows_scanned["Orig"] * 1.10
+    assert blocks["PS"] >= blocks["Orig"] * 0.95
+    # No per-query slowdown beyond noise for PC (the paper's guarantee);
+    # counters are deterministic, so this is exact on rows.
+    for query in queries:
+        assert (
+            by_variant["PC^B"][query].rows_scanned
+            <= by_variant["Orig"][query].rows_scanned
+        ), query

@@ -1,0 +1,106 @@
+"""Uniform TPC-H: where predicate caching does *not* help (§5.5.2).
+
+Paper: "This issue is particularly apparent in the standard TPC-H
+benchmark, where the data is uniformly distributed, and the predicate
+cache does not impact the runtime ... predicate caching performs
+better on data sets with a more uneven distribution."
+
+This bench runs the same query set on the uniform and the skewed
+generator and verifies the contrast: uniform repeats save little block
+work, skewed repeats save a lot — while never slowing down either.
+"""
+
+from repro.bench import Variant, compare_variants
+from repro.bench.report import format_table
+from repro.core.config import PredicateCacheConfig
+from repro.workloads import tpch
+
+from _util import fresh_database, save_report
+
+VARIANTS = [
+    Variant("Orig"),
+    Variant("PC", PredicateCacheConfig(variant="bitmap", bitmap_block_rows=100)),
+    # Filter-only caching isolates the effect the paper's uniform
+    # claim is about: with uniform values, *filter* entries cannot
+    # eliminate blocks (every block has a match).  Join-index entries
+    # stay selective even on uniform data (rare dimension combinations
+    # are rare either way), which our full-PC column shows.
+    Variant(
+        "PC-filters",
+        PredicateCacheConfig(
+            variant="bitmap", bitmap_block_rows=100, cache_join_keys=False
+        ),
+    ),
+]
+
+
+def _total(rows, metric):
+    return sum(getattr(r, metric) for r in rows)
+
+
+def test_uniform_tpch(benchmark):
+    def run():
+        out = {}
+        for label, skew in (("uniform", 0.0), ("skewed", 1.0)):
+            results = compare_variants(
+                lambda db, s=skew: tpch.load(db, scale_factor=0.01, skew=s, seed=42),
+                fresh_database,
+                tpch.queries(skewed=skew > 0),
+                VARIANTS,
+            )
+            out[label] = results
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    savings = {}
+    filter_savings = {}
+    for label in ("uniform", "skewed"):
+        orig_blocks = _total(out[label]["Orig"], "blocks_accessed")
+        pc_blocks = _total(out[label]["PC"], "blocks_accessed")
+        filters_blocks = _total(out[label]["PC-filters"], "blocks_accessed")
+        savings[label] = 1 - pc_blocks / orig_blocks
+        filter_savings[label] = 1 - filters_blocks / orig_blocks
+        rows.append(
+            [
+                label,
+                orig_blocks, filters_blocks, pc_blocks,
+                f"{filter_savings[label]:.1%}",
+                f"{savings[label]:.1%}",
+            ]
+        )
+    report = format_table(
+        ["dataset", "blocks Orig", "blocks PC-filters", "blocks PC-full",
+         "filter-only savings", "full savings"],
+        rows,
+        title=(
+            "Uniform vs skewed TPC-H under the predicate cache (Sec 5.5.2)\n"
+            "paper: uniform data defeats filter skipping; join-index "
+            "entries stay selective either way"
+        ),
+    )
+    save_report("uniform_tpch", report)
+
+    # Filter-only caching barely moves blocks on either dataset here:
+    # zone maps over naturally clustered ingestion already capture the
+    # block-level filter wins at this scale (the paper's uniform-TPC-H
+    # "no impact" claim, which concerns filter skipping).
+    assert filter_savings["uniform"] < 0.08
+    assert filter_savings["skewed"] < 0.15
+    # The join index is what moves blocks — on both datasets at our
+    # scale.  (Scale artifact vs the paper: with 2,000 parts a 0.1 %
+    # dimension filter still leaves island-y probe rows; at the paper's
+    # 200 M parts the uniform join result spreads into every block.)
+    for label in ("uniform", "skewed"):
+        assert savings[label] > filter_savings[label] + 0.1
+    # Skewed data benefits more than uniform overall.
+    assert savings["skewed"] > savings["uniform"]
+    # And the cache never makes any query scan more (no slowdowns).
+    for label in ("uniform", "skewed"):
+        by_query_orig = {r.query: r for r in out[label]["Orig"]}
+        for variant in ("PC", "PC-filters"):
+            for r in out[label][variant]:
+                assert r.rows_scanned <= by_query_orig[r.query].rows_scanned, (
+                    label, variant, r.query,
+                )

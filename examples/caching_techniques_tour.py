@@ -1,0 +1,112 @@
+"""A tour of the four caching techniques on one repetitive stream.
+
+Reproduces the trade-offs of the paper's Table 1 hands-on: the same
+stream of Q6-template queries (repeating, with varying literals and
+interleaved inserts) runs against result caching, automated
+materialized views, predicate sorting, and predicate caching.
+
+Run:  python examples/caching_techniques_tour.py
+"""
+
+import numpy as np
+
+from repro import Database, PredicateCache, PredicateCacheConfig, QueryEngine
+from repro.baselines.automv import AutoMVManager
+from repro.baselines.result_cache import ResultCache
+from repro.baselines.sorting import PredicateSorter
+from repro.predicates import parse_predicate
+from repro.workloads import tpch
+
+TEMPLATE = (
+    "select sum(l_extendedprice * l_discount) as revenue from lineitem "
+    "where l_shipdate >= {lo} and l_shipdate < {hi} "
+    "and l_discount between 0.05 and 0.07 and l_quantity < 24"
+)
+
+
+def build_stream(num=80, seed=3):
+    rng = np.random.default_rng(seed)
+    starts = [tpch.d("1994-01-01") + int(d) for d in rng.integers(0, 200, 6)]
+    stream = []
+    for i in range(num):
+        if i % 12 == 11:
+            stream.append(("insert", None))
+        else:
+            lo = starts[int(rng.integers(len(starts)))]
+            stream.append(("select", TEMPLATE.format(lo=lo, hi=lo + 60)))
+    return stream
+
+
+def fresh_engine(**kwargs):
+    db = Database(num_slices=2, rows_per_block=500)
+    tpch.load(db, scale_factor=0.005, skew=0.8, seed=31)
+    return QueryEngine(db, **kwargs)
+
+
+def insert_one(engine):
+    names = engine.database.table("lineitem").schema.column_names
+    values = [1, 1, 1, 1, 10.0, 100.0, 0.06, 0.0, "N", "O",
+              tpch.d("1994-02-01"), 9000, 9100, "NONE", "AIR"]
+    engine.insert("lineitem", dict(zip(names, [[v] for v in values])))
+
+
+def replay(name, engine, stream, automv=None, hit_of=lambda r: False):
+    answered = selects = rows_scanned = 0
+    for kind, sql in stream:
+        if kind == "insert":
+            insert_one(engine)
+            continue
+        selects += 1
+        if automv is not None:
+            plan = automv.process(sql)
+            if plan is not None:
+                result = engine.execute_plan(plan)
+                answered += 1
+            else:
+                result = engine.execute(sql)
+        else:
+            result = engine.execute(sql)
+            answered += int(hit_of(result))
+        rows_scanned += result.counters.rows_scanned
+    print(f"{name:<22} hit rate {answered / selects:>5.0%}   "
+          f"rows scanned {rows_scanned:>9}")
+
+
+def main() -> None:
+    stream = build_stream()
+    print("stream: 80 events = Q6 templates with 6 literal choices + inserts\n")
+
+    replay(
+        "result caching",
+        fresh_engine(result_cache=ResultCache()),
+        stream,
+        hit_of=lambda r: r.counters.result_cache_hit,
+    )
+
+    engine = fresh_engine()
+    replay("automated MVs", engine, stream, automv=AutoMVManager(engine, 2))
+
+    engine = fresh_engine()
+    PredicateSorter(
+        [parse_predicate("l_discount between 0.05 and 0.07"),
+         parse_predicate("l_quantity < 24")]
+    ).apply(engine.database.table("lineitem"))
+    replay("predicate sorting", engine, stream)
+
+    replay(
+        "predicate caching",
+        fresh_engine(predicate_cache=PredicateCache(
+            PredicateCacheConfig(variant="bitmap", bitmap_block_rows=100)
+        )),
+        stream,
+        hit_of=lambda r: r.counters.cache_hits > 0 and r.counters.cache_misses == 0,
+    )
+    print()
+    print("Table 1's trade-offs: the result cache dies on every insert and "
+          "literal change; AutoMV generalizes but pays build/refresh costs; "
+          "sorting has no per-query hit notion (it reshapes the table); the "
+          "predicate cache keeps hitting through inserts.")
+
+
+if __name__ == "__main__":
+    main()

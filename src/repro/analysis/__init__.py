@@ -1,0 +1,20 @@
+"""Workload-analysis pipeline (the paper's Section 2 methodology)."""
+
+from .repetition import (
+    query_repetition_rate,
+    repetition_by_table_size,
+    repetition_histogram,
+    scan_repetition_rate,
+)
+from .mix import read_write_ratio, statement_mix
+from .result_cache_sim import simulate_result_cache
+
+__all__ = [
+    "query_repetition_rate",
+    "read_write_ratio",
+    "repetition_by_table_size",
+    "repetition_histogram",
+    "scan_repetition_rate",
+    "simulate_result_cache",
+    "statement_mix",
+]

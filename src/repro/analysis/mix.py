@@ -1,0 +1,29 @@
+"""Statement-mix analysis (§2.2: Table 2, Fig. 2–3)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Sequence
+
+from ..workloads.fleet import STATEMENT_KINDS, Statement
+
+__all__ = ["statement_mix", "read_write_ratio"]
+
+
+def statement_mix(statements: Sequence[Statement]) -> Dict[str, float]:
+    """Fraction of statements per kind (select/insert/copy/...)."""
+    counts = Counter(s.kind for s in statements)
+    total = max(1, len(statements))
+    return {kind: counts.get(kind, 0) / total for kind in STATEMENT_KINDS}
+
+
+def read_write_ratio(statements: Sequence[Statement]) -> float:
+    """Reads divided by writes (Fig. 3's per-cluster comparison).
+
+    Returns ``inf`` for clusters with no data-manipulation statements.
+    """
+    reads = sum(1 for s in statements if s.is_select)
+    writes = sum(1 for s in statements if s.is_write)
+    if writes == 0:
+        return float("inf")
+    return reads / writes

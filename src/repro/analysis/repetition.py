@@ -1,0 +1,87 @@
+"""Repetition metrics over statement logs (§2.1, §2.3).
+
+The paper's definition: *a query is repetitive if the same statement,
+including the parameters, is seen at least twice*; the repetition rate
+of a cluster is the fraction of statements belonging to such queries.
+Scans are measured the same way over (table, predicate) keys, counting
+only scans with a filter condition.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..workloads.fleet import Statement, TABLE_SIZE_BUCKETS
+
+__all__ = [
+    "query_repetition_rate",
+    "scan_repetition_rate",
+    "repetition_by_table_size",
+    "repetition_histogram",
+]
+
+
+def _rate_from_counts(counts: Counter) -> float:
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    repeated = sum(c for c in counts.values() if c >= 2)
+    return repeated / total
+
+
+def query_repetition_rate(statements: Sequence[Statement]) -> float:
+    """Fraction of select statements whose exact text occurs >= 2 times."""
+    counts = Counter(s.text for s in statements if s.is_select)
+    return _rate_from_counts(counts)
+
+
+def scan_repetition_rate(statements: Sequence[Statement]) -> float:
+    """Fraction of filtered scans whose (table, predicate) repeats."""
+    counts = Counter(
+        scan.key() for s in statements if s.is_select for scan in s.scans
+    )
+    return _rate_from_counts(counts)
+
+
+def repetition_by_table_size(
+    statements: Sequence[Statement],
+) -> Dict[str, Tuple[float, float]]:
+    """(query rate, scan rate) per table-size bucket (Fig. 5).
+
+    Queries are bucketed by the largest table they scan; scans by their
+    own table's size.
+    """
+    query_counts: Dict[str, Counter] = {name: Counter() for name, _, _ in TABLE_SIZE_BUCKETS}
+    scan_counts: Dict[str, Counter] = {name: Counter() for name, _, _ in TABLE_SIZE_BUCKETS}
+    for s in statements:
+        if not s.is_select or not s.scans:
+            continue
+        largest = max(scan.table_rows for scan in s.scans)
+        query_counts[_bucket(largest)][s.text] += 1
+        for scan in s.scans:
+            scan_counts[_bucket(scan.table_rows)][scan.key()] += 1
+    return {
+        name: (
+            _rate_from_counts(query_counts[name]),
+            _rate_from_counts(scan_counts[name]),
+        )
+        for name, _, _ in TABLE_SIZE_BUCKETS
+    }
+
+
+def _bucket(rows: int) -> str:
+    for name, lo, hi in TABLE_SIZE_BUCKETS:
+        if lo <= rows < hi:
+            return name
+    return TABLE_SIZE_BUCKETS[-1][0]
+
+
+def repetition_histogram(keys: Iterable[str]) -> Dict[int, int]:
+    """How many distinct keys occur exactly N times (Fig. 14 left).
+
+    Returns {repetition count: number of distinct keys with it}.
+    """
+    counts = Counter(keys)
+    histogram: Counter = Counter(counts.values())
+    return dict(sorted(histogram.items()))

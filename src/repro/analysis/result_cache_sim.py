@@ -1,0 +1,68 @@
+"""Result-cache simulation over statement logs (§3.1: Fig. 6–7).
+
+Replays a cluster's statement stream against an idealized result cache:
+a select hits iff its exact text was executed before *and* none of its
+tables changed in between.  This is the mechanism that makes result
+caching's hit rate collapse on write-heavy clusters even though the
+queries themselves repeat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..workloads.fleet import Statement
+
+__all__ = ["simulate_result_cache", "ResultCacheSimulation"]
+
+
+@dataclass
+class ResultCacheSimulation:
+    """Outcome of replaying one cluster through the result cache."""
+
+    selects: int
+    hits: int
+    invalidations: int
+    write_fraction: float
+
+    @property
+    def hit_rate(self) -> float:
+        if self.selects == 0:
+            return 0.0
+        return self.hits / self.selects
+
+
+def simulate_result_cache(statements: Sequence[Statement]) -> ResultCacheSimulation:
+    """Replay a statement stream through an exact-match result cache."""
+    table_versions: Dict[str, int] = {}
+    cached: Dict[str, Tuple[Tuple[str, int], ...]] = {}
+    selects = hits = invalidations = writes = 0
+
+    for statement in statements:
+        if statement.is_write:
+            writes += 1
+            for table in statement.tables:
+                table_versions[table] = table_versions.get(table, 0) + 1
+            continue
+        if not statement.is_select:
+            continue
+        selects += 1
+        current = tuple(
+            (table, table_versions.get(table, 0)) for table in sorted(statement.tables)
+        )
+        seen = cached.get(statement.text)
+        if seen is not None:
+            if seen == current:
+                hits += 1
+            else:
+                invalidations += 1
+        cached[statement.text] = current
+
+    total = max(1, len(statements))
+    return ResultCacheSimulation(
+        selects=selects,
+        hits=hits,
+        invalidations=invalidations,
+        write_fraction=writes / total,
+    )

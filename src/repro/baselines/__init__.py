@@ -1,0 +1,26 @@
+"""Baseline techniques the paper compares predicate caching against.
+
+* :mod:`repro.baselines.result_cache` — leader-node result caching (§3.1),
+* :mod:`repro.baselines.automv` — automated materialized views with
+  template extraction and predicate elevation (§3.2),
+* :mod:`repro.baselines.btree` — a B+-tree secondary index (Table 3),
+* :mod:`repro.baselines.sorting` — predicate sorting, the simplified
+  Qd-tree variant evaluated in §5.6,
+* :mod:`repro.baselines.qdtree` — the full query-driven Qd-tree layout
+  (§3.3, Fig. 9).
+"""
+
+from .automv import AutoMVManager, MaterializedView
+from .btree import BPlusTree
+from .qdtree import QdTree
+from .result_cache import ResultCache
+from .sorting import PredicateSorter
+
+__all__ = [
+    "AutoMVManager",
+    "BPlusTree",
+    "MaterializedView",
+    "PredicateSorter",
+    "QdTree",
+    "ResultCache",
+]

@@ -1,0 +1,124 @@
+"""Leader-node result caching (§3.1).
+
+A hit requires the identical statement text *and* unchanged scanned
+tables: entries record the ``data_version`` of every referenced table
+and are invalidated by any change to any of them — which is exactly why
+the fleet-average hit rate is low despite highly repetitive queries
+(Fig. 6–7).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ResultCache", "ResultCacheStats"]
+
+
+@dataclass
+class ResultCacheStats:
+    """Monotonic result-cache counters."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class _Entry:
+    __slots__ = ("versions", "payload")
+
+    def __init__(self, versions: Dict[str, int], payload: object) -> None:
+        self.versions = versions
+        self.payload = payload
+
+
+class ResultCache:
+    """An LRU cache from statement text to query results.
+
+    The payload is opaque to the cache (the engine stores its column
+    batch + column order); :meth:`lookup` checks the recorded table
+    versions against the current ones and drops stale entries.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self.stats = ResultCacheStats()
+
+    def lookup(self, key: str, current_versions: Mapping[str, int]):
+        """The cached payload, or None on miss/stale."""
+        self.stats.lookups += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        for table, version in entry.versions.items():
+            if current_versions.get(table) != version:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.payload
+
+    def store(
+        self, key: str, versions: Mapping[str, int], payload: object
+    ) -> None:
+        self._entries[key] = _Entry(dict(versions), payload)
+        self._entries.move_to_end(key)
+        self.stats.stores += 1
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate_table(self, table_name: str) -> int:
+        """Eagerly drop entries depending on a table (optional path)."""
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if table_name in entry.versions
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate payload bytes (numpy arrays measured exactly)."""
+        total = 0
+        for entry in self._entries.values():
+            payload = entry.payload
+            if isinstance(payload, tuple) and payload and isinstance(payload[0], dict):
+                for values in payload[0].values():
+                    if isinstance(values, np.ndarray):
+                        if values.dtype == object:
+                            total += sum(len(str(v)) for v in values)
+                        else:
+                            total += int(values.nbytes)
+            else:
+                total += 64  # opaque payload floor
+        return total

@@ -1,0 +1,14 @@
+"""Benchmark harness: engine-variant runners and paper-style reporting."""
+
+from .runner import BenchmarkRow, Variant, compare_variants, run_query_set
+from .report import format_series, format_table, geomean
+
+__all__ = [
+    "BenchmarkRow",
+    "Variant",
+    "compare_variants",
+    "format_series",
+    "format_table",
+    "geomean",
+    "run_query_set",
+]

@@ -1,0 +1,81 @@
+"""ASCII reporting helpers: the benches print paper-style tables."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series", "geomean", "format_bytes"]
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's Table 4 summary row)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, points: Sequence[float], bins: int = 20, width: int = 40
+) -> str:
+    """Render a numeric series as an inline ASCII bar strip.
+
+    Used for figure-shaped results (hit rate over time, CDFs).
+    """
+    if not points:
+        return f"{name}: (empty)"
+    blocks = " .:-=+*#%@"
+    lo, hi = min(points), max(points)
+    span = (hi - lo) or 1.0
+    step = max(1, len(points) // width)
+    sampled = [
+        sum(points[i : i + step]) / len(points[i : i + step])
+        for i in range(0, len(points), step)
+    ]
+    strip = "".join(
+        blocks[min(int((p - lo) / span * (len(blocks) - 1)), len(blocks) - 1)]
+        for p in sampled
+    )
+    return f"{name} [{lo:.3g}..{hi:.3g}]: {strip}"
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte size (Table 3 rendering)."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024 or unit == "TB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    return f"{value:.1f} TB"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)

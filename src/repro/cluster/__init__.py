@@ -1,0 +1,23 @@
+"""Multi-node clusters with per-node predicate caches.
+
+One of the paper's design objectives (§3.4) is that the cache be
+*lightweight*: "keep the cache independent of other nodes in the
+cluster to reduce synchronization overhead... The state is maintained
+per node, avoiding communication and synchronization with other
+workers" (§4.6).  This package models that topology:
+
+* slices are assigned to compute nodes round-robin (Redshift's leader
+  assigns data slices to nodes, Fig. 10),
+* every node owns an independent :class:`~repro.core.cache.PredicateCache`
+  holding entries *only for its own slices*,
+* a node failure replaces the node with an empty cache — only that
+  node's share of every entry is relearned (§4.2.1's recovery story).
+
+:class:`ClusterCaches` plugs into the engine wherever a single
+``PredicateCache`` would: the scan path routes each slice to its owning
+node's cache via ``cache_for_slice``.
+"""
+
+from .caches import ClusterCaches
+
+__all__ = ["ClusterCaches"]

@@ -1,0 +1,97 @@
+"""Per-node cache routing for multi-node clusters."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.cache import PredicateCache
+from ..core.config import PredicateCacheConfig
+from ..core.stats import CacheStats
+
+__all__ = ["ClusterCaches"]
+
+
+class ClusterCaches:
+    """N independent per-node predicate caches, routed by slice id.
+
+    Slice ``s`` belongs to node ``s % num_nodes`` — the same static
+    assignment the leader uses for data slices.  Each node's cache
+    fills only its own slices' states of each entry; no state is ever
+    shared or synchronized between nodes (§4.6).
+
+    The object exposes ``cache_for_slice``, which the scan path detects
+    and uses for routing; everything else (aggregate stats, memory,
+    failure injection) is operator convenience.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        config: Optional[PredicateCacheConfig] = None,
+        policy_factory=None,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        self.num_nodes = num_nodes
+        self.config = config if config is not None else PredicateCacheConfig()
+        self._nodes: List[PredicateCache] = [
+            PredicateCache(
+                self.config,
+                policy=policy_factory() if policy_factory is not None else None,
+            )
+            for _ in range(num_nodes)
+        ]
+
+    # -- routing (the scan-path interface) -------------------------------------
+
+    def cache_for_slice(self, slice_id: int) -> PredicateCache:
+        return self._nodes[slice_id % self.num_nodes]
+
+    # -- operator surface ---------------------------------------------------------
+
+    def node(self, node_id: int) -> PredicateCache:
+        return self._nodes[node_id]
+
+    def fail_node(self, node_id: int) -> PredicateCache:
+        """Simulate a node failure: the replacement starts cold.
+
+        A new compute node downloads its data slices from managed
+        storage (§4.2.1) but has no cache state; only its share of each
+        entry must be relearned — the other nodes keep theirs.
+        """
+        replacement = PredicateCache(self.config)
+        self._nodes[node_id] = replacement
+        return replacement
+
+    def clear(self) -> None:
+        for cache in self._nodes:
+            cache.clear()
+
+    # -- aggregation -----------------------------------------------------------------
+
+    @property
+    def total_nbytes(self) -> int:
+        return sum(cache.total_nbytes for cache in self._nodes)
+
+    def per_node_nbytes(self) -> List[int]:
+        return [cache.total_nbytes for cache in self._nodes]
+
+    def per_node_entries(self) -> List[int]:
+        return [len(cache) for cache in self._nodes]
+
+    def aggregate_stats(self) -> CacheStats:
+        total = CacheStats()
+        for cache in self._nodes:
+            for field in vars(total):
+                setattr(
+                    total, field,
+                    getattr(total, field) + getattr(cache.stats, field),
+                )
+        return total
+
+    def __len__(self) -> int:
+        """Distinct keys across nodes (entries are per-node shards)."""
+        keys = set()
+        for cache in self._nodes:
+            keys.update(cache.keys())
+        return len(keys)

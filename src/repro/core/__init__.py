@@ -1,0 +1,43 @@
+"""Predicate caching — the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.rowrange.RowRange` / :class:`~repro.core.rowrange.RangeList`
+  — the row-range algebra shared with the scan path,
+* :class:`~repro.core.gapheap.GapHeapRangeBuilder` — online bounded-range
+  construction (§4.1.1),
+* :class:`~repro.core.keys.ScanKey` / :class:`~repro.core.keys.SemiJoinDescriptor`
+  — cache keys, including the join-index extension (§4.4),
+* :class:`~repro.core.entry.CacheEntry` with range and bitmap per-slice
+  states (§4.1.1–4.1.2),
+* :class:`~repro.core.cache.PredicateCache` — the cache itself,
+* :class:`~repro.core.config.PredicateCacheConfig` and
+  :class:`~repro.core.stats.CacheStats`.
+"""
+
+from .cache import PredicateCache
+from .config import PredicateCacheConfig
+from .entry import BitmapSliceState, CacheEntry, RangeSliceState, SliceState
+from .gapheap import GapHeapRangeBuilder
+from .keys import ScanKey, SemiJoinDescriptor
+from .policy import AdmissionPolicy, AlwaysAdmit, CostBasedPolicy
+from .rowrange import RangeList, RowRange
+from .stats import CacheStats
+
+__all__ = [
+    "AdmissionPolicy",
+    "AlwaysAdmit",
+    "BitmapSliceState",
+    "CostBasedPolicy",
+    "CacheEntry",
+    "CacheStats",
+    "GapHeapRangeBuilder",
+    "PredicateCache",
+    "PredicateCacheConfig",
+    "RangeList",
+    "RangeSliceState",
+    "RowRange",
+    "ScanKey",
+    "SemiJoinDescriptor",
+    "SliceState",
+]

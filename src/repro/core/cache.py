@@ -1,0 +1,248 @@
+"""The predicate cache: an inverted index from scan keys to row ranges.
+
+This is the paper's contribution (§4).  The cache is a per-node hash
+table mapping :class:`~repro.core.keys.ScanKey` to
+:class:`~repro.core.entry.CacheEntry`.  It is filled as a side product
+of scanning (the engine calls :meth:`record_slice_scan` with the row
+ranges the vectorized scan produced anyway), consulted before scans
+(:meth:`lookup` / :meth:`select_entry`), and invalidated by:
+
+* ``layout`` changes of the scanned table (vacuum, reorganization) —
+  row numbering changed, all entries on that table are dropped;
+* ``data`` changes of any *build-side* table of a join-index entry —
+  the semi-join filter's contents changed (§4.4).
+
+Plain entries survive inserts/deletes/updates on their own table —
+the design's headline property (§4.3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from .config import PredicateCacheConfig
+from .entry import BitmapSliceState, CacheEntry, RangeSliceState, SliceState
+from .keys import ScanKey
+from .policy import AdmissionPolicy, AlwaysAdmit
+from .rowrange import RangeList
+from .stats import CacheStats
+
+__all__ = ["PredicateCache"]
+
+
+class PredicateCache:
+    """Per-node predicate cache with LRU eviction.
+
+    The cache is storage-agnostic: it never touches table data, only row
+    ranges and version counters handed in by the scan path.  That is what
+    lets the same class index Redshift-style native tables and external
+    formats (§4.5) alike.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PredicateCacheConfig] = None,
+        policy: Optional[AdmissionPolicy] = None,
+    ) -> None:
+        self.config = config if config is not None else PredicateCacheConfig()
+        self.policy = policy if policy is not None else AlwaysAdmit()
+        self._entries: "OrderedDict[ScanKey, CacheEntry]" = OrderedDict()
+        self.stats = CacheStats()
+        self._watched: set[str] = set()
+
+    # -- wiring ------------------------------------------------------------------
+
+    def watch_table(self, table) -> None:
+        """Subscribe to a table's change events (idempotent)."""
+        if table.name in self._watched:
+            return
+        self._watched.add(table.name)
+        table.on_change(self._on_table_event)
+
+    def _on_table_event(self, table, event: str) -> None:
+        if event == "layout":
+            self.invalidate_table(table.name)
+        elif event == "data":
+            self.invalidate_build_side(table.name)
+
+    # -- lookups -------------------------------------------------------------------
+
+    def lookup(
+        self,
+        key: ScanKey,
+        current_versions: Optional[Mapping[str, int]] = None,
+    ) -> Optional[CacheEntry]:
+        """Find a live entry for ``key``; counts a lookup.
+
+        ``current_versions`` maps build-side table names to their current
+        ``data_version``; entries whose recorded versions mismatch are
+        dropped as stale (defence in depth on top of event-driven
+        invalidation).
+        """
+        self.stats.lookups += 1
+        entry = self._find(key, current_versions)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        entry.hits += 1
+        return entry
+
+    def _find(
+        self,
+        key: ScanKey,
+        current_versions: Optional[Mapping[str, int]],
+    ) -> Optional[CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if current_versions is not None:
+            for table_name, version in entry.build_versions.items():
+                if current_versions.get(table_name, version) != version:
+                    self._drop(key)
+                    self.stats.stale_rejections += 1
+                    return None
+        self._entries.move_to_end(key)
+        return entry
+
+    def select_entry(
+        self,
+        keys: Iterable[ScanKey],
+        current_versions: Optional[Mapping[str, int]] = None,
+    ) -> Optional[CacheEntry]:
+        """Pick the most selective live entry among candidate keys.
+
+        The scan path offers both the join-extended key and the plain
+        base key; per §4.4 we "choose the most selective matching
+        entry".  Counts a single lookup (hit if any key matched).
+        """
+        self.stats.lookups += 1
+        best: Optional[CacheEntry] = None
+        for key in keys:
+            entry = self._find(key, current_versions)
+            if entry is None:
+                continue
+            if best is None or entry.selectivity < best.selectivity:
+                best = entry
+        if best is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        best.hits += 1
+        return best
+
+    def __contains__(self, key: ScanKey) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- building -----------------------------------------------------------------
+
+    def get_or_create(
+        self,
+        key: ScanKey,
+        num_slices: int,
+        build_versions: Optional[Mapping[str, int]] = None,
+    ) -> CacheEntry:
+        """The entry for ``key``, creating an empty one if needed."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            return entry
+        if key.is_join_key and not self.config.cache_join_keys:
+            raise ValueError("join-index keys are disabled by configuration")
+        entry = CacheEntry(key, num_slices, dict(build_versions or {}))
+        self._entries[key] = entry
+        self.stats.inserts += 1
+        self._evict_if_needed()
+        return entry
+
+    def record_slice_scan(
+        self,
+        entry: CacheEntry,
+        slice_id: int,
+        qualifying: RangeList,
+        scanned_upto: int,
+    ) -> None:
+        """Record one slice's scan output into the entry.
+
+        First call per slice creates the state; later calls extend the
+        uncached tail (appends since the entry was built, §4.3.1).
+        """
+        state = entry.slice_states[slice_id]
+        if state is None:
+            entry.slice_states[slice_id] = self._new_state(qualifying, scanned_upto)
+        else:
+            state.extend(qualifying, scanned_upto)
+            self.stats.extensions += 1
+
+    def _new_state(self, qualifying: RangeList, scanned_upto: int) -> SliceState:
+        if self.config.variant == "range":
+            return RangeSliceState(
+                qualifying, scanned_upto, self.config.max_ranges_per_slice
+            )
+        return BitmapSliceState(
+            qualifying, scanned_upto, self.config.bitmap_block_rows
+        )
+
+    # -- invalidation ---------------------------------------------------------------
+
+    def invalidate_table(self, table_name: str) -> int:
+        """Drop every entry scanning ``table_name`` (layout changed)."""
+        stale = [k for k in self._entries if k.table == table_name]
+        for key in stale:
+            self._drop(key)
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def invalidate_build_side(self, table_name: str) -> int:
+        """Drop join-index entries whose build side includes the table."""
+        stale = [
+            k for k in self._entries if table_name in k.referenced_tables()
+        ]
+        for key in stale:
+            self._drop(key)
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def admits(self, key: ScanKey) -> bool:
+        """True if an entry exists or the admission policy allows one."""
+        if key in self._entries:
+            return True
+        return self.policy.should_admit(key)
+
+    def _drop(self, key: ScanKey) -> None:
+        self._entries.pop(key, None)
+        self.policy.forget(key)
+
+    # -- capacity ----------------------------------------------------------------
+
+    def _evict_if_needed(self) -> None:
+        limit = self.config.max_entries
+        while limit is not None and len(self._entries) > limit:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        max_bytes = self.config.max_bytes
+        if max_bytes is None:
+            return
+        while len(self._entries) > 1 and self.total_nbytes > max_bytes:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def total_nbytes(self) -> int:
+        """Total payload bytes across entries (the Table 3 metric)."""
+        return sum(entry.nbytes for entry in self._entries.values())
+
+    def entries(self) -> List[CacheEntry]:
+        return list(self._entries.values())
+
+    def keys(self) -> List[ScanKey]:
+        return list(self._entries.keys())

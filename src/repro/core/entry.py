@@ -1,0 +1,201 @@
+"""Cache entry payloads: per-slice qualifying-row state.
+
+Both index variants (§4.1.1–4.1.2) share the same lifecycle:
+
+1. On the first scan, the qualifying row ranges of each slice are
+   recorded, together with ``last_cached_row`` — the slice size at scan
+   time.
+2. On a repeat, :meth:`candidates` returns the rows the scan must still
+   look at: the cached qualifying rows (a superset of the truth — false
+   positives only) plus the *uncached tail* appended since.
+3. After the repeat scanned the tail, :meth:`extend` folds the tail's
+   qualifying rows in, keeping the entry complete without rebuilds —
+   the "online under inserts" property of §4.3.1.
+
+The **range variant** stores at most ``max_ranges`` merged row ranges
+(built with the gap heap).  The **bitmap variant** stores one bit per
+``block_size`` rows; it grows with the table but is ~8x smaller at the
+paper's settings (Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .gapheap import GapHeapRangeBuilder
+from .rowrange import RangeList, RowRange
+
+__all__ = ["SliceState", "RangeSliceState", "BitmapSliceState", "CacheEntry"]
+
+
+class SliceState:
+    """Per-slice qualifying-row state (abstract)."""
+
+    last_cached_row: int
+
+    def candidates(self, num_rows: int) -> RangeList:
+        """Rows a repeated scan must evaluate: cached hits + new tail."""
+        raise NotImplementedError
+
+    def cached_candidates(self) -> RangeList:
+        """Just the cached qualifying rows (rows < last_cached_row)."""
+        raise NotImplementedError
+
+    def extend(self, tail_qualifying: RangeList, scanned_upto: int) -> None:
+        """Fold in qualifying rows of the previously uncached tail."""
+        raise NotImplementedError
+
+    @property
+    def nbytes(self) -> int:
+        raise NotImplementedError
+
+    def _tail_range(self, num_rows: int) -> RangeList:
+        if num_rows > self.last_cached_row:
+            return RangeList([(self.last_cached_row, num_rows)])
+        return RangeList.empty()
+
+
+class RangeSliceState(SliceState):
+    """Bounded list of merged row ranges (§4.1.1)."""
+
+    __slots__ = ("ranges", "last_cached_row", "max_ranges")
+
+    def __init__(
+        self, qualifying: RangeList, scanned_upto: int, max_ranges: int
+    ) -> None:
+        self.max_ranges = max_ranges
+        self.ranges = qualifying.coalesce(max_ranges)
+        self.last_cached_row = scanned_upto
+
+    def candidates(self, num_rows: int) -> RangeList:
+        return self.ranges.union(self._tail_range(num_rows))
+
+    def cached_candidates(self) -> RangeList:
+        return self.ranges
+
+    def extend(self, tail_qualifying: RangeList, scanned_upto: int) -> None:
+        if scanned_upto < self.last_cached_row:
+            raise ValueError(
+                f"cannot shrink cached region from {self.last_cached_row} "
+                f"to {scanned_upto}"
+            )
+        merged = self.ranges.union(tail_qualifying.clip(self.last_cached_row, scanned_upto))
+        self.ranges = merged.coalesce(self.max_ranges)
+        self.last_cached_row = scanned_upto
+
+    @property
+    def nbytes(self) -> int:
+        # Two 8-byte row ids per range plus the watermark.
+        return self.ranges.nbytes + 8
+
+
+class BitmapSliceState(SliceState):
+    """One bit per block of ``block_size`` rows (§4.1.2)."""
+
+    __slots__ = ("bits", "last_cached_row", "block_size")
+
+    def __init__(
+        self, qualifying: RangeList, scanned_upto: int, block_size: int
+    ) -> None:
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.block_size = block_size
+        self.bits = np.zeros(self._num_blocks(scanned_upto), dtype=bool)
+        self.last_cached_row = scanned_upto
+        self._set_bits(qualifying)
+
+    def _num_blocks(self, num_rows: int) -> int:
+        return (num_rows + self.block_size - 1) // self.block_size
+
+    def _set_bits(self, qualifying: RangeList) -> None:
+        for r in qualifying:
+            first = r.start // self.block_size
+            last = (r.end - 1) // self.block_size
+            self.bits[first : last + 1] = True
+
+    def candidates(self, num_rows: int) -> RangeList:
+        blocks = np.flatnonzero(self.bits)
+        size = self.block_size
+        cached = RangeList(
+            (int(b) * size, min((int(b) + 1) * size, self.last_cached_row))
+            for b in blocks
+        )
+        return cached.union(self._tail_range(num_rows))
+
+    def cached_candidates(self) -> RangeList:
+        blocks = np.flatnonzero(self.bits)
+        size = self.block_size
+        return RangeList(
+            (int(b) * size, min((int(b) + 1) * size, self.last_cached_row))
+            for b in blocks
+        )
+
+    def extend(self, tail_qualifying: RangeList, scanned_upto: int) -> None:
+        if scanned_upto < self.last_cached_row:
+            raise ValueError(
+                f"cannot shrink cached region from {self.last_cached_row} "
+                f"to {scanned_upto}"
+            )
+        needed = self._num_blocks(scanned_upto)
+        if needed > len(self.bits):
+            grown = np.zeros(needed, dtype=bool)
+            grown[: len(self.bits)] = self.bits
+            self.bits = grown
+        self._set_bits(tail_qualifying.clip(self.last_cached_row, scanned_upto))
+        self.last_cached_row = scanned_upto
+
+    @property
+    def nbytes(self) -> int:
+        # One bit per block plus the watermark.
+        return (len(self.bits) + 7) // 8 + 8
+
+
+class CacheEntry:
+    """One predicate-cache entry: per-slice states plus bookkeeping."""
+
+    __slots__ = (
+        "key",
+        "slice_states",
+        "build_versions",
+        "hits",
+        "rows_qualifying",
+        "rows_considered",
+    )
+
+    def __init__(self, key, num_slices: int, build_versions: dict) -> None:
+        self.key = key
+        self.slice_states: List[Optional[SliceState]] = [None] * num_slices
+        # data_version of each build-side table at entry creation; a
+        # mismatch at lookup time means the semi-join filter contents
+        # may have changed and the entry is stale (§4.4).
+        self.build_versions = dict(build_versions)
+        self.hits = 0
+        self.rows_qualifying = 0
+        self.rows_considered = 0
+
+    @property
+    def complete(self) -> bool:
+        """True once every slice has recorded state."""
+        return all(state is not None for state in self.slice_states)
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of considered rows that qualified (1.0 if unknown).
+
+        Drives the "choose the most selective matching entry" rule of
+        §4.4 when both a plain and a join-index entry match.
+        """
+        if self.rows_considered == 0:
+            return 1.0
+        return self.rows_qualifying / self.rows_considered
+
+    @property
+    def nbytes(self) -> int:
+        return sum(s.nbytes for s in self.slice_states if s is not None)
+
+    def record_scan_stats(self, qualifying: int, considered: int) -> None:
+        self.rows_qualifying += qualifying
+        self.rows_considered += considered

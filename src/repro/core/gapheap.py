@@ -1,0 +1,107 @@
+"""Online bounded-range construction via a heap of the largest gaps.
+
+The paper (§4.1.1) limits the number of ranges stored per cache entry.
+While the scan streams qualifying row ranges, a bounded min-heap tracks
+the *largest gaps* between qualifying rows; after the scan the kept gaps
+are complemented into at most ``max_ranges`` merged ranges.
+
+Merging only ever *adds* rows to the cached ranges (false positives); it
+never drops a qualifying row (no false negatives), which is the safety
+property the predicate cache relies on — the vectorized scan re-checks
+the predicate on cached rows.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from .rowrange import RangeList, RowRange
+
+__all__ = ["GapHeapRangeBuilder"]
+
+
+class GapHeapRangeBuilder:
+    """Builds a bounded :class:`RangeList` from streamed qualifying ranges.
+
+    Feed qualifying ranges in ascending row order with :meth:`add`; call
+    :meth:`finish` once to obtain the merged result.  At most
+    ``max_ranges`` ranges are produced, by keeping the ``max_ranges - 1``
+    widest gaps seen between consecutive qualifying ranges.
+
+    Example:
+        >>> b = GapHeapRangeBuilder(max_ranges=2)
+        >>> for r in [(0, 2), (4, 6), (100, 110)]:
+        ...     b.add(*r)
+        >>> b.finish().to_pairs()
+        [(0, 6), (100, 110)]
+    """
+
+    def __init__(self, max_ranges: int) -> None:
+        if max_ranges < 1:
+            raise ValueError("max_ranges must be >= 1")
+        self.max_ranges = max_ranges
+        # Min-heap of (gap_width, gap_start, gap_end) keeping the largest
+        # max_ranges - 1 gaps.
+        self._gaps: List[Tuple[int, int, int]] = []
+        self._first_start: Optional[int] = None
+        self._last_end: Optional[int] = None
+        self._finished = False
+
+    @property
+    def rows_seen(self) -> int:
+        """Number of rows spanned so far ignoring gaps (diagnostics)."""
+        if self._first_start is None or self._last_end is None:
+            return 0
+        return self._last_end - self._first_start
+
+    def add(self, start: int, end: int) -> None:
+        """Stream the next qualifying range ``[start, end)``.
+
+        Ranges must arrive in ascending, non-overlapping order.
+        """
+        if self._finished:
+            raise RuntimeError("builder already finished")
+        if end <= start:
+            return
+        if self._last_end is not None and start < self._last_end:
+            raise ValueError(
+                f"ranges must be streamed in ascending order; "
+                f"got start {start} < previous end {self._last_end}"
+            )
+        if self._first_start is None:
+            self._first_start = start
+        elif start > self._last_end:  # a gap between qualifying runs
+            self._push_gap(self._last_end, start)
+        self._last_end = end
+
+    def add_range_list(self, ranges: RangeList) -> None:
+        """Stream every range of a :class:`RangeList`."""
+        for r in ranges:
+            self.add(r.start, r.end)
+
+    def _push_gap(self, gap_start: int, gap_end: int) -> None:
+        width = gap_end - gap_start
+        entry = (width, gap_start, gap_end)
+        if len(self._gaps) < self.max_ranges - 1:
+            heapq.heappush(self._gaps, entry)
+        elif self._gaps and width > self._gaps[0][0]:
+            heapq.heapreplace(self._gaps, entry)
+        # else: gap is smaller than all kept gaps -> merged over.
+
+    def finish(self) -> RangeList:
+        """Complement the kept gaps into the final bounded range list."""
+        self._finished = True
+        if self._first_start is None:
+            return RangeList.empty()
+        assert self._last_end is not None
+        kept = sorted((start, end) for _, start, end in self._gaps)
+        ranges: List[RowRange] = []
+        cursor = self._first_start
+        for gap_start, gap_end in kept:
+            ranges.append(RowRange(cursor, gap_start))
+            cursor = gap_end
+        ranges.append(RowRange(cursor, self._last_end))
+        result = RangeList.__new__(RangeList)
+        result._ranges = ranges
+        return result

@@ -1,0 +1,99 @@
+"""Cache keys: scan expressions, optionally extended with semi-join filters.
+
+The predicate cache is an inverted index from *scan expressions* to row
+ranges (§4.1).  A plain key is ``(table, canonical predicate string)``.
+The join-index extension (§4.4) widens the key with a description of the
+semi-join filter: the join predicate plus the *build side* — its table,
+its filter predicate, and (recursively) any semi-join filter that was
+applied to the build side itself.  The paper renders this as a nested
+key; we reproduce the same structure as a canonical string.
+
+Keys are plain frozen dataclasses so they hash cheaply and can be logged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+__all__ = ["SemiJoinDescriptor", "ScanKey"]
+
+
+@dataclass(frozen=True)
+class SemiJoinDescriptor:
+    """Describes one semi-join filter applied during a scan.
+
+    Attributes:
+        join_predicate: canonical text of the equi-join condition, e.g.
+            ``"o_orderkey = l_orderkey"``.
+        build_table: name of the build-side relation.
+        build_predicate_key: canonical key of the build side's filter
+            (``"TRUE"`` for an unfiltered build side).
+        build_semijoins: semi-join filters that restricted the build
+            side itself (snowflake chains), in canonical order.
+    """
+
+    join_predicate: str
+    build_table: str
+    build_predicate_key: str = "TRUE"
+    build_semijoins: Tuple["SemiJoinDescriptor", ...] = ()
+
+    def key(self) -> str:
+        """Canonical string, mirroring the paper's nested key layout."""
+        inner = f"table={self.build_table}; filter={self.build_predicate_key}"
+        if self.build_semijoins:
+            nested = ", ".join(s.key() for s in self.build_semijoins)
+            inner += f"; semijoins=[{nested}]"
+        return f"<semijoin pred={self.join_predicate!r} build=({inner})>"
+
+    def referenced_tables(self) -> FrozenSet[str]:
+        """All build-side tables, recursively — the invalidation scope.
+
+        A semi-join cache entry depends on the *content* of every build
+        table in the chain: any insert/delete/update there changes which
+        probe rows have join partners (§4.4).
+        """
+        tables = {self.build_table}
+        for nested in self.build_semijoins:
+            tables |= nested.referenced_tables()
+        return frozenset(tables)
+
+
+@dataclass(frozen=True)
+class ScanKey:
+    """The full predicate-cache key for one base-table scan."""
+
+    table: str
+    predicate_key: str
+    semijoins: Tuple[SemiJoinDescriptor, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Canonical order so that filter arrival order does not split
+        # cache entries.
+        ordered = tuple(sorted(self.semijoins, key=lambda s: s.key()))
+        object.__setattr__(self, "semijoins", ordered)
+
+    @property
+    def is_join_key(self) -> bool:
+        return bool(self.semijoins)
+
+    def base_key(self) -> "ScanKey":
+        """The same scan without semi-join filters (fallback lookup)."""
+        return ScanKey(self.table, self.predicate_key)
+
+    def referenced_tables(self) -> FrozenSet[str]:
+        """Tables whose *data* changes invalidate this entry."""
+        tables: FrozenSet[str] = frozenset()
+        for semijoin in self.semijoins:
+            tables |= semijoin.referenced_tables()
+        return tables
+
+    def key(self) -> str:
+        text = f"scan table={self.table}; filter={self.predicate_key}"
+        if self.semijoins:
+            nested = ", ".join(s.key() for s in self.semijoins)
+            text += f"; semijoins=[{nested}]"
+        return text
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.key()

@@ -1,0 +1,120 @@
+"""Admission policies: which predicates are worth caching (§4.1.2).
+
+The paper's prototype "caches all predicates pushed into the table
+scans" and notes that *"a cost-based optimizer could decide which
+predicates to cache based on the selectivity and repetitiveness"*.
+This module implements that extension:
+
+* :class:`AlwaysAdmit` — the prototype's behaviour (default),
+* :class:`CostBasedPolicy` — admit a scan key only once it has been
+  *seen* enough times (repetitiveness) and its observed selectivity is
+  low enough that skipping pays (an unselective entry qualifies almost
+  every block and saves nothing).
+
+Policies are consulted by the scan path before an entry is created;
+rejected scans are *observed* (count + selectivity) so they can qualify
+later.  The ablation bench compares memory footprint and hit quality of
+the two policies on a workload mixing hot dashboards with one-off
+exploration queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .keys import ScanKey
+
+__all__ = ["AdmissionPolicy", "AlwaysAdmit", "CostBasedPolicy"]
+
+
+class AdmissionPolicy:
+    """Interface: decide whether a scan key deserves a cache entry."""
+
+    def should_admit(self, key: ScanKey) -> bool:
+        raise NotImplementedError
+
+    def observe(self, key: ScanKey, selectivity: float) -> None:
+        """Record one execution of the scan (admitted or not)."""
+
+    def forget(self, key: ScanKey) -> None:
+        """Drop observation state (entry invalidated)."""
+
+
+class AlwaysAdmit(AdmissionPolicy):
+    """The prototype's policy: every filtered scan gets an entry."""
+
+    def should_admit(self, key: ScanKey) -> bool:
+        return True
+
+    def observe(self, key: ScanKey, selectivity: float) -> None:
+        pass
+
+    def forget(self, key: ScanKey) -> None:
+        pass
+
+
+@dataclass
+class _Observation:
+    sightings: int = 0
+    selectivity: float = 1.0
+
+
+class CostBasedPolicy(AdmissionPolicy):
+    """Admit repetitive, selective scans only.
+
+    Args:
+        min_sightings: executions of a scan key before an entry is
+            created (``2`` = cache on the first repeat; ``1`` = always).
+        max_selectivity: entries whose scans qualify more than this
+            fraction of rows are not worth the memory (their candidate
+            ranges cover nearly the whole table anyway).
+        max_tracked: bound on observation-table size (LRU-ish trim).
+    """
+
+    def __init__(
+        self,
+        min_sightings: int = 2,
+        max_selectivity: float = 0.5,
+        max_tracked: int = 100_000,
+    ) -> None:
+        if min_sightings < 1:
+            raise ValueError("min_sightings must be >= 1")
+        if not 0.0 < max_selectivity <= 1.0:
+            raise ValueError("max_selectivity must be in (0, 1]")
+        self.min_sightings = min_sightings
+        self.max_selectivity = max_selectivity
+        self.max_tracked = max_tracked
+        self._observations: Dict[ScanKey, _Observation] = {}
+        self.admissions = 0
+        self.rejections = 0
+
+    def should_admit(self, key: ScanKey) -> bool:
+        observation = self._observations.get(key)
+        if observation is None or observation.sightings < self.min_sightings - 1:
+            self.rejections += 1
+            return False
+        if observation.selectivity > self.max_selectivity:
+            self.rejections += 1
+            return False
+        self.admissions += 1
+        return True
+
+    def observe(self, key: ScanKey, selectivity: float) -> None:
+        observation = self._observations.get(key)
+        if observation is None:
+            if len(self._observations) >= self.max_tracked:
+                # Trim the oldest half (insertion order ~ recency here).
+                for stale in list(self._observations)[: self.max_tracked // 2]:
+                    del self._observations[stale]
+            observation = _Observation()
+            self._observations[key] = observation
+        observation.sightings += 1
+        observation.selectivity = selectivity
+
+    def forget(self, key: ScanKey) -> None:
+        self._observations.pop(key, None)
+
+    @property
+    def tracked_keys(self) -> int:
+        return len(self._observations)

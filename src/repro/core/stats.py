@@ -1,0 +1,38 @@
+"""Predicate-cache statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters for cache behaviour.
+
+    ``hit_rate`` is hits over lookups — the paper's Fig. 13 metric.
+    """
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    extensions: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+    stale_rejections: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(**vars(self))
+
+    def delta(self, before: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            **{k: getattr(self, k) - getattr(before, k) for k in vars(self)}
+        )

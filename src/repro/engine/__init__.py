@@ -1,0 +1,40 @@
+"""Distributed-warehouse query engine (single-process analogue).
+
+Implements Redshift's scan and join machinery the paper integrates with
+(§4.2): the two-step scan (zone-map pruning, then vectorized predicate
+evaluation producing row ranges), hash joins with Bloom semi-join
+filters pushed into probe-side scans, aggregation, and a cost model in
+which remote block fetches dominate.  The predicate cache plugs into the
+scan path exactly as the paper's Fig. 11 describes.
+"""
+
+from .cost import CostModel
+from .counters import QueryCounters
+from .engine import QueryEngine, QueryResult
+from .plan import (
+    AggregateNode,
+    Aggregation,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+
+__all__ = [
+    "AggregateNode",
+    "Aggregation",
+    "CostModel",
+    "FilterNode",
+    "JoinNode",
+    "LimitNode",
+    "PlanNode",
+    "ProjectNode",
+    "QueryCounters",
+    "QueryEngine",
+    "QueryResult",
+    "ScanNode",
+    "SortNode",
+]

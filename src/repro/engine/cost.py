@@ -1,0 +1,54 @@
+"""Cost model: counters to modeled runtime.
+
+The paper's testbed is a 4-node ra3.16xlarge cluster; wall-clock numbers
+from a single-process Python engine cannot match it.  Instead, "runtime"
+is derived from the engine's exact work counters with weights shaped
+like a cloud warehouse: a remote block fetch costs orders of magnitude
+more than scanning a row, and local block reads sit in between.  The
+weights are configurable; benchmarks report both modeled runtime and
+wall time, and all speedup claims are checked on the counters too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .counters import QueryCounters
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Linear cost model over query counters.
+
+    Default weights approximate a cloud columnar warehouse:
+
+    * ``remote_fetch_cost`` — fetching one compressed block from managed
+      storage (network + decompress), ~1 ms.
+    * ``local_block_cost`` — reading one locally cached block, ~50 µs.
+    * ``row_scan_cost`` — predicate-evaluating one row (vectorized),
+      ~5 ns.
+    * ``row_join_cost`` — probing one row through a hash join, ~20 ns.
+    * ``row_output_cost`` — materializing one result row, ~50 ns.
+    * ``query_overhead`` — parse/plan/dispatch floor, ~2 ms.
+    """
+
+    remote_fetch_cost: float = 1.0e-3
+    local_block_cost: float = 5.0e-5
+    row_scan_cost: float = 5.0e-9
+    row_join_cost: float = 2.0e-8
+    row_output_cost: float = 5.0e-8
+    query_overhead: float = 2.0e-3
+
+    def runtime(self, counters: QueryCounters) -> float:
+        """Modeled runtime in seconds for one query's counters."""
+        local_blocks = counters.blocks_accessed - counters.remote_fetches
+        return (
+            self.query_overhead
+            + counters.remote_fetches * self.remote_fetch_cost
+            + max(0, local_blocks) * self.local_block_cost
+            + counters.rows_scanned * self.row_scan_cost
+            + counters.rows_joined * self.row_join_cost
+            + counters.rows_output * self.row_output_cost
+        )

@@ -1,0 +1,51 @@
+"""Per-query execution counters.
+
+These counters are the reproduction's primary results: the paper's
+Table 4 reports *runtime*, *rows scanned*, and *blocks accessed* — the
+latter two are exact counts here, and runtime is derived from them via
+the :class:`~repro.engine.cost.CostModel` (plus measured wall time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["QueryCounters"]
+
+
+@dataclass
+class QueryCounters:
+    """Counters accumulated while executing one query."""
+
+    rows_scanned: int = 0
+    rows_qualifying: int = 0
+    rows_joined: int = 0
+    rows_output: int = 0
+    blocks_accessed: int = 0
+    remote_fetches: int = 0
+    bytes_fetched: int = 0
+    blocks_pruned_zonemap: int = 0
+    rows_skipped_cache: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    result_cache_hit: bool = False
+    wall_seconds: float = 0.0
+    model_seconds: float = 0.0
+
+    def merge(self, other: "QueryCounters") -> None:
+        """Accumulate another counter set (sub-plan into query totals)."""
+        self.rows_scanned += other.rows_scanned
+        self.rows_qualifying += other.rows_qualifying
+        self.rows_joined += other.rows_joined
+        self.rows_output += other.rows_output
+        self.blocks_accessed += other.blocks_accessed
+        self.remote_fetches += other.remote_fetches
+        self.bytes_fetched += other.bytes_fetched
+        self.blocks_pruned_zonemap += other.blocks_pruned_zonemap
+        self.rows_skipped_cache += other.rows_skipped_cache
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(vars(self))

@@ -1,0 +1,278 @@
+"""The query engine facade (the "leader node").
+
+:class:`QueryEngine` ties together the database, the executor, the
+predicate cache, an optional result cache, and the cost model.  It is
+the public entry point examples and benchmarks use:
+
+    engine = QueryEngine(db, predicate_cache=PredicateCache())
+    result = engine.execute_plan(plan)       # or engine.execute(sql)
+    result.counters.rows_scanned, result.counters.model_seconds
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.cache import PredicateCache
+from ..core.rowrange import RangeList
+from ..predicates.ast import Predicate, TruePredicate
+from ..storage.database import Database
+from .cost import CostModel
+from .counters import QueryCounters
+from .executor import Batch, Executor, _batch_len
+from .plan import PlanNode, ScanNode
+from .scan import execute_scan
+
+__all__ = ["QueryEngine", "QueryResult"]
+
+
+def _normalize_sql(sql: str) -> str:
+    """Whitespace-insensitive, case-insensitive result-cache key.
+
+    Matching the paper's result cache: a hit requires the *same
+    statement including parameters* — no structural generalization.
+    """
+    return " ".join(sql.split()).rstrip(";").lower()
+
+
+@dataclass
+class QueryResult:
+    """Columns plus the execution counters of one query."""
+
+    columns: Dict[str, np.ndarray]
+    column_order: List[str]
+    counters: QueryCounters
+
+    @property
+    def num_rows(self) -> int:
+        return _batch_len(self.columns)
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    def rows(self) -> List[Tuple]:
+        """Materialize as a list of row tuples (column order preserved)."""
+        arrays = [self.columns[name] for name in self.column_order]
+        return [tuple(a[i] for a in arrays) for i in range(self.num_rows)]
+
+    def scalar(self):
+        """The single value of a 1x1 result."""
+        if self.num_rows != 1 or len(self.column_order) != 1:
+            raise ValueError(
+                f"scalar() needs a 1x1 result, got "
+                f"{self.num_rows}x{len(self.column_order)}"
+            )
+        return self.columns[self.column_order[0]][0]
+
+
+class QueryEngine:
+    """Executes plans and DML against a database, with caching layers."""
+
+    def __init__(
+        self,
+        database: Database,
+        predicate_cache: Optional[PredicateCache] = None,
+        result_cache=None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.database = database
+        self.predicate_cache = predicate_cache
+        self.result_cache = result_cache
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self._executor = Executor(database, predicate_cache)
+
+    # -- queries ------------------------------------------------------------------
+
+    def execute(self, sql: str) -> QueryResult:
+        """Parse, plan, and run one SQL statement.
+
+        SELECTs go through the result cache (when configured) keyed by
+        the normalized statement text; DML returns a single-column
+        ``affected`` result.
+        """
+        from ..sql import (
+            AnalyzeStatement,
+            DeleteStatement,
+            InsertStatement,
+            SelectStatement,
+            UpdateStatement,
+            VacuumStatement,
+            parse_statement,
+            plan_select,
+        )
+
+        statement = parse_statement(sql)
+        if isinstance(statement, SelectStatement):
+            plan = plan_select(statement, self.database)
+            return self.execute_plan(plan, cache_key=_normalize_sql(sql))
+        if isinstance(statement, InsertStatement):
+            table = self.database.table(statement.table)
+            columns = statement.columns or table.schema.column_names
+            if any(len(row) != len(columns) for row in statement.rows):
+                raise ValueError("VALUES row width does not match column list")
+            rows = {
+                name: [row[i] for row in statement.rows]
+                for i, name in enumerate(columns)
+            }
+            # Unlisted columns are not supported (no NULL defaults here).
+            missing = set(table.schema.column_names) - set(columns)
+            if missing:
+                raise ValueError(f"INSERT must provide columns {sorted(missing)}")
+            return self._dml_result(self.insert(statement.table, rows))
+        if isinstance(statement, DeleteStatement):
+            predicate = statement.predicate or TruePredicate()
+            return self._dml_result(self.delete_where(statement.table, predicate))
+        if isinstance(statement, UpdateStatement):
+            predicate = statement.predicate or TruePredicate()
+            return self._dml_result(
+                self.update_where(
+                    statement.table, predicate, dict(statement.assignments)
+                )
+            )
+        if isinstance(statement, VacuumStatement):
+            changed = self.vacuum([statement.table] if statement.table else None)
+            return self._dml_result(len(changed))
+        if isinstance(statement, AnalyzeStatement):
+            analyzed = self.database.analyze(
+                [statement.table] if statement.table else None
+            )
+            return self._dml_result(len(analyzed))
+        raise TypeError(f"unhandled statement {type(statement).__name__}")
+
+    def _dml_result(self, affected: int) -> QueryResult:
+        counters = QueryCounters()
+        counters.rows_output = 1
+        return QueryResult(
+            {"affected": np.array([affected])}, ["affected"], counters
+        )
+
+    def execute_plan(
+        self, plan: PlanNode, cache_key: Optional[str] = None
+    ) -> QueryResult:
+        """Execute a plan tree.
+
+        ``cache_key`` enables the result cache: identical keys over
+        unchanged tables return the stored result without execution
+        (§3.1).  SQL execution passes the statement text.
+        """
+        counters = QueryCounters()
+        if self.result_cache is not None and cache_key is not None:
+            versions = self._table_versions(plan)
+            hit = self.result_cache.lookup(cache_key, versions)
+            if hit is not None:
+                counters.result_cache_hit = True
+                counters.model_seconds = self.cost_model.query_overhead
+                columns, order = hit
+                return QueryResult(dict(columns), list(order), counters)
+
+        started = time.perf_counter()
+        storage_before = self.database.rms.stats.snapshot()
+        txid = self.database.begin()
+        batch = self._executor.execute(plan, txid, counters)
+        order = self._output_order(plan, batch)
+        counters.rows_output = _batch_len(batch)
+        storage_delta = self.database.rms.stats.delta(storage_before)
+        counters.blocks_accessed += storage_delta.blocks_accessed
+        counters.remote_fetches += storage_delta.remote_fetches
+        counters.bytes_fetched += storage_delta.bytes_fetched
+        counters.wall_seconds = time.perf_counter() - started
+        counters.model_seconds = self.cost_model.runtime(counters)
+
+        if self.result_cache is not None and cache_key is not None:
+            self.result_cache.store(
+                cache_key, self._table_versions(plan), (batch, order)
+            )
+        return QueryResult(batch, order, counters)
+
+    def _output_order(self, plan: PlanNode, batch: Batch) -> List[str]:
+        try:
+            order = plan.output_columns()
+        except ValueError:
+            order = sorted(batch)
+        return [name for name in order if name in batch] + [
+            name for name in sorted(batch) if name not in order
+        ]
+
+    def _table_versions(self, plan: PlanNode) -> Dict[str, int]:
+        return {
+            name: self.database.table(name).data_version
+            for name in plan.referenced_tables()
+        }
+
+    # -- DML ---------------------------------------------------------------------
+
+    def insert(self, table_name: str, rows: Mapping[str, Sequence[object]]) -> int:
+        """Insert rows; returns the number of rows added."""
+        txid = self.database.begin()
+        return self.database.table(table_name).insert(rows, txid)
+
+    def delete_where(self, table_name: str, predicate: Predicate) -> int:
+        """MVCC-delete every visible row matching ``predicate``."""
+        table = self.database.table(table_name)
+        read_txid = self.database.begin()
+        counters = QueryCounters()
+        # Deletes bypass the predicate cache: reusing a cached entry here
+        # would be correct (false positives re-checked), but Redshift's
+        # prototype hooks only the SELECT scan path.
+        result = execute_scan(table, predicate, read_txid, counters, cache=None)
+        write_txid = self.database.begin()
+        deleted = 0
+        for slice_id, qualifying in enumerate(result.per_slice):
+            if qualifying:
+                deleted += table.delete_local_rows(
+                    slice_id, qualifying.to_row_ids(), write_txid
+                )
+        return deleted
+
+    def update_where(
+        self,
+        table_name: str,
+        predicate: Predicate,
+        assignments: Mapping[str, object],
+    ) -> int:
+        """Update = MVCC delete + append of new row versions (§4.3.3)."""
+        table = self.database.table(table_name)
+        unknown = set(assignments) - set(table.schema.column_names)
+        if unknown:
+            raise ValueError(f"unknown columns in UPDATE: {sorted(unknown)}")
+        read_txid = self.database.begin()
+        counters = QueryCounters()
+        result = execute_scan(table, predicate, read_txid, counters, cache=None)
+        old_rows = result.gather(table.schema.column_names)
+        count = _batch_len(old_rows)
+        if count == 0:
+            return 0
+        write_txid = self.database.begin()
+        for slice_id, qualifying in enumerate(result.per_slice):
+            if qualifying:
+                table.delete_local_rows(slice_id, qualifying.to_row_ids(), write_txid)
+        new_rows = dict(old_rows)
+        for name, value in assignments.items():
+            new_rows[name] = np.full(count, value, dtype=old_rows[name].dtype)
+        table.insert(new_rows, write_txid)
+        return count
+
+    def vacuum(self, tables: Optional[Sequence[str]] = None) -> List[str]:
+        """Physically reclaim deleted rows (invalidates cache entries)."""
+        return self.database.vacuum(tables)
+
+    # -- introspection -----------------------------------------------------------
+
+    def explain(self, sql: str) -> str:
+        """Plan a SELECT and render its plan tree (no execution)."""
+        from ..sql import SelectStatement, parse_statement, plan_select
+        from .explain import explain as render
+
+        statement = parse_statement(sql)
+        if not isinstance(statement, SelectStatement):
+            raise ValueError("EXPLAIN supports SELECT statements only")
+        return render(plan_select(statement, self.database))
+
+    def count_rows(self, table_name: str) -> int:
+        """Visible row count of a table at a fresh snapshot."""
+        txid = self.database.begin()
+        return self.database.table(table_name).visible_row_count(txid)

@@ -1,0 +1,53 @@
+"""EXPLAIN: render plan trees for inspection.
+
+``explain(plan)`` produces an indented tree like::
+
+    Aggregate(by=[], aggs=[sum->revenue])
+      HashJoin(l_partkey = p_partkey, semijoin=True)
+        Scan(lineitem, filter=l_quantity BETWEEN 35 AND 45)
+        Scan(part, filter=p_brand = 'Brand#45')
+
+and ``QueryEngine.explain(sql)`` plans a statement and renders it —
+useful for checking what was pushed down where (e.g. the Q19 implied
+disjunctions).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .plan import (
+    AggregateNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+
+__all__ = ["explain"]
+
+
+def explain(plan: PlanNode) -> str:
+    """An indented, human-readable rendering of a plan tree."""
+    lines: List[str] = []
+    _render(plan, 0, lines)
+    return "\n".join(lines)
+
+
+def _children(node: PlanNode) -> List[PlanNode]:
+    if isinstance(node, JoinNode):
+        return [node.probe, node.build]
+    for attribute in ("child",):
+        child = getattr(node, attribute, None)
+        if child is not None:
+            return [child]
+    return []
+
+
+def _render(node: PlanNode, depth: int, lines: List[str]) -> None:
+    lines.append("  " * depth + node.describe())
+    for child in _children(node):
+        _render(child, depth + 1, lines)

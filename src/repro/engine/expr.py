@@ -1,0 +1,176 @@
+"""Scalar expressions for projections and aggregate arguments.
+
+Filter *predicates* (boolean trees) live in :mod:`repro.predicates`;
+this module covers the value-typed expressions queries compute over
+qualifying rows — e.g. TPC-H Q6's ``sum(l_extendedprice * l_discount)``.
+Everything evaluates vectorized over a column batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Mapping, Union
+
+import numpy as np
+
+__all__ = ["Expr", "Col", "Const", "BinOp", "Func", "column", "const"]
+
+Batch = Mapping[str, np.ndarray]
+
+_BINARY_OPS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+}
+
+
+class Expr:
+    """Base class for scalar (value-typed) expressions."""
+
+    def evaluate(self, batch: Batch) -> np.ndarray:
+        raise NotImplementedError
+
+    def columns(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def label(self) -> str:
+        """Canonical text, used for output column naming and MV keys."""
+        raise NotImplementedError
+
+    def __add__(self, other: "Expr") -> "Expr":
+        return BinOp(self, "+", _coerce(other))
+
+    def __sub__(self, other: "Expr") -> "Expr":
+        return BinOp(self, "-", _coerce(other))
+
+    def __mul__(self, other: "Expr") -> "Expr":
+        return BinOp(self, "*", _coerce(other))
+
+    def __truediv__(self, other: "Expr") -> "Expr":
+        return BinOp(self, "/", _coerce(other))
+
+    def __rsub__(self, other: object) -> "Expr":
+        return BinOp(_coerce(other), "-", self)
+
+    def __rmul__(self, other: object) -> "Expr":
+        return BinOp(_coerce(other), "*", self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Expr({self.label()})"
+
+
+def _coerce(value: object) -> "Expr":
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(value)
+    raise TypeError(f"cannot use {value!r} in a scalar expression")
+
+
+@dataclass(frozen=True, slots=True)
+class Col(Expr):
+    """A column reference."""
+
+    name: str
+
+    def evaluate(self, batch: Batch) -> np.ndarray:
+        try:
+            return batch[self.name]
+        except KeyError:
+            raise KeyError(
+                f"column {self.name!r} missing from batch (have {sorted(batch)})"
+            ) from None
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def label(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Expr):
+    """A numeric constant."""
+
+    value: Union[int, float]
+
+    def evaluate(self, batch: Batch) -> np.ndarray:
+        return np.asarray(self.value)
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def label(self) -> str:
+        return repr(self.value) if isinstance(self.value, float) else str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(Expr):
+    """Arithmetic over two sub-expressions."""
+
+    left: Expr
+    op: str
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINARY_OPS:
+            raise ValueError(f"unsupported arithmetic operator {self.op!r}")
+
+    def evaluate(self, batch: Batch) -> np.ndarray:
+        return _BINARY_OPS[self.op](
+            self.left.evaluate(batch), self.right.evaluate(batch)
+        )
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def label(self) -> str:
+        return f"({self.left.label()} {self.op} {self.right.label()})"
+
+
+_SCALAR_FUNCS = ("year", "month", "abs")
+
+_EPOCH_YEAR = 1970
+
+
+@dataclass(frozen=True, slots=True)
+class Func(Expr):
+    """A scalar function call: ``year(expr)``, ``month(expr)``, ``abs``.
+
+    Date functions operate on the engine's date encoding (days since
+    1970-01-01), so ``year(l_shipdate)`` works directly on DATE columns.
+    """
+
+    name: str
+    arg: Expr
+
+    def __post_init__(self) -> None:
+        if self.name not in _SCALAR_FUNCS:
+            raise ValueError(f"unknown scalar function {self.name!r}")
+
+    def evaluate(self, batch: Batch) -> np.ndarray:
+        values = np.asarray(self.arg.evaluate(batch))
+        if self.name == "abs":
+            return np.abs(values)
+        days = values.astype("datetime64[D]")
+        if self.name == "year":
+            return days.astype("datetime64[Y]").astype(np.int64) + _EPOCH_YEAR
+        months = days.astype("datetime64[M]").astype(np.int64)
+        return months % 12 + 1
+
+    def columns(self) -> FrozenSet[str]:
+        return self.arg.columns()
+
+    def label(self) -> str:
+        return f"{self.name}({self.arg.label()})"
+
+
+def column(name: str) -> Col:
+    """Shorthand constructor for a column expression."""
+    return Col(name)
+
+
+def const(value: Union[int, float]) -> Const:
+    """Shorthand constructor for a constant."""
+    return Const(value)

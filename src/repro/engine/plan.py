@@ -1,0 +1,252 @@
+"""Query plan nodes.
+
+Plans are small logical trees executed directly by
+:mod:`repro.engine.executor`.  The shapes match what the reproduction
+needs: scans with pushed-down predicates, left-deep hash joins with the
+probe side on the left (fact table) and semi-join filter pushdown,
+grouped aggregation, sorting, limiting, and projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..predicates.ast import Predicate, TruePredicate
+from .expr import Col, Expr
+
+__all__ = [
+    "PlanNode",
+    "ScanNode",
+    "JoinNode",
+    "FilterNode",
+    "MapNode",
+    "AggregateNode",
+    "Aggregation",
+    "ProjectNode",
+    "SortNode",
+    "LimitNode",
+]
+
+_AGG_FUNCS = ("sum", "count", "avg", "min", "max", "count_distinct")
+
+
+class PlanNode:
+    """Base class for plan nodes."""
+
+    def output_columns(self) -> List[str]:
+        """Column names this node produces, in order."""
+        raise NotImplementedError
+
+    def referenced_tables(self) -> Set[str]:
+        """All base tables under this node (result-cache dependencies)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line plan description (EXPLAIN-style)."""
+        raise NotImplementedError
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """A base-table scan with a pushed-down filter predicate.
+
+    ``columns=None`` means "whatever the parent needs" — the executor
+    resolves the projection against the table schema.
+    """
+
+    table: str
+    predicate: Predicate = field(default_factory=TruePredicate)
+    columns: Optional[List[str]] = None
+
+    def output_columns(self) -> List[str]:
+        if self.columns is None:
+            raise ValueError(
+                f"scan of {self.table} has unresolved projection; "
+                "execute through QueryEngine which resolves it"
+            )
+        return list(self.columns)
+
+    def referenced_tables(self) -> Set[str]:
+        return {self.table}
+
+    def describe(self) -> str:
+        return f"Scan({self.table}, filter={self.predicate.cache_key()})"
+
+
+@dataclass
+class JoinNode(PlanNode):
+    """Hash inner equi-join.
+
+    ``probe`` (left) streams through the join; ``build`` (right) is
+    materialized into the hash table.  With ``semijoin=True`` a Bloom
+    filter over the build keys is pushed into the probe-side scan that
+    produces ``probe_key`` (§4.4).
+    """
+
+    probe: PlanNode
+    build: PlanNode
+    probe_key: str
+    build_key: str
+    semijoin: bool = True
+
+    def output_columns(self) -> List[str]:
+        left = self.probe.output_columns()
+        right = [c for c in self.build.output_columns() if c not in left]
+        return left + right
+
+    def referenced_tables(self) -> Set[str]:
+        return self.probe.referenced_tables() | self.build.referenced_tables()
+
+    def join_predicate_text(self) -> str:
+        """Canonical join condition, part of the join-index key."""
+        left, right = sorted((self.probe_key, self.build_key))
+        return f"{left} = {right}"
+
+    def describe(self) -> str:
+        return (
+            f"HashJoin({self.probe_key} = {self.build_key}, "
+            f"semijoin={self.semijoin})"
+        )
+
+
+@dataclass(frozen=True)
+class Aggregation:
+    """One aggregate: ``func(expr) AS alias``.
+
+    ``expr=None`` is ``count(*)``.
+    """
+
+    func: str
+    expr: Optional[Expr]
+    alias: str
+
+    def __post_init__(self) -> None:
+        if self.func not in _AGG_FUNCS:
+            raise ValueError(f"unknown aggregate function {self.func!r}")
+        if self.expr is None and self.func != "count":
+            raise ValueError(f"{self.func} requires an argument expression")
+
+    def input_columns(self) -> Set[str]:
+        return set(self.expr.columns()) if self.expr is not None else set()
+
+
+@dataclass
+class AggregateNode(PlanNode):
+    """Grouped aggregation."""
+
+    child: PlanNode
+    group_by: List[str]
+    aggregations: List[Aggregation]
+
+    def output_columns(self) -> List[str]:
+        return list(self.group_by) + [a.alias for a in self.aggregations]
+
+    def referenced_tables(self) -> Set[str]:
+        return self.child.referenced_tables()
+
+    def describe(self) -> str:
+        aggs = ", ".join(f"{a.func}->{a.alias}" for a in self.aggregations)
+        return f"Aggregate(by={self.group_by}, aggs=[{aggs}])"
+
+
+@dataclass
+class MapNode(PlanNode):
+    """Adds computed columns to the child's batch (keeps the rest).
+
+    Used for expression group-bys: ``group by year(l_shipdate)`` maps
+    the year onto each row before aggregation.
+    """
+
+    child: PlanNode
+    computations: List[Tuple[str, Expr]]
+
+    def output_columns(self) -> List[str]:
+        return self.child.output_columns() + [
+            alias for alias, _ in self.computations
+        ]
+
+    def referenced_tables(self) -> Set[str]:
+        return self.child.referenced_tables()
+
+    def describe(self) -> str:
+        rendered = ", ".join(
+            f"{alias}={expr.label()}" for alias, expr in self.computations
+        )
+        return f"Map({rendered})"
+
+
+@dataclass
+class FilterNode(PlanNode):
+    """A residual filter applied above its child (post-join).
+
+    Used for predicates that span multiple tables (e.g. TPC-H Q19's
+    disjunction): the planner pushes per-table *implied* disjunctions
+    into the scans and re-checks the full predicate here.
+    """
+
+    child: PlanNode
+    predicate: Predicate
+
+    def output_columns(self) -> List[str]:
+        return self.child.output_columns()
+
+    def referenced_tables(self) -> Set[str]:
+        return self.child.referenced_tables()
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate.cache_key()})"
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    """Compute expressions: ``(expr AS alias, ...)``."""
+
+    child: PlanNode
+    projections: List[Tuple[str, Expr]]
+
+    def output_columns(self) -> List[str]:
+        return [alias for alias, _ in self.projections]
+
+    def referenced_tables(self) -> Set[str]:
+        return self.child.referenced_tables()
+
+    def describe(self) -> str:
+        return f"Project({[alias for alias, _ in self.projections]})"
+
+
+@dataclass
+class SortNode(PlanNode):
+    """Sort by keys; each key is (column, ascending)."""
+
+    child: PlanNode
+    keys: List[Tuple[str, bool]]
+
+    def output_columns(self) -> List[str]:
+        return self.child.output_columns()
+
+    def referenced_tables(self) -> Set[str]:
+        return self.child.referenced_tables()
+
+    def describe(self) -> str:
+        rendered = ", ".join(
+            f"{col} {'asc' if asc else 'desc'}" for col, asc in self.keys
+        )
+        return f"Sort({rendered})"
+
+
+@dataclass
+class LimitNode(PlanNode):
+    """Keep the first ``count`` rows."""
+
+    child: PlanNode
+    count: int
+
+    def output_columns(self) -> List[str]:
+        return self.child.output_columns()
+
+    def referenced_tables(self) -> Set[str]:
+        return self.child.referenced_tables()
+
+    def describe(self) -> str:
+        return f"Limit({self.count})"

@@ -1,0 +1,393 @@
+"""The two-step table scan with predicate-cache integration (Fig. 11).
+
+Scan flow per data slice:
+
+1. **Cache probe** — the scan offers its join-extended key and its plain
+   key to the predicate cache and takes the most selective live entry.
+2. **Range restriction** — on a hit, candidate rows come from the cached
+   entry (cached qualifying ranges plus the uncached appended tail) and
+   the zone-map step is skipped; on a miss, zone maps prune whole blocks
+   whose min/max bounds cannot satisfy the predicate.
+3. **Vectorized scan** — the predicate (and any semi-join Bloom filters)
+   is evaluated on the candidate rows; cached false positives are
+   eliminated here, as is MVCC visibility.
+4. **Cache fill** — the qualifying row ranges (which the scan produced
+   anyway) are inserted back into the cache: the join-extended entry
+   always, the plain entry whenever the scan's candidate set covers it.
+
+Step 4's coverage rule keeps entries sound: a scan restricted by a
+*join* entry's candidates has not evaluated the bare predicate outside
+those candidates, so it must not write the plain entry.  A scan
+restricted by the *plain* entry covers every join-qualifying row (the
+join result is a subset of the predicate result), so it may write both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.cache import PredicateCache
+from ..core.keys import ScanKey, SemiJoinDescriptor
+from ..core.rowrange import RangeList
+from ..predicates.ast import Predicate, TruePredicate
+from ..storage.rms import ManagedStorage
+from ..storage.slice import DataSlice
+from ..storage.table import Table
+from .bloom import BloomFilter
+from .counters import QueryCounters
+
+__all__ = ["SemiJoinFilter", "ScanResult", "execute_scan"]
+
+
+@dataclass
+class SemiJoinFilter:
+    """A runtime semi-join filter pushed into a probe-side scan."""
+
+    probe_column: str
+    bloom: BloomFilter
+    descriptor: Optional[SemiJoinDescriptor]
+    build_versions: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ScanResult:
+    """Qualifying rows of one scan, per slice, plus gather support."""
+
+    table: Table
+    per_slice: List[RangeList]
+    txid: int
+
+    @property
+    def num_rows(self) -> int:
+        return sum(r.num_rows for r in self.per_slice)
+
+    def gather(self, columns: Sequence[str]) -> Dict[str, np.ndarray]:
+        """Materialize the given columns of all qualifying rows.
+
+        Reads go through managed storage (block accesses are counted) —
+        this is step (6) of Fig. 11, loading and decompressing only the
+        required columns of qualifying rows.  The virtual column
+        ``"__rows__"`` yields a zero array of the right length without
+        touching storage (used by ``count(*)``-only plans).
+        """
+        if list(columns) == ["__rows__"]:
+            return {"__rows__": np.zeros(self.num_rows, dtype=np.int8)}
+        out: Dict[str, List[np.ndarray]] = {name: [] for name in columns}
+        for s, qualifying in zip(self.table.slices, self.per_slice):
+            if not qualifying:
+                continue
+            for name in columns:
+                out[name].append(s.columns[name].read_ranges(qualifying, self.table.rms))
+        result: Dict[str, np.ndarray] = {}
+        for name in columns:
+            pieces = out[name]
+            if not pieces:
+                result[name] = s_empty(self.table, name)
+            elif self.table.schema.dtype_of(name).numpy_dtype == object:
+                result[name] = np.concatenate([np.asarray(p, dtype=object) for p in pieces])
+            else:
+                result[name] = np.concatenate(pieces)
+        return result
+
+
+def s_empty(table: Table, column: str) -> np.ndarray:
+    dtype = table.schema.dtype_of(column).numpy_dtype
+    return np.empty(0, dtype=dtype)
+
+
+def execute_scan(
+    table: Table,
+    predicate: Predicate,
+    txid: int,
+    counters: QueryCounters,
+    cache: Optional[PredicateCache] = None,
+    semijoins: Sequence[SemiJoinFilter] = (),
+    current_versions: Optional[Mapping[str, int]] = None,
+) -> ScanResult:
+    """Run the two-step scan over every slice of ``table``.
+
+    Args:
+        table: the relation to scan.
+        predicate: the pushed-down filter (``TruePredicate`` for none).
+        txid: MVCC visibility snapshot.
+        counters: query counters to accumulate into.
+        cache: the predicate cache, or None to disable caching entirely.
+        semijoins: Bloom filters pushed down from hash joins (§4.4).
+        current_versions: data versions of semi-join build tables, for
+            stale-entry rejection.
+
+    Returns:
+        Per-slice qualifying row ranges (post predicate, semi-join
+        filters, and visibility).
+    """
+    predicate_key = predicate.cache_key()
+    if cache is not None and cache.config.normalize_keys:
+        from ..predicates.normalize import normalize
+
+        predicate_key = normalize(predicate).cache_key()
+    plain_key = ScanKey(table.name, predicate_key)
+    join_key: Optional[ScanKey] = None
+    build_versions: Dict[str, int] = {}
+    # A join key must describe *every* filter the scan applies; filters
+    # without a descriptor (undescribable build sides) disable it.
+    if semijoins and all(sj.descriptor is not None for sj in semijoins):
+        join_key = ScanKey(
+            table.name,
+            predicate_key,
+            tuple(sj.descriptor for sj in semijoins),
+        )
+        for sj in semijoins:
+            build_versions.update(sj.build_versions)
+
+    # A multi-node cluster routes each slice to its owning node's
+    # cache (``cache_for_slice``); a plain PredicateCache serves every
+    # slice — the single-node special case.
+    per_node = cache is not None and hasattr(cache, "cache_for_slice")
+
+    # Columns the vectorized scan needs.
+    scan_columns = sorted(predicate.columns() | {sj.probe_column for sj in semijoins})
+
+    shared_context: Optional[_SliceCacheContext] = None
+    if cache is not None and not per_node:
+        shared_context = _prepare_cache_context(
+            cache, table, predicate, plain_key, join_key,
+            build_versions, current_versions, counters,
+        )
+
+    per_slice: List[RangeList] = []
+    # One policy observation per (node, scan) — not per slice — so a
+    # "sighting" means one execution of the scan, like the paper's
+    # repetitiveness notion.
+    node_observations: Dict[int, List] = {}
+    node_contexts: Dict[int, _SliceCacheContext] = {}
+    for slice_id, data_slice in enumerate(table.slices):
+        if per_node:
+            node_cache = cache.cache_for_slice(slice_id)
+            context = node_contexts.get(id(node_cache))
+            if context is None:
+                context = _prepare_cache_context(
+                    node_cache, table, predicate, plain_key, join_key,
+                    build_versions, current_versions, counters,
+                )
+                node_contexts[id(node_cache)] = context
+        else:
+            context = shared_context
+        qualifying = _scan_slice(
+            table,
+            data_slice,
+            slice_id,
+            predicate,
+            semijoins,
+            txid,
+            counters,
+            context.entry if context else None,
+            scan_columns,
+            context.cache if context else None,
+            context.join_entry if context else None,
+            context.plain_entry if context else None,
+        )
+        per_slice.append(qualifying)
+        if context is not None and per_node:
+            stats = node_observations.setdefault(
+                id(context.cache), [context.cache, 0, 0]
+            )
+            stats[1] += qualifying.num_rows
+            stats[2] += data_slice.num_rows
+
+    if shared_context is not None:
+        total_q = sum(q.num_rows for q in per_slice)
+        _observe_policy(
+            shared_context.cache, predicate, plain_key, join_key,
+            total_q, max(1, table.num_rows),
+        )
+    for node_cache, qualifying_rows, total_rows in node_observations.values():
+        _observe_policy(
+            node_cache, predicate, plain_key, join_key,
+            qualifying_rows, max(1, total_rows),
+        )
+
+    return ScanResult(table, per_slice, txid)
+
+
+@dataclass
+class _SliceCacheContext:
+    """Resolved cache interaction for a scan (or one slice of it)."""
+
+    cache: PredicateCache
+    entry: Optional[object]
+    join_entry: Optional[object]
+    plain_entry: Optional[object]
+
+
+def _prepare_cache_context(
+    cache: PredicateCache,
+    table: Table,
+    predicate: Predicate,
+    plain_key: ScanKey,
+    join_key: Optional[ScanKey],
+    build_versions: Dict[str, int],
+    current_versions: Optional[Mapping[str, int]],
+    counters: QueryCounters,
+) -> _SliceCacheContext:
+    """Probe the cache and decide which entries this scan records."""
+    cache.watch_table(table)
+    cache_join = cache.config.cache_join_keys
+    candidate_keys = []
+    if join_key is not None and cache_join:
+        candidate_keys.append(join_key)
+    candidate_keys.append(plain_key)
+    entry = cache.select_entry(candidate_keys, current_versions)
+    if entry is None:
+        counters.cache_misses += 1
+        basis = "full"
+    else:
+        counters.cache_hits += 1
+        basis = "join" if entry.key.is_join_key else "plain"
+
+    join_entry = None
+    plain_entry = None
+    if _should_cache(cache, table):
+        if join_key is not None and cache_join and cache.admits(join_key):
+            join_entry = cache.get_or_create(
+                join_key, table.num_slices, build_versions
+            )
+        # Unfiltered scans are not worth a plain entry: the paper
+        # caches "predicates pushed into table scans", and a TRUE
+        # entry would qualify every row.
+        if (
+            basis != "join"
+            and not isinstance(predicate, TruePredicate)
+            and cache.admits(plain_key)
+        ):
+            plain_entry = cache.get_or_create(plain_key, table.num_slices, {})
+    return _SliceCacheContext(cache, entry, join_entry, plain_entry)
+
+
+def _observe_policy(
+    cache: PredicateCache,
+    predicate: Predicate,
+    plain_key: ScanKey,
+    join_key: Optional[ScanKey],
+    qualifying_rows: int,
+    total_rows: int,
+) -> None:
+    """Feed the admission policy (repetitiveness + selectivity, §4.1.2)."""
+    if isinstance(predicate, TruePredicate):
+        return
+    selectivity = qualifying_rows / total_rows
+    cache.policy.observe(plain_key, selectivity)
+    if join_key is not None and cache.config.cache_join_keys:
+        cache.policy.observe(join_key, selectivity)
+
+
+def _should_cache(cache: PredicateCache, table: Table) -> bool:
+    return table.num_rows >= cache.config.min_rows_to_cache
+
+
+def _scan_slice(
+    table: Table,
+    data_slice: DataSlice,
+    slice_id: int,
+    predicate: Predicate,
+    semijoins: Sequence[SemiJoinFilter],
+    txid: int,
+    counters: QueryCounters,
+    entry,
+    scan_columns: List[str],
+    cache: Optional[PredicateCache],
+    join_entry,
+    plain_entry,
+) -> RangeList:
+    num_rows = data_slice.num_rows
+    state = entry.slice_states[slice_id] if entry is not None else None
+
+    if state is not None:
+        # Cache hit: the cached ranges replace the range-restricted scan.
+        # Zone-map pruning is still applied on top — it is metadata-only
+        # and guarantees a hit never scans more than a miss would
+        # ("rigorously avoiding slowdowns", §1).
+        candidates = state.candidates(num_rows)
+        counters.rows_skipped_cache += num_rows - candidates.num_rows
+        candidates = _prune_with_zonemaps(
+            data_slice, predicate, candidates, counters
+        )
+    else:
+        candidates = RangeList.full(num_rows)
+        candidates = _prune_with_zonemaps(
+            data_slice, predicate, candidates, counters
+        )
+
+    counters.rows_scanned += candidates.num_rows
+
+    if candidates.num_rows == 0:
+        qualifying = RangeList.empty()
+        q_plain = RangeList.empty()
+    else:
+        batch = {
+            name: data_slice.columns[name].read_ranges(candidates, table.rms)
+            for name in scan_columns
+        }
+        if isinstance(predicate, TruePredicate) and not scan_columns:
+            pred_mask = np.ones(candidates.num_rows, dtype=bool)
+        else:
+            pred_mask = predicate.evaluate(batch)
+            if pred_mask.shape == ():  # scalar result of an empty batch
+                pred_mask = np.full(candidates.num_rows, bool(pred_mask))
+        vis_mask = data_slice.visibility_mask(candidates, txid)
+        plain_mask = pred_mask & vis_mask
+        full_mask = plain_mask
+        for sj in semijoins:
+            keys = _as_int_keys(batch[sj.probe_column])
+            full_mask = full_mask & sj.bloom.may_contain(keys)
+        row_ids = candidates.to_row_ids()
+        qualifying = RangeList.from_rows(row_ids[full_mask])
+        q_plain = (
+            qualifying
+            if full_mask is plain_mask
+            else RangeList.from_rows(row_ids[plain_mask])
+        )
+
+    counters.rows_qualifying += qualifying.num_rows
+
+    if cache is not None:
+        if join_entry is not None:
+            cache.record_slice_scan(join_entry, slice_id, qualifying, num_rows)
+            join_entry.record_scan_stats(qualifying.num_rows, num_rows)
+        if plain_entry is not None:
+            cache.record_slice_scan(plain_entry, slice_id, q_plain, num_rows)
+            plain_entry.record_scan_stats(q_plain.num_rows, num_rows)
+
+    return qualifying
+
+
+def _prune_with_zonemaps(
+    data_slice: DataSlice,
+    predicate: Predicate,
+    candidates: RangeList,
+    counters: QueryCounters,
+) -> RangeList:
+    """Step 1 of the standard scan: drop blocks by min/max bounds."""
+    for column_name in predicate.columns():
+        bounds = predicate.bounds(column_name)
+        if bounds is None or bounds.unbounded:
+            continue
+        column = data_slice.columns.get(column_name)
+        if column is None:
+            continue
+        prunable = column.prunable_block_ranges(bounds)
+        if prunable:
+            counters.blocks_pruned_zonemap += len(prunable)
+            candidates = candidates.difference(prunable)
+        if not candidates:
+            break
+    return candidates
+
+
+def _as_int_keys(values: np.ndarray) -> np.ndarray:
+    """Join keys as int64 for Bloom probing (strings via Python hash)."""
+    if values.dtype == object:
+        return np.array([hash(v) for v in values], dtype=np.int64)
+    return values.astype(np.int64, copy=False)

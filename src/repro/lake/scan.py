@@ -1,0 +1,215 @@
+"""Scanning lake tables with a row-group predicate cache (§4.5).
+
+The cache maps a canonical predicate key to, *per file*, a bitmap of
+the row groups that contained qualifying rows.  The paper's three
+requirements hold by construction:
+
+(a) rows are uniquely addressed by (file id, row group, offset),
+(b) addresses never change while a file lives (files are immutable),
+(c) commits are detectable — the scanner subscribes to them and drops
+    exactly the state of removed files; entries otherwise stay live.
+
+Appended files are simply absent from an entry's per-file map: the next
+scan reads them in full (with statistics pruning), then folds their
+bitmap in — the lake equivalent of the insert-buffer extension (§4.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..predicates.ast import Predicate
+from .format import LakeFile, RowGroup
+from .table import LakeSnapshot, LakeTable
+
+__all__ = ["LakeScanner", "LakeScanStats"]
+
+
+@dataclass
+class LakeScanStats:
+    """Counters of one lake scan."""
+
+    files_visited: int = 0
+    row_groups_total: int = 0
+    row_groups_read: int = 0
+    row_groups_skipped_cache: int = 0
+    row_groups_skipped_stats: int = 0
+    rows_scanned: int = 0
+    rows_qualifying: int = 0
+    chunk_bytes_read: int = 0
+    cache_hit: bool = False
+
+
+class _LakeEntry:
+    """Per-predicate cached state: file id -> qualifying-group bitmap."""
+
+    __slots__ = ("group_bits",)
+
+    def __init__(self) -> None:
+        self.group_bits: Dict[str, np.ndarray] = {}
+
+    @property
+    def nbytes(self) -> int:
+        return sum((len(bits) + 7) // 8 for bits in self.group_bits.values())
+
+
+class LakeScanner:
+    """Scans one lake table, caching qualifying row groups per predicate."""
+
+    def __init__(self, table: LakeTable) -> None:
+        self.table = table
+        self._entries: Dict[str, _LakeEntry] = {}
+        self.lookups = 0
+        self.hits = 0
+        self.invalidated_files = 0
+        table.on_commit(self._on_commit)
+
+    # -- invalidation ---------------------------------------------------------
+
+    def _on_commit(self, table: LakeTable, kind: str, removed: Tuple[str, ...]):
+        """Appends keep every entry; removals drop only the dead files."""
+        if not removed:
+            return
+        for entry in self._entries.values():
+            for file_id in removed:
+                if entry.group_bits.pop(file_id, None) is not None:
+                    self.invalidated_files += 1
+
+    # -- scanning ----------------------------------------------------------------
+
+    def scan(
+        self,
+        predicate: Predicate,
+        columns: Sequence[str],
+        snapshot: Optional[LakeSnapshot] = None,
+    ) -> Tuple[Dict[str, np.ndarray], LakeScanStats]:
+        """All rows of the (current) snapshot satisfying ``predicate``.
+
+        Returns the requested columns of qualifying rows plus the scan
+        counters.  The cache is only consulted and updated for scans of
+        the *current* snapshot (time-travel reads bypass it: historic
+        snapshots may predate cached state).
+        """
+        stats = LakeScanStats()
+        current = snapshot is None or snapshot == self.table.current_snapshot
+        key = predicate.cache_key()
+
+        entry: Optional[_LakeEntry] = None
+        if current:
+            self.lookups += 1
+            entry = self._entries.get(key)
+            if entry is not None:
+                stats.cache_hit = True
+                self.hits += 1
+            else:
+                entry = _LakeEntry()
+                self._entries[key] = entry
+
+        predicate_columns = sorted(predicate.columns())
+        pieces: Dict[str, List[np.ndarray]] = {name: [] for name in columns}
+        for file in self.table.files(snapshot):
+            self._scan_file(
+                file, predicate, predicate_columns, columns, entry, pieces, stats
+            )
+
+        out: Dict[str, np.ndarray] = {}
+        for name in columns:
+            parts = pieces[name]
+            if not parts:
+                out[name] = np.empty(0)
+            elif parts[0].dtype == object:
+                out[name] = np.concatenate([np.asarray(p, dtype=object) for p in parts])
+            else:
+                out[name] = np.concatenate(parts)
+        return out, stats
+
+    def _scan_file(
+        self,
+        file: LakeFile,
+        predicate: Predicate,
+        predicate_columns: List[str],
+        columns: Sequence[str],
+        entry: Optional[_LakeEntry],
+        pieces: Dict[str, List[np.ndarray]],
+        stats: LakeScanStats,
+    ) -> None:
+        stats.files_visited += 1
+        stats.row_groups_total += file.num_row_groups
+        cached_bits = entry.group_bits.get(file.file_id) if entry else None
+        new_bits = np.zeros(file.num_row_groups, dtype=bool)
+
+        for group in file.row_groups:
+            if cached_bits is not None and not cached_bits[group.index]:
+                stats.row_groups_skipped_cache += 1
+                continue
+            if self._stats_prune(group, predicate, predicate_columns):
+                stats.row_groups_skipped_stats += 1
+                continue
+            qualifying = self._scan_group(
+                group, predicate, predicate_columns, columns, pieces, stats
+            )
+            new_bits[group.index] = qualifying
+
+        if entry is not None:
+            entry.group_bits[file.file_id] = new_bits
+
+    def _stats_prune(
+        self, group: RowGroup, predicate: Predicate, predicate_columns: List[str]
+    ) -> bool:
+        for name in predicate_columns:
+            bounds = predicate.bounds(name)
+            if bounds is None or bounds.unbounded:
+                continue
+            chunk = group.chunks.get(name)
+            if chunk is not None and not chunk.may_contain(bounds):
+                return True
+        return False
+
+    def _scan_group(
+        self,
+        group: RowGroup,
+        predicate: Predicate,
+        predicate_columns: List[str],
+        columns: Sequence[str],
+        pieces: Dict[str, List[np.ndarray]],
+        stats: LakeScanStats,
+    ) -> bool:
+        stats.row_groups_read += 1
+        stats.rows_scanned += group.num_rows
+        batch = group.read_columns(predicate_columns)
+        stats.chunk_bytes_read += sum(
+            group.chunks[name].nbytes for name in predicate_columns
+        )
+        mask = predicate.evaluate(batch) if predicate_columns else np.ones(
+            group.num_rows, dtype=bool
+        )
+        count = int(np.count_nonzero(mask))
+        stats.rows_qualifying += count
+        if count == 0:
+            return False
+        payload = group.read_columns([c for c in columns])
+        stats.chunk_bytes_read += sum(
+            group.chunks[name].nbytes for name in columns if name not in predicate_columns
+        )
+        for name in columns:
+            pieces[name].append(payload[name][mask])
+        return True
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_nbytes(self) -> int:
+        return sum(entry.nbytes for entry in self._entries.values())
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups

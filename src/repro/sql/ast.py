@@ -1,0 +1,112 @@
+"""SQL statement ASTs (parser output, planner input)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..engine.expr import Expr
+from ..predicates.ast import Predicate
+
+__all__ = [
+    "AnalyzeStatement",
+    "Statement",
+    "SelectItem",
+    "JoinCondition",
+    "SelectStatement",
+    "InsertStatement",
+    "DeleteStatement",
+    "UpdateStatement",
+    "VacuumStatement",
+]
+
+
+class Statement:
+    """Base class for parsed statements."""
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One select-list entry.
+
+    Either an aggregate (``func`` set, ``expr`` its argument — None for
+    ``count(*)``) or a plain expression (``func`` None).
+    """
+
+    expr: Optional[Expr]
+    alias: str
+    func: Optional[str] = None
+    distinct: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.func is not None
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """An equi-join conjunct ``left_column = right_column``."""
+
+    left_column: str
+    right_column: str
+
+    def canonical(self) -> str:
+        a, b = sorted((self.left_column, self.right_column))
+        return f"{a} = {b}"
+
+
+@dataclass
+class SelectStatement(Statement):
+    """A parsed SELECT."""
+
+    items: List[SelectItem]
+    tables: List[str]
+    filters: List[Predicate] = field(default_factory=list)
+    joins: List[JoinCondition] = field(default_factory=list)
+    group_by: List[str] = field(default_factory=list)
+    order_by: List[Tuple[str, bool]] = field(default_factory=list)
+    limit: Optional[int] = None
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(item.is_aggregate for item in self.items)
+
+
+@dataclass
+class InsertStatement(Statement):
+    """``INSERT INTO table [(columns)] VALUES (...), (...)``."""
+
+    table: str
+    columns: Optional[List[str]]
+    rows: List[Tuple]
+
+
+@dataclass
+class DeleteStatement(Statement):
+    """``DELETE FROM table [WHERE predicate]``."""
+
+    table: str
+    predicate: Optional[Predicate]
+
+
+@dataclass
+class UpdateStatement(Statement):
+    """``UPDATE table SET col = value, ... [WHERE predicate]``."""
+
+    table: str
+    assignments: List[Tuple[str, object]]
+    predicate: Optional[Predicate]
+
+
+@dataclass
+class VacuumStatement(Statement):
+    """``VACUUM [table]``."""
+
+    table: Optional[str]
+
+
+@dataclass
+class AnalyzeStatement(Statement):
+    """``ANALYZE [table]``: collect optimizer statistics."""
+
+    table: Optional[str]

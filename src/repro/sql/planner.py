@@ -1,0 +1,272 @@
+"""Planner: SELECT statements to executable plan trees.
+
+Planning steps:
+
+1. Resolve every referenced column to its table (column names must be
+   unambiguous across the statement's tables, as in TPC-H/SSB schemas).
+2. Push each WHERE conjunct into the scan of the single table it
+   references — this forms the predicate the cache indexes.
+3. Order joins left-deep with the largest table as the probe root
+   (fact-table heuristic); every join carries semi-join pushdown.
+4. Stack aggregation / projection / sort / limit on top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..engine.expr import Col, Expr
+from ..engine.plan import (
+    AggregateNode,
+    Aggregation,
+    FilterNode,
+    JoinNode,
+    MapNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+from ..predicates.ast import ColumnComparison, Or, Predicate, conjunction_of
+from ..storage.database import Database
+from .ast import JoinCondition, SelectItem, SelectStatement
+
+__all__ = ["PlannerError", "plan_select"]
+
+
+class PlannerError(ValueError):
+    """Raised when a statement cannot be planned."""
+
+
+def plan_select(statement: SelectStatement, database: Database) -> PlanNode:
+    """Plan a parsed SELECT against the database catalog."""
+    column_owner = _resolve_columns(statement.tables, database)
+    per_table, joins, residuals = _split_conjuncts(
+        statement.filters, statement.joins, column_owner
+    )
+
+    # Multi-table predicates (e.g. Q19's OR of conjunctions) still
+    # contribute *implied* per-table disjunctions to the scans; the full
+    # predicate is re-checked post-join.
+    for residual in residuals:
+        for table_name, implied in _implied_per_table(residual, column_owner).items():
+            per_table.setdefault(table_name, []).append(implied)
+
+    scans: Dict[str, ScanNode] = {
+        name: ScanNode(name, conjunction_of(per_table.get(name, [])))
+        for name in statement.tables
+    }
+    tree = _order_joins(statement, joins, scans, column_owner, database)
+    for residual in residuals:
+        tree = FilterNode(tree, residual)
+
+    if statement.has_aggregates or statement.group_by:
+        tree = _plan_aggregate(statement, tree)
+    elif statement.items:
+        projections = [(item.alias, item.expr) for item in statement.items]
+        tree = ProjectNode(tree, projections)
+    # SELECT * leaves the join/scan output as-is.
+
+    if statement.order_by:
+        tree = SortNode(tree, list(statement.order_by))
+    if statement.limit is not None:
+        tree = LimitNode(tree, statement.limit)
+    return tree
+
+
+def _resolve_columns(
+    tables: Sequence[str], database: Database
+) -> Dict[str, str]:
+    """Column name -> owning table, rejecting ambiguity."""
+    owner: Dict[str, str] = {}
+    for name in tables:
+        table = database.table(name)
+        for column in table.schema.column_names:
+            if column in owner:
+                raise PlannerError(
+                    f"ambiguous column {column!r} (both {owner[column]} "
+                    f"and {name}); the subset requires unique column names"
+                )
+            owner[column] = name
+    return owner
+
+
+def _split_conjuncts(
+    filters: Sequence[Predicate],
+    explicit_joins: Sequence[JoinCondition],
+    column_owner: Dict[str, str],
+) -> Tuple[Dict[str, List[Predicate]], List[JoinCondition], List[Predicate]]:
+    """Partition WHERE conjuncts: per-table filters, joins, residuals.
+
+    A cross-table ``col = col`` equality becomes a join condition; a
+    same-table column comparison stays a pushable filter; any other
+    conjunct spanning multiple tables is a residual (re-checked above
+    the joins).
+    """
+    per_table: Dict[str, List[Predicate]] = {}
+    joins: List[JoinCondition] = list(explicit_joins)
+    residuals: List[Predicate] = []
+    for predicate in filters:
+        tables = set()
+        for column in predicate.columns():
+            table = column_owner.get(column)
+            if table is None:
+                raise PlannerError(f"unknown column {column!r} in WHERE")
+            tables.add(table)
+        if (
+            isinstance(predicate, ColumnComparison)
+            and predicate.op == "="
+            and len(tables) == 2
+        ):
+            joins.append(
+                JoinCondition(predicate.left.name, predicate.right.name)
+            )
+        elif len(tables) <= 1:
+            table = tables.pop() if tables else None
+            if table is None:
+                residuals.append(predicate)  # constant predicate
+            else:
+                per_table.setdefault(table, []).append(predicate)
+        else:
+            residuals.append(predicate)
+    return per_table, joins, residuals
+
+
+def _implied_per_table(
+    predicate: Predicate, column_owner: Dict[str, str]
+) -> Dict[str, Predicate]:
+    """Per-table predicates implied by a multi-table conjunct.
+
+    For an OR of conjunctions (the Q19 shape), a table T gets the
+    disjunction of the T-only parts of each branch — valid only when
+    *every* branch restricts T.  Non-OR multi-table conjuncts imply
+    nothing pushable.
+    """
+    if not isinstance(predicate, Or):
+        return {}
+    tables_in_branches: List[Dict[str, List[Predicate]]] = []
+    for branch in predicate.operands:
+        branch_tables: Dict[str, List[Predicate]] = {}
+        for conjunct in branch.conjuncts():
+            tables = {column_owner.get(c) for c in conjunct.columns()}
+            if len(tables) == 1 and None not in tables:
+                branch_tables.setdefault(tables.pop(), []).append(conjunct)
+        tables_in_branches.append(branch_tables)
+    implied: Dict[str, Predicate] = {}
+    all_tables = set().union(*(set(b) for b in tables_in_branches))
+    for table in all_tables:
+        if all(table in branch for branch in tables_in_branches):
+            implied[table] = Or(
+                tuple(
+                    conjunction_of(branch[table]) for branch in tables_in_branches
+                )
+            )
+    return implied
+
+
+def _order_joins(
+    statement: SelectStatement,
+    join_conditions: List[JoinCondition],
+    scans: Dict[str, ScanNode],
+    column_owner: Dict[str, str],
+    database: Database,
+) -> PlanNode:
+    tables = list(statement.tables)
+    if len(tables) == 1:
+        if join_conditions:
+            raise PlannerError("join condition with a single table")
+        return scans[tables[0]]
+
+    conditions = [
+        _owned_condition(join, column_owner) for join in join_conditions
+    ]
+
+    # The probe side anchors on the largest *estimated filtered*
+    # cardinality (falls back to physical size without statistics).
+    def estimated_output(name: str) -> float:
+        stats = database.table_statistics(name)
+        if stats is not None:
+            return stats.estimated_rows(scans[name].predicate)
+        return float(database.table(name).num_rows)
+
+    root = max(tables, key=estimated_output)
+    tree: PlanNode = scans[root]
+    joined: Set[str] = {root}
+    remaining = list(conditions)
+
+    while remaining:
+        progress = False
+        for condition in list(remaining):
+            (left_col, left_table), (right_col, right_table) = condition
+            if left_table in joined and right_table not in joined:
+                probe_col, build_col, build_table = left_col, right_col, right_table
+            elif right_table in joined and left_table not in joined:
+                probe_col, build_col, build_table = right_col, left_col, left_table
+            elif left_table in joined and right_table in joined:
+                raise PlannerError(
+                    "cyclic join conditions are outside the supported subset"
+                )
+            else:
+                continue
+            tree = JoinNode(
+                probe=tree,
+                build=scans[build_table],
+                probe_key=probe_col,
+                build_key=build_col,
+            )
+            joined.add(build_table)
+            remaining.remove(condition)
+            progress = True
+        if not progress:
+            break
+    unjoined = set(tables) - joined
+    if unjoined:
+        raise PlannerError(
+            f"tables {sorted(unjoined)} are not connected by join "
+            "conditions (cross joins unsupported)"
+        )
+    return tree
+
+
+def _owned_condition(
+    join: JoinCondition, column_owner: Dict[str, str]
+) -> Tuple[Tuple[str, str], Tuple[str, str]]:
+    left_table = column_owner.get(join.left_column)
+    right_table = column_owner.get(join.right_column)
+    if left_table is None or right_table is None:
+        missing = join.left_column if left_table is None else join.right_column
+        raise PlannerError(f"unknown column {missing!r} in join condition")
+    if left_table == right_table:
+        raise PlannerError(
+            f"self-join condition {join.canonical()!r} is outside the subset"
+        )
+    return ((join.left_column, left_table), (join.right_column, right_table))
+
+
+def _plan_aggregate(statement: SelectStatement, tree: PlanNode) -> PlanNode:
+    aggregations: List[Aggregation] = []
+    computed: List = []
+    for item in statement.items:
+        if item.is_aggregate:
+            aggregations.append(Aggregation(item.func, item.expr, item.alias))
+        elif isinstance(item.expr, Col) and item.expr.name in statement.group_by:
+            continue
+        elif item.alias in statement.group_by:
+            # Expression group-by (``year(l_shipdate) as l_year ...
+            # group by l_year``): compute the column before grouping.
+            computed.append((item.alias, item.expr))
+        else:
+            raise PlannerError(
+                f"non-aggregate select item {item.alias!r} must be a "
+                "GROUP BY column"
+            )
+    if computed:
+        tree = MapNode(tree, computed)
+    node = AggregateNode(tree, list(statement.group_by), aggregations)
+    # Preserve the select-list order (group keys may interleave with
+    # aggregates in the query text) via a projection when they differ.
+    wanted = [item.alias for item in statement.items]
+    if wanted != node.output_columns():
+        return ProjectNode(node, [(alias, Col(alias)) for alias in wanted])
+    return node

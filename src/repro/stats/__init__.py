@@ -1,0 +1,25 @@
+"""Table statistics: the optimizer's cost inputs.
+
+Warehouses maintain per-column statistics via ANALYZE (the paper's
+Table 2 counts those runs under "other" statements).  This package
+implements the standard toolkit:
+
+* :mod:`repro.stats.hll` — HyperLogLog distinct-value sketches,
+* :mod:`repro.stats.histogram` — equi-depth histograms with a
+  most-common-values list,
+* :mod:`repro.stats.collector` — ANALYZE: sample a table, build the
+  per-column statistics, and estimate predicate selectivities for the
+  planner (join ordering) and the cache admission policy.
+"""
+
+from .collector import ColumnStatistics, TableStatistics, analyze_table
+from .histogram import EquiDepthHistogram
+from .hll import HyperLogLog
+
+__all__ = [
+    "ColumnStatistics",
+    "EquiDepthHistogram",
+    "HyperLogLog",
+    "TableStatistics",
+    "analyze_table",
+]

@@ -1,0 +1,128 @@
+"""The database catalog: tables, transaction ids, shared managed storage.
+
+One :class:`Database` is the substrate a query engine session runs on.
+It owns the monotonic transaction counter (MVCC timestamps), the shared
+:class:`~repro.storage.rms.ManagedStorage` block layer, and the table
+catalog.  The engine (leader node) and the caching layers all hang off
+this object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .rms import ManagedStorage
+from .table import Table, TableSchema
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A named collection of tables sharing storage and a tx counter."""
+
+    def __init__(
+        self,
+        num_slices: int = 4,
+        rows_per_block: int = 1000,
+        cache_capacity: Optional[int] = None,
+    ) -> None:
+        self.num_slices = num_slices
+        self.rows_per_block = rows_per_block
+        self.rms = ManagedStorage(cache_capacity=cache_capacity)
+        self.tables: Dict[str, Table] = {}
+        self.statistics: Dict[str, "TableStatistics"] = {}
+        self._next_txid = 1
+
+    # -- transactions ---------------------------------------------------------
+
+    def begin(self) -> int:
+        """Allocate the next transaction id (single-writer model)."""
+        txid = self._next_txid
+        self._next_txid += 1
+        return txid
+
+    @property
+    def current_txid(self) -> int:
+        """The most recently allocated transaction id."""
+        return self._next_txid - 1
+
+    @property
+    def horizon_txid(self) -> int:
+        """Oldest tx that could still be active.
+
+        The reproduction runs transactions serially, so the horizon is
+        simply the next tx id: everything deleted before it is globally
+        invisible and vacuum may reclaim it.
+        """
+        return self._next_txid
+
+    # -- catalog ------------------------------------------------------------------
+
+    def create_table(
+        self,
+        schema: TableSchema,
+        num_slices: Optional[int] = None,
+        rows_per_block: Optional[int] = None,
+    ) -> Table:
+        if schema.name in self.tables:
+            raise ValueError(f"table {schema.name!r} already exists")
+        table = Table(
+            schema,
+            num_slices=num_slices if num_slices is not None else self.num_slices,
+            rows_per_block=(
+                rows_per_block if rows_per_block is not None else self.rows_per_block
+            ),
+            rms=self.rms,
+        )
+        self.tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        table = self.tables.pop(name, None)
+        if table is None:
+            raise KeyError(f"no table {name!r}")
+        self.statistics.pop(name, None)
+        self.rms.invalidate_table(name)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(
+                f"no table {name!r} (have: {sorted(self.tables)})"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    def table_names(self) -> List[str]:
+        return sorted(self.tables)
+
+    def analyze(
+        self,
+        tables: Optional[Iterable[str]] = None,
+        sample_rows: int = 10_000,
+    ) -> List[str]:
+        """Collect optimizer statistics (the ANALYZE statement)."""
+        from ..stats import analyze_table
+
+        names = list(tables) if tables is not None else self.table_names()
+        txid = self.begin()
+        for name in names:
+            self.statistics[name] = analyze_table(
+                self.table(name), txid, sample_rows=sample_rows
+            )
+        return names
+
+    def table_statistics(self, name: str):
+        """Statistics from the last ANALYZE, or None."""
+        return self.statistics.get(name)
+
+    def vacuum(self, tables: Optional[Iterable[str]] = None) -> List[str]:
+        """Vacuum the given tables (default: all); returns changed names."""
+        names = list(tables) if tables is not None else self.table_names()
+        changed = []
+        for name in names:
+            if self.table(name).vacuum(self.horizon_txid):
+                changed.append(name)
+        return changed

@@ -1,0 +1,153 @@
+"""Data slices: the unit of distribution and scanning.
+
+Redshift splits every relation into data slices assigned to compute
+nodes (§4.2.1).  Each :class:`DataSlice` owns its rows end-to-end:
+column stores, MVCC timestamps, and local row numbering starting at 0.
+Appends always go to the slice's end, which is the property that keeps
+predicate-cache entries valid under inserts (§4.3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.rowrange import RangeList
+from .column import ColumnStore, GrowableArray
+from .dtypes import DataType
+from .rms import ManagedStorage
+
+__all__ = ["DataSlice", "INFINITY_TX"]
+
+# Sentinel "never deleted" transaction id.
+INFINITY_TX = np.iinfo(np.int64).max
+
+
+class DataSlice:
+    """One data slice of one table."""
+
+    def __init__(
+        self,
+        table_name: str,
+        slice_id: int,
+        columns: Mapping[str, DataType],
+        rows_per_block: int,
+    ) -> None:
+        self.table_name = table_name
+        self.slice_id = slice_id
+        self.rows_per_block = rows_per_block
+        self.columns: Dict[str, ColumnStore] = {
+            name: ColumnStore(table_name, slice_id, name, dtype, rows_per_block)
+            for name, dtype in columns.items()
+        }
+        self._xmin = GrowableArray(np.dtype(np.int64))
+        self._xmax = GrowableArray(np.dtype(np.int64))
+        self.num_rows = 0
+
+    # -- writes -----------------------------------------------------------------
+
+    def append_rows(
+        self,
+        rows: Mapping[str, Sequence[object]],
+        txid: int,
+        rms: Optional[ManagedStorage],
+    ) -> RangeList:
+        """Append rows (column name -> values), returning their local range."""
+        lengths = {name: len(values) for name, values in rows.items()}
+        if set(rows) != set(self.columns):
+            missing = set(self.columns) - set(rows)
+            extra = set(rows) - set(self.columns)
+            raise ValueError(
+                f"column mismatch appending to {self.table_name}: "
+                f"missing {sorted(missing)}, unexpected {sorted(extra)}"
+            )
+        distinct = set(lengths.values())
+        if len(distinct) > 1:
+            raise ValueError(f"ragged append: column lengths {lengths}")
+        count = distinct.pop() if distinct else 0
+        if count == 0:
+            return RangeList.empty()
+        for name, values in rows.items():
+            self.columns[name].append(values, rms)
+        self._xmin.append_many(np.full(count, txid, dtype=np.int64))
+        self._xmax.append_many(np.full(count, INFINITY_TX, dtype=np.int64))
+        start = self.num_rows
+        self.num_rows += count
+        return RangeList([(start, start + count)])
+
+    def mark_deleted(self, local_rows: np.ndarray, txid: int) -> int:
+        """MVCC delete: set xmax for still-visible rows; returns count."""
+        local_rows = np.asarray(local_rows, dtype=np.int64)
+        xmax = self._xmax.values
+        alive = local_rows[xmax[local_rows] == INFINITY_TX]
+        xmax[alive] = txid
+        return int(len(alive))
+
+    # -- visibility ----------------------------------------------------------------
+
+    def visibility_mask(self, ranges: RangeList, txid: int) -> np.ndarray:
+        """Visibility of each row in ``ranges`` (concatenated order).
+
+        A row is visible to ``txid`` when it was created by a
+        transaction ``<= txid`` and not deleted by one ``<= txid``.
+        """
+        rows = ranges.to_row_ids()
+        xmin = self._xmin.values[rows]
+        xmax = self._xmax.values[rows]
+        return (xmin <= txid) & (xmax > txid)
+
+    def visible_row_count(self, txid: int) -> int:
+        xmin = self._xmin.values
+        xmax = self._xmax.values
+        return int(np.count_nonzero((xmin <= txid) & (xmax > txid)))
+
+    def deleted_row_ids(self, horizon_txid: int) -> np.ndarray:
+        """Rows deleted and invisible to every transaction >= horizon."""
+        return np.flatnonzero(self._xmax.values < horizon_txid)
+
+    # -- vacuum ------------------------------------------------------------------
+
+    def vacuum(self, horizon_txid: int, rms: Optional[ManagedStorage]) -> bool:
+        """Physically remove globally invisible rows; True if changed.
+
+        Vacuum rewrites the slice with new (dense) row numbering, which
+        is exactly the event that invalidates predicate-cache entries
+        (§4.3.2) — the table layer broadcasts it to listeners.
+        """
+        dead = self._xmax.values < horizon_txid
+        if not dead.any():
+            return False
+        keep = ~dead
+        keep_rows = np.flatnonzero(keep)
+        full = RangeList.full(self.num_rows)
+        for column in self.columns.values():
+            values = column.read_ranges(full, rms) if rms else _raw_read(column)
+            column.rebuild(values[keep_rows], rms)
+        self._xmin.replace(self._xmin.values[keep_rows])
+        self._xmax.replace(self._xmax.values[keep_rows])
+        self.num_rows = int(len(keep_rows))
+        return True
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        """Blocks of the widest materialized representation (per column max)."""
+        if not self.columns:
+            return 0
+        return max(column.num_blocks for column in self.columns.values())
+
+    def compressed_nbytes(self) -> int:
+        return sum(column.compressed_nbytes for column in self.columns.values())
+
+
+def _raw_read(column: ColumnStore) -> np.ndarray:
+    """Read a whole column without storage accounting (vacuum internals)."""
+    from .compression import decode_block
+
+    pieces = [decode_block(b) for b in column.blocks]
+    pieces.append(column.tail_values())
+    if column.dtype is DataType.STRING:
+        return np.concatenate([np.asarray(p, dtype=object) for p in pieces])
+    return np.concatenate(pieces) if pieces else column.tail_values()

@@ -1,0 +1,103 @@
+"""Zone maps: per-block min/max bounds for block pruning.
+
+Redshift's first scan step eliminates blocks whose min/max bounds cannot
+satisfy the pushed-down predicate (§4.2.2).  A :class:`ZoneMap` holds the
+bounds for every sealed block of one column; pruning intersects the
+predicate's implied value interval with each block's interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ZoneEntry", "ZoneMap"]
+
+
+@dataclass(frozen=True, slots=True)
+class ZoneEntry:
+    """Min/max bounds of one block (None for non-comparable blocks)."""
+
+    minimum: Optional[object]
+    maximum: Optional[object]
+
+    def may_contain(self, bounds) -> bool:
+        """True unless the bound interval and block interval are disjoint.
+
+        ``bounds`` is a :class:`repro.predicates.ast.Bounds`; unbounded
+        sides are None.  Unknown block bounds always *may* contain
+        matches (no false negatives).  Strict endpoints additionally
+        prune blocks whose extreme equals the excluded bound.
+        """
+        if self.minimum is None or self.maximum is None:
+            return True
+        try:
+            if bounds.hi is not None:
+                if self.minimum > bounds.hi:
+                    return False
+                if bounds.hi_strict and self.minimum >= bounds.hi:
+                    return False
+            if bounds.lo is not None:
+                if self.maximum < bounds.lo:
+                    return False
+                if bounds.lo_strict and self.maximum <= bounds.lo:
+                    return False
+        except TypeError:
+            # Incomparable types (e.g. numeric bound vs string block):
+            # never prune on unsound comparisons.
+            return True
+        return True
+
+
+class ZoneMap:
+    """Bounds for all sealed blocks of one column of one slice."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: List[ZoneEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, block_index: int) -> ZoneEntry:
+        return self._entries[block_index]
+
+    def append_block(self, values: np.ndarray) -> None:
+        """Record bounds for a newly sealed block."""
+        if len(values) == 0:
+            self._entries.append(ZoneEntry(None, None))
+            return
+        if values.dtype == object:
+            try:
+                minimum, maximum = min(values), max(values)
+            except TypeError:
+                minimum = maximum = None
+        else:
+            minimum, maximum = values.min(), values.max()
+        self._entries.append(ZoneEntry(_to_python(minimum), _to_python(maximum)))
+
+    def truncate(self, num_blocks: int) -> None:
+        """Drop entries beyond ``num_blocks`` (used by vacuum rebuilds)."""
+        del self._entries[num_blocks:]
+
+    def pruned_blocks(self, bounds) -> np.ndarray:
+        """Boolean array: True where the block can be skipped entirely."""
+        return np.array(
+            [not entry.may_contain(bounds) for entry in self._entries],
+            dtype=bool,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """16 bytes (min + max) per block, as in the paper's Table 3."""
+        return 16 * len(self._entries)
+
+
+def _to_python(value: object) -> object:
+    """Convert numpy scalars to plain Python for stable comparisons."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

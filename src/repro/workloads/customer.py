@@ -1,0 +1,154 @@
+"""The paper's internal customer workloads A and B (§5.3), simulated.
+
+* **Workload A** (Fig. 13): ~44,000 queries over a few hours; the
+  predicate-cache hit rate starts at zero, stays low during a cold
+  exploration phase (~the first third of the stream), then climbs as
+  the working set of repeating scans stabilizes.  We reproduce the
+  *shape* with a two-phase template mixture at configurable scale.
+
+* **Workload B** (Fig. 14): ≈4,000 scans drawn from 401 unique scans:
+  183 run exactly once, 218 repeat, and scans repeating ≥10 times
+  account for ≈3,243 executions.  We match those anchor numbers
+  directly with a constructed repetition histogram.
+
+Both generators emit streams of (scan key, table) records compatible
+with the analysis helpers, plus SQL streams replayable against a real
+engine database for end-to-end hit-rate measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .tpch import zipf_choice
+
+__all__ = [
+    "ScanEvent",
+    "workload_a",
+    "workload_b",
+    "workload_a_sql",
+    "WORKLOAD_B_ANCHORS",
+]
+
+
+@dataclass(frozen=True)
+class ScanEvent:
+    """One scan execution: its cache key and position in the stream."""
+
+    index: int
+    scan_key: str
+    table: str
+
+
+# Anchor numbers from the paper's description of Workload B (Fig. 14).
+WORKLOAD_B_ANCHORS = {
+    "total_scans": 4000,
+    "unique_scans": 401,
+    "singleton_scans": 183,
+    "repeating_scans": 218,
+    "scans_from_10plus": 3243,
+}
+
+
+def workload_a(
+    num_queries: int = 4400,
+    warmup_fraction: float = 0.34,
+    seed: int = 0,
+) -> List[ScanEvent]:
+    """Workload A: a query stream whose hit rate climbs after a warmup.
+
+    The stream has two phases: an exploration phase dominated by fresh
+    scans (lots of distinct dashboards being set up), then a steady
+    phase drawing Zipf-style from the established template pool.  The
+    paper's run uses 44,000 queries; the default here is 10 % of that
+    (pass ``num_queries=44_000`` for full scale).
+    """
+    rng = np.random.default_rng(seed)
+    warmup_end = int(num_queries * warmup_fraction)
+    pool_size = max(20, warmup_end)
+    hot_size = max(15, pool_size // 4)
+    tables = [f"fact_{i % 7}" for i in range(7)]
+
+    events: List[ScanEvent] = []
+    fresh = 0
+    for i in range(num_queries):
+        if i < warmup_end:
+            # Exploration: mostly first sightings (dashboards being set
+            # up), with occasional early repeats.
+            if rng.random() < 0.25 and fresh > 10:
+                template = int(rng.integers(0, fresh))
+            else:
+                template = fresh
+                fresh += 1
+        else:
+            # Steady state: hot repeating templates from the first
+            # dashboards that were established.
+            template = int(zipf_choice(rng, hot_size, 1, 1.1)[0])
+        events.append(
+            ScanEvent(i, f"scanA_{template}", tables[template % len(tables)])
+        )
+    return events
+
+
+def workload_a_sql(
+    num_queries: int = 4400,
+    warmup_fraction: float = 0.34,
+    seed: int = 0,
+) -> List[str]:
+    """Workload A as replayable SQL over a single wide fact table.
+
+    Requires a table ``facts(f_key, f_value, f_bucket)``; each template
+    maps to a distinct filter combination, so the predicate-cache keys
+    track the template identity exactly.
+    """
+    events = workload_a(num_queries, warmup_fraction, seed)
+    statements = []
+    for event in events:
+        template = int(event.scan_key.split("_")[1])
+        lo = (template * 37) % 1000
+        statements.append(
+            "select count(*) from facts "
+            f"where f_bucket = {template % 50} and f_key >= {lo} "
+            f"and f_key < {lo + 20 + template % 30}"
+        )
+    return statements
+
+
+def workload_b(seed: int = 0) -> List[ScanEvent]:
+    """Workload B: the scan stream matching Fig. 14's anchor numbers.
+
+    Constructs 401 unique scans: 183 singletons, and 218 repeating
+    scans whose counts are fitted so that scans repeating ≥10 times sum
+    to ≈3,243 executions and the total lands at ≈4,000.
+    """
+    anchors = WORKLOAD_B_ANCHORS
+    rng = np.random.default_rng(seed)
+
+    counts: List[int] = [1] * anchors["singleton_scans"]
+    num_repeating = anchors["repeating_scans"]
+    # Split the repeating population: a light tail repeating 2-9 times
+    # and a hot head repeating >= 10 times.
+    hot = 90
+    light = num_repeating - hot
+    light_counts = [int(c) for c in rng.integers(2, 10, light)]
+    remaining = anchors["scans_from_10plus"]
+    hot_counts: List[int] = []
+    # Zipf-shaped hot head normalized to the anchor total.
+    raw = 1.0 / np.power(np.arange(1, hot + 1, dtype=np.float64), 0.9)
+    raw = raw / raw.sum() * remaining
+    hot_counts = np.maximum(raw.astype(int), 10).tolist()
+    counts.extend(light_counts)
+    counts.extend(hot_counts)
+
+    events: List[ScanEvent] = []
+    stream: List[str] = []
+    for scan_id, count in enumerate(counts):
+        stream.extend([f"scanB_{scan_id}"] * count)
+    order = rng.permutation(len(stream))
+    for position, index in enumerate(order):
+        key = stream[int(index)]
+        events.append(ScanEvent(position, key, f"tbl_{hash(key) % 11}"))
+    return events

@@ -1,0 +1,324 @@
+"""The Star Schema Benchmark (SSB) [30]: schema, generator, 13 queries.
+
+SSB is a pure star schema — one ``lineorder`` fact table joined to
+``date``, ``part``, ``supplier``, and ``customer`` dimensions, with
+every query a filtered fact-dimension join.  This makes it the cleanest
+exercise of the paper's join-index extension: every scan of
+``lineorder`` carries semi-join filters from the dimension scans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..storage.database import Database
+from ..storage.dtypes import DataType
+from ..storage.table import ColumnSpec, TableSchema
+from .tpch import zipf_choice
+
+__all__ = ["SCHEMAS", "generate", "load", "queries", "query"]
+
+_D = DataType
+
+SCHEMAS: Dict[str, TableSchema] = {
+    "date": TableSchema(
+        "date",
+        (
+            ColumnSpec("d_datekey", _D.INT64),
+            ColumnSpec("d_year", _D.INT64),
+            ColumnSpec("d_yearmonthnum", _D.INT64),
+            ColumnSpec("d_weeknuminyear", _D.INT64),
+        ),
+    ),
+    "ssb_part": TableSchema(
+        "ssb_part",
+        (
+            ColumnSpec("p_partkey", _D.INT64),
+            ColumnSpec("p_mfgr", _D.STRING),
+            ColumnSpec("p_category", _D.STRING),
+            ColumnSpec("p_brand1", _D.STRING),
+        ),
+        dist_key="p_partkey",
+    ),
+    "ssb_supplier": TableSchema(
+        "ssb_supplier",
+        (
+            ColumnSpec("s_suppkey", _D.INT64),
+            ColumnSpec("s_city", _D.STRING),
+            ColumnSpec("s_nation", _D.STRING),
+            ColumnSpec("s_region", _D.STRING),
+        ),
+        dist_key="s_suppkey",
+    ),
+    "ssb_customer": TableSchema(
+        "ssb_customer",
+        (
+            ColumnSpec("c_custkey", _D.INT64),
+            ColumnSpec("c_city", _D.STRING),
+            ColumnSpec("c_nation", _D.STRING),
+            ColumnSpec("c_region", _D.STRING),
+        ),
+        dist_key="c_custkey",
+    ),
+    "lineorder": TableSchema(
+        "lineorder",
+        (
+            ColumnSpec("lo_orderkey", _D.INT64),
+            ColumnSpec("lo_custkey", _D.INT64),
+            ColumnSpec("lo_partkey", _D.INT64),
+            ColumnSpec("lo_suppkey", _D.INT64),
+            ColumnSpec("lo_orderdate", _D.INT64),
+            ColumnSpec("lo_quantity", _D.INT64),
+            ColumnSpec("lo_extendedprice", _D.FLOAT64),
+            ColumnSpec("lo_discount", _D.INT64),
+            ColumnSpec("lo_revenue", _D.FLOAT64),
+            ColumnSpec("lo_supplycost", _D.FLOAT64),
+        ),
+        dist_key="lo_orderkey",
+    ),
+}
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS_PER_REGION = 5
+_CITIES_PER_NATION = 10
+
+
+def generate(
+    scale_factor: float = 0.005,
+    skew: float = 0.6,
+    seed: int = 0,
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Generate the five SSB tables.
+
+    SSB data is mildly non-uniform by construction; ``skew`` applies
+    Zipf to categorical choices like the TPC-H generator.
+    """
+    rng = np.random.default_rng(seed)
+    num_part = max(40, int(200_000 * scale_factor))
+    num_supplier = max(10, int(2_000 * scale_factor * 10))
+    num_customer = max(30, int(30_000 * scale_factor * 10))
+    num_lineorder = max(200, int(6_000_000 * scale_factor))
+
+    # Date dimension: 7 years of days, keyed yyyymmdd.
+    years = np.arange(1992, 1999)
+    datekeys, d_year, d_ymn, d_week = [], [], [], []
+    for year in years:
+        for month in range(1, 13):
+            for day in range(1, 29):  # 28-day months keep keys simple
+                datekeys.append(year * 10_000 + month * 100 + day)
+                d_year.append(year)
+                d_ymn.append(year * 100 + month)
+                d_week.append(((month - 1) * 28 + day - 1) // 7 + 1)
+    dates = {
+        "d_datekey": np.array(datekeys, dtype=np.int64),
+        "d_year": np.array(d_year, dtype=np.int64),
+        "d_yearmonthnum": np.array(d_ymn, dtype=np.int64),
+        "d_weeknuminyear": np.array(d_week, dtype=np.int64),
+    }
+
+    nations = [
+        f"{region[:4]}_NATION{i}" for region in _REGIONS
+        for i in range(_NATIONS_PER_REGION)
+    ]
+    cities = [f"{nation[:9]}_C{i}" for nation in nations for i in range(_CITIES_PER_NATION)]
+
+    def geo(size: int):
+        city_idx = zipf_choice(rng, len(cities), size, skew)
+        nation_idx = city_idx // _CITIES_PER_NATION
+        region_idx = nation_idx // _NATIONS_PER_REGION
+        return (
+            np.array(cities, dtype=object)[city_idx],
+            np.array(nations, dtype=object)[nation_idx],
+            np.array(_REGIONS, dtype=object)[region_idx],
+        )
+
+    s_city, s_nation, s_region = geo(num_supplier)
+    supplier = {
+        "s_suppkey": np.arange(1, num_supplier + 1, dtype=np.int64),
+        "s_city": s_city,
+        "s_nation": s_nation,
+        "s_region": s_region,
+    }
+    c_city, c_nation, c_region = geo(num_customer)
+    customer = {
+        "c_custkey": np.arange(1, num_customer + 1, dtype=np.int64),
+        "c_city": c_city,
+        "c_nation": c_nation,
+        "c_region": c_region,
+    }
+
+    mfgr_idx = zipf_choice(rng, 5, num_part, skew)
+    cat_idx = zipf_choice(rng, 5, num_part, skew)
+    brand_idx = zipf_choice(rng, 40, num_part, skew)
+    part = {
+        "p_partkey": np.arange(1, num_part + 1, dtype=np.int64),
+        "p_mfgr": np.array([f"MFGR#{m + 1}" for m in mfgr_idx], dtype=object),
+        "p_category": np.array(
+            [f"MFGR#{m + 1}{c + 1}" for m, c in zip(mfgr_idx, cat_idx)], dtype=object
+        ),
+        "p_brand1": np.array(
+            [
+                f"MFGR#{m + 1}{c + 1}{b + 1:02d}"
+                for m, c, b in zip(mfgr_idx, cat_idx, brand_idx)
+            ],
+            dtype=object,
+        ),
+    }
+
+    # Fact rows arrive in date order (ingestion clustering).
+    date_pick = np.sort(zipf_choice(rng, len(datekeys), num_lineorder, skew / 2))
+    quantity = 1 + zipf_choice(rng, 50, num_lineorder, skew).astype(np.int64)
+    extended = np.round(rng.uniform(100.0, 10_000.0, num_lineorder), 2)
+    discount = zipf_choice(rng, 11, num_lineorder, skew).astype(np.int64)
+    lineorder = {
+        "lo_orderkey": np.arange(1, num_lineorder + 1, dtype=np.int64),
+        "lo_custkey": 1 + zipf_choice(rng, num_customer, num_lineorder, skew).astype(np.int64),
+        "lo_partkey": 1 + zipf_choice(rng, num_part, num_lineorder, skew).astype(np.int64),
+        "lo_suppkey": 1 + zipf_choice(rng, num_supplier, num_lineorder, skew).astype(np.int64),
+        "lo_orderdate": dates["d_datekey"][date_pick],
+        "lo_quantity": quantity,
+        "lo_extendedprice": extended,
+        "lo_discount": discount,
+        "lo_revenue": np.round(extended * (100 - discount) / 100.0, 2),
+        "lo_supplycost": np.round(extended * 0.6, 2),
+    }
+
+    return {
+        "date": dates,
+        "ssb_part": part,
+        "ssb_supplier": supplier,
+        "ssb_customer": customer,
+        "lineorder": lineorder,
+    }
+
+
+def load(
+    database: Database,
+    scale_factor: float = 0.005,
+    skew: float = 0.6,
+    seed: int = 0,
+) -> None:
+    """Create and populate the SSB tables in ``database``."""
+    data = generate(scale_factor=scale_factor, skew=skew, seed=seed)
+    for name, schema in SCHEMAS.items():
+        table = database.create_table(schema)
+        table.insert(data[name], database.begin())
+
+
+def queries() -> Dict[str, str]:
+    """The 13 SSB queries (flight.query naming: Q1.1 … Q4.3)."""
+    return {
+        "Q1.1": """
+            select sum(lo_extendedprice * lo_discount) as revenue
+            from lineorder, date
+            where lo_orderdate = d_datekey and d_year = 1993
+              and lo_discount between 1 and 3 and lo_quantity < 25""",
+        "Q1.2": """
+            select sum(lo_extendedprice * lo_discount) as revenue
+            from lineorder, date
+            where lo_orderdate = d_datekey and d_yearmonthnum = 199401
+              and lo_discount between 4 and 6 and lo_quantity between 26 and 35""",
+        "Q1.3": """
+            select sum(lo_extendedprice * lo_discount) as revenue
+            from lineorder, date
+            where lo_orderdate = d_datekey
+              and d_weeknuminyear = 6 and d_year = 1994
+              and lo_discount between 5 and 7 and lo_quantity between 26 and 35""",
+        "Q2.1": """
+            select d_year, p_brand1, sum(lo_revenue) as revenue
+            from lineorder, date, ssb_part, ssb_supplier
+            where lo_orderdate = d_datekey and lo_partkey = p_partkey
+              and lo_suppkey = s_suppkey
+              and p_category = 'MFGR#11' and s_region = 'AMERICA'
+            group by d_year, p_brand1
+            order by d_year, p_brand1""",
+        "Q2.2": """
+            select d_year, p_brand1, sum(lo_revenue) as revenue
+            from lineorder, date, ssb_part, ssb_supplier
+            where lo_orderdate = d_datekey and lo_partkey = p_partkey
+              and lo_suppkey = s_suppkey
+              and p_brand1 between 'MFGR#3301' and 'MFGR#3308'
+              and s_region = 'ASIA'
+            group by d_year, p_brand1
+            order by d_year, p_brand1""",
+        "Q2.3": """
+            select d_year, p_brand1, sum(lo_revenue) as revenue
+            from lineorder, date, ssb_part, ssb_supplier
+            where lo_orderdate = d_datekey and lo_partkey = p_partkey
+              and lo_suppkey = s_suppkey
+              and p_brand1 = 'MFGR#5540' and s_region = 'EUROPE'
+            group by d_year, p_brand1
+            order by d_year, p_brand1""",
+        "Q3.1": """
+            select c_nation, s_nation, d_year, sum(lo_revenue) as revenue
+            from lineorder, ssb_customer, ssb_supplier, date
+            where lo_custkey = c_custkey and lo_suppkey = s_suppkey
+              and lo_orderdate = d_datekey
+              and c_region = 'ASIA' and s_region = 'ASIA'
+              and d_year >= 1992 and d_year <= 1997
+            group by c_nation, s_nation, d_year
+            order by d_year asc, revenue desc limit 50""",
+        "Q3.2": """
+            select c_city, s_city, d_year, sum(lo_revenue) as revenue
+            from lineorder, ssb_customer, ssb_supplier, date
+            where lo_custkey = c_custkey and lo_suppkey = s_suppkey
+              and lo_orderdate = d_datekey
+              and c_nation = 'AMER_NATION0' and s_nation = 'AMER_NATION0'
+              and d_year >= 1992 and d_year <= 1997
+            group by c_city, s_city, d_year
+            order by d_year asc, revenue desc limit 50""",
+        "Q3.3": """
+            select c_city, s_city, d_year, sum(lo_revenue) as revenue
+            from lineorder, ssb_customer, ssb_supplier, date
+            where lo_custkey = c_custkey and lo_suppkey = s_suppkey
+              and lo_orderdate = d_datekey
+              and c_city in ('ASIA_NATIO_C1', 'ASIA_NATIO_C5')
+              and s_city in ('ASIA_NATIO_C1', 'ASIA_NATIO_C5')
+            group by c_city, s_city, d_year
+            order by d_year asc, revenue desc limit 50""",
+        "Q3.4": """
+            select c_city, s_city, d_year, sum(lo_revenue) as revenue
+            from lineorder, ssb_customer, ssb_supplier, date
+            where lo_custkey = c_custkey and lo_suppkey = s_suppkey
+              and lo_orderdate = d_datekey
+              and c_city in ('ASIA_NATIO_C1', 'ASIA_NATIO_C5')
+              and s_city in ('ASIA_NATIO_C1', 'ASIA_NATIO_C5')
+              and d_yearmonthnum = 199712
+            group by c_city, s_city, d_year
+            order by d_year asc, revenue desc limit 50""",
+        "Q4.1": """
+            select d_year, c_nation, sum(lo_revenue - lo_supplycost) as profit
+            from lineorder, date, ssb_customer, ssb_supplier, ssb_part
+            where lo_custkey = c_custkey and lo_suppkey = s_suppkey
+              and lo_partkey = p_partkey and lo_orderdate = d_datekey
+              and c_region = 'AMERICA' and s_region = 'AMERICA'
+              and p_mfgr in ('MFGR#1', 'MFGR#2')
+            group by d_year, c_nation
+            order by d_year, c_nation""",
+        "Q4.2": """
+            select d_year, s_nation, p_category, sum(lo_revenue - lo_supplycost) as profit
+            from lineorder, date, ssb_customer, ssb_supplier, ssb_part
+            where lo_custkey = c_custkey and lo_suppkey = s_suppkey
+              and lo_partkey = p_partkey and lo_orderdate = d_datekey
+              and c_region = 'AMERICA' and s_region = 'AMERICA'
+              and d_year in (1997, 1998)
+              and p_mfgr in ('MFGR#1', 'MFGR#2')
+            group by d_year, s_nation, p_category
+            order by d_year, s_nation, p_category""",
+        "Q4.3": """
+            select d_year, s_city, p_brand1, sum(lo_revenue - lo_supplycost) as profit
+            from lineorder, date, ssb_customer, ssb_supplier, ssb_part
+            where lo_custkey = c_custkey and lo_suppkey = s_suppkey
+              and lo_partkey = p_partkey and lo_orderdate = d_datekey
+              and s_nation = 'AMER_NATION0'
+              and d_year in (1997, 1998) and p_category = 'MFGR#14'
+            group by d_year, s_city, p_brand1
+            order by d_year, s_city, p_brand1""",
+    }
+
+
+def query(name: str) -> str:
+    """One SSB query by name (``"Q1.1"`` … ``"Q4.3"``)."""
+    return queries()[name]

@@ -1,0 +1,280 @@
+"""A TPC-DS-shaped workload slice ("TPC-DS lite").
+
+Full TPC-DS is 24 tables and 99 queries, most far outside this engine's
+SQL subset.  The paper uses TPC-DS for two results only — build
+overhead (Fig. 15) and end-to-end speedups (Fig. 17) — both of which
+depend on the *scan/join mix*, not on full query semantics.  This
+module provides the store-sales snowflake at the heart of TPC-DS
+(``store_sales`` fact; ``date_dim``, ``item``, ``store``,
+``customer_demographics`` dimensions) and twelve queries shaped after
+common TPC-DS templates (Q3, Q7, Q19, Q42, Q52, Q53, Q55, Q59, Q61,
+Q65, Q68, Q98 families).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..storage.database import Database
+from ..storage.dtypes import DataType
+from ..storage.table import ColumnSpec, TableSchema
+from .tpch import zipf_choice
+
+__all__ = ["SCHEMAS", "generate", "load", "queries", "query"]
+
+_D = DataType
+
+SCHEMAS: Dict[str, TableSchema] = {
+    "date_dim": TableSchema(
+        "date_dim",
+        (
+            ColumnSpec("d_date_sk", _D.INT64),
+            ColumnSpec("d_year", _D.INT64),
+            ColumnSpec("d_moy", _D.INT64),
+            ColumnSpec("d_dom", _D.INT64),
+            ColumnSpec("d_qoy", _D.INT64),
+        ),
+    ),
+    "item": TableSchema(
+        "item",
+        (
+            ColumnSpec("i_item_sk", _D.INT64),
+            ColumnSpec("i_brand_id", _D.INT64),
+            ColumnSpec("i_brand", _D.STRING),
+            ColumnSpec("i_category", _D.STRING),
+            ColumnSpec("i_manufact_id", _D.INT64),
+            ColumnSpec("i_current_price", _D.FLOAT64),
+        ),
+        dist_key="i_item_sk",
+    ),
+    "store": TableSchema(
+        "store",
+        (
+            ColumnSpec("s_store_sk", _D.INT64),
+            ColumnSpec("s_state", _D.STRING),
+            ColumnSpec("s_gmt_offset", _D.INT64),
+        ),
+    ),
+    "customer_demographics": TableSchema(
+        "customer_demographics",
+        (
+            ColumnSpec("cd_demo_sk", _D.INT64),
+            ColumnSpec("cd_gender", _D.STRING),
+            ColumnSpec("cd_marital_status", _D.STRING),
+            ColumnSpec("cd_education_status", _D.STRING),
+        ),
+    ),
+    "store_sales": TableSchema(
+        "store_sales",
+        (
+            ColumnSpec("ss_sold_date_sk", _D.INT64),
+            ColumnSpec("ss_item_sk", _D.INT64),
+            ColumnSpec("ss_store_sk", _D.INT64),
+            ColumnSpec("ss_cdemo_sk", _D.INT64),
+            ColumnSpec("ss_quantity", _D.INT64),
+            ColumnSpec("ss_sales_price", _D.FLOAT64),
+            ColumnSpec("ss_ext_sales_price", _D.FLOAT64),
+            ColumnSpec("ss_net_profit", _D.FLOAT64),
+        ),
+        dist_key="ss_item_sk",
+    ),
+}
+
+_CATEGORIES = [
+    "Books", "Children", "Electronics", "Home", "Jewelry",
+    "Men", "Music", "Shoes", "Sports", "Women",
+]
+_STATES = ["TN", "CA", "TX", "OH", "GA", "WA", "IL", "NY", "FL", "MI"]
+
+
+def generate(
+    scale_factor: float = 0.005,
+    skew: float = 0.8,
+    seed: int = 0,
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Generate the five TPC-DS-lite tables."""
+    rng = np.random.default_rng(seed)
+    num_item = max(50, int(18_000 * scale_factor * 10))
+    num_store = max(5, int(12 * scale_factor * 100))
+    num_demo = 1000
+    num_sales = max(500, int(2_880_000 * scale_factor))
+
+    num_days = 5 * 365
+    days = np.arange(num_days)
+    date_dim = {
+        "d_date_sk": (2_450_000 + days).astype(np.int64),
+        "d_year": (1998 + days // 365).astype(np.int64),
+        "d_moy": (days % 365 // 31 + 1).clip(1, 12).astype(np.int64),
+        "d_dom": (days % 31 + 1).astype(np.int64),
+        "d_qoy": (days % 365 // 92 + 1).clip(1, 4).astype(np.int64),
+    }
+
+    brand_ids = 1 + zipf_choice(rng, 100, num_item, skew)
+    cat_idx = zipf_choice(rng, len(_CATEGORIES), num_item, skew)
+    item = {
+        "i_item_sk": np.arange(1, num_item + 1, dtype=np.int64),
+        "i_brand_id": brand_ids.astype(np.int64),
+        "i_brand": np.array([f"brand#{b}" for b in brand_ids], dtype=object),
+        "i_category": np.array(_CATEGORIES, dtype=object)[cat_idx],
+        "i_manufact_id": 1 + zipf_choice(rng, 50, num_item, skew).astype(np.int64),
+        "i_current_price": np.round(rng.uniform(0.5, 300.0, num_item), 2),
+    }
+
+    store = {
+        "s_store_sk": np.arange(1, num_store + 1, dtype=np.int64),
+        "s_state": np.array(_STATES, dtype=object)[
+            zipf_choice(rng, len(_STATES), num_store, skew)
+        ],
+        "s_gmt_offset": np.full(num_store, -5, dtype=np.int64),
+    }
+
+    demo = {
+        "cd_demo_sk": np.arange(1, num_demo + 1, dtype=np.int64),
+        "cd_gender": np.array(["M", "F"], dtype=object)[
+            rng.integers(0, 2, num_demo)
+        ],
+        "cd_marital_status": np.array(["M", "S", "D", "W", "U"], dtype=object)[
+            zipf_choice(rng, 5, num_demo, skew)
+        ],
+        "cd_education_status": np.array(
+            ["Primary", "Secondary", "College", "2 yr Degree", "4 yr Degree",
+             "Advanced Degree", "Unknown"],
+            dtype=object,
+        )[zipf_choice(rng, 7, num_demo, skew)],
+    }
+
+    # Sales in date order (ingestion clustering).
+    day_pick = np.sort(zipf_choice(rng, num_days, num_sales, skew / 2))
+    quantity = 1 + zipf_choice(rng, 100, num_sales, skew).astype(np.int64)
+    price = np.round(rng.uniform(0.5, 200.0, num_sales), 2)
+    store_sales = {
+        "ss_sold_date_sk": date_dim["d_date_sk"][day_pick],
+        "ss_item_sk": 1 + zipf_choice(rng, num_item, num_sales, skew).astype(np.int64),
+        "ss_store_sk": 1 + zipf_choice(rng, num_store, num_sales, skew).astype(np.int64),
+        "ss_cdemo_sk": 1 + zipf_choice(rng, num_demo, num_sales, skew).astype(np.int64),
+        "ss_quantity": quantity,
+        "ss_sales_price": price,
+        "ss_ext_sales_price": np.round(price * quantity, 2),
+        "ss_net_profit": np.round(price * quantity * rng.uniform(-0.1, 0.4, num_sales), 2),
+    }
+
+    return {
+        "date_dim": date_dim,
+        "item": item,
+        "store": store,
+        "customer_demographics": demo,
+        "store_sales": store_sales,
+    }
+
+
+def load(
+    database: Database,
+    scale_factor: float = 0.005,
+    skew: float = 0.8,
+    seed: int = 0,
+) -> None:
+    """Create and populate the TPC-DS-lite tables in ``database``."""
+    data = generate(scale_factor=scale_factor, skew=skew, seed=seed)
+    for name, schema in SCHEMAS.items():
+        table = database.create_table(schema)
+        table.insert(data[name], database.begin())
+
+
+def queries() -> Dict[str, str]:
+    """Twelve TPC-DS-template-shaped queries over the lite schema."""
+    return {
+        "DS-Q3": """
+            select d_year, i_brand_id, sum(ss_ext_sales_price) as sum_agg
+            from store_sales, date_dim, item
+            where ss_sold_date_sk = d_date_sk and ss_item_sk = i_item_sk
+              and i_manufact_id = 1 and d_moy = 11
+            group by d_year, i_brand_id
+            order by d_year, sum_agg desc limit 100""",
+        "DS-Q7": """
+            select i_item_sk, avg(ss_quantity) as agg1, avg(ss_sales_price) as agg2
+            from store_sales, customer_demographics, item
+            where ss_item_sk = i_item_sk and ss_cdemo_sk = cd_demo_sk
+              and cd_gender = 'F' and cd_marital_status = 'W'
+              and cd_education_status = 'Primary'
+            group by i_item_sk
+            order by i_item_sk limit 100""",
+        "DS-Q19": """
+            select i_brand_id, i_brand, sum(ss_ext_sales_price) as ext_price
+            from store_sales, date_dim, item
+            where ss_sold_date_sk = d_date_sk and ss_item_sk = i_item_sk
+              and i_manufact_id = 7 and d_moy = 11 and d_year = 1999
+            group by i_brand_id, i_brand
+            order by ext_price desc limit 100""",
+        "DS-Q42": """
+            select d_year, i_category, sum(ss_ext_sales_price) as total
+            from store_sales, date_dim, item
+            where ss_sold_date_sk = d_date_sk and ss_item_sk = i_item_sk
+              and d_moy = 12 and d_year = 2000
+            group by d_year, i_category
+            order by total desc limit 100""",
+        "DS-Q52": """
+            select d_year, i_brand_id, sum(ss_ext_sales_price) as ext_price
+            from store_sales, date_dim, item
+            where ss_sold_date_sk = d_date_sk and ss_item_sk = i_item_sk
+              and d_moy = 12 and d_year = 1998
+            group by d_year, i_brand_id
+            order by ext_price desc limit 100""",
+        "DS-Q53": """
+            select i_manufact_id, sum(ss_sales_price) as sum_sales
+            from store_sales, item, date_dim
+            where ss_item_sk = i_item_sk and ss_sold_date_sk = d_date_sk
+              and i_category in ('Books', 'Children', 'Electronics')
+              and d_qoy = 1
+            group by i_manufact_id
+            order by sum_sales desc limit 100""",
+        "DS-Q55": """
+            select i_brand_id, i_brand, sum(ss_ext_sales_price) as ext_price
+            from store_sales, date_dim, item
+            where ss_sold_date_sk = d_date_sk and ss_item_sk = i_item_sk
+              and i_manufact_id = 28 and d_moy = 11 and d_year = 2001
+            group by i_brand_id, i_brand
+            order by ext_price desc limit 100""",
+        "DS-Q59": """
+            select s_state, d_year, sum(ss_sales_price) as sales
+            from store_sales, date_dim, store
+            where ss_sold_date_sk = d_date_sk and ss_store_sk = s_store_sk
+              and d_year in (1999, 2000)
+            group by s_state, d_year
+            order by s_state, d_year""",
+        "DS-Q61": """
+            select sum(ss_ext_sales_price) as promotions
+            from store_sales, store, item, date_dim
+            where ss_store_sk = s_store_sk and ss_item_sk = i_item_sk
+              and ss_sold_date_sk = d_date_sk
+              and i_category = 'Jewelry' and s_gmt_offset = -5
+              and d_year = 1998 and d_moy = 11""",
+        "DS-Q65": """
+            select s_store_sk, i_item_sk, sum(ss_sales_price) as revenue
+            from store_sales, item, store
+            where ss_item_sk = i_item_sk and ss_store_sk = s_store_sk
+              and i_current_price > 250.0
+            group by s_store_sk, i_item_sk
+            order by revenue desc limit 100""",
+        "DS-Q68": """
+            select ss_store_sk, count(*) as cnt, sum(ss_ext_sales_price) as total
+            from store_sales, date_dim
+            where ss_sold_date_sk = d_date_sk
+              and d_dom between 1 and 2 and d_year in (1998, 1999)
+            group by ss_store_sk
+            order by total desc limit 100""",
+        "DS-Q98": """
+            select i_category, sum(ss_ext_sales_price) as itemrevenue
+            from store_sales, item, date_dim
+            where ss_item_sk = i_item_sk and ss_sold_date_sk = d_date_sk
+              and i_category in ('Sports', 'Books', 'Home')
+              and d_year = 1999 and d_moy between 2 and 3
+            group by i_category
+            order by i_category""",
+    }
+
+
+def query(name: str) -> str:
+    """One TPC-DS-lite query by name."""
+    return queries()[name]

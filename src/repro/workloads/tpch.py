@@ -1,0 +1,629 @@
+"""TPC-H: schema, data generator (uniform and skewed), and query set.
+
+The generator follows the TPC-H population rules at reduced scale:
+``scale_factor=1`` would produce the standard 6 M-row ``lineitem``; the
+benchmarks run at ``scale_factor≈0.01–0.05``.  ``skew > 0`` produces
+the *skewed* TPC-H variant the paper evaluates (its reference [3]):
+categorical and key columns are drawn Zipfian instead of uniformly, so
+selective predicates hit rare values whose rows concentrate in few
+blocks — the regime where block-skipping techniques pay off.
+
+Orders are generated in ``o_orderdate`` order and lineitems in
+``l_orderkey`` order, mirroring natural ingestion order in a warehouse
+(date-correlated clustering).
+
+The 22 queries are expressed in the engine's SQL subset.  Queries whose
+original form needs correlated subqueries / CASE / LIKE are simplified
+to variants that preserve the *scan-and-join* structure (the predicate
+cache's concern); every simplification is listed in ``SIMPLIFICATIONS``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..storage.database import Database
+from ..storage.dtypes import DataType, date_to_days
+from ..storage.table import ColumnSpec, TableSchema
+
+__all__ = [
+    "SCHEMAS",
+    "SIMPLIFICATIONS",
+    "clusterize",
+    "generate",
+    "load",
+    "queries",
+    "query",
+    "zipf_choice",
+]
+
+_D = DataType
+
+SCHEMAS: Dict[str, TableSchema] = {
+    "region": TableSchema(
+        "region",
+        (ColumnSpec("r_regionkey", _D.INT64), ColumnSpec("r_name", _D.STRING)),
+    ),
+    "nation": TableSchema(
+        "nation",
+        (
+            ColumnSpec("n_nationkey", _D.INT64),
+            ColumnSpec("n_name", _D.STRING),
+            ColumnSpec("n_regionkey", _D.INT64),
+        ),
+    ),
+    "supplier": TableSchema(
+        "supplier",
+        (
+            ColumnSpec("s_suppkey", _D.INT64),
+            ColumnSpec("s_name", _D.STRING),
+            ColumnSpec("s_nationkey", _D.INT64),
+            ColumnSpec("s_acctbal", _D.FLOAT64),
+        ),
+        dist_key="s_suppkey",
+    ),
+    "customer": TableSchema(
+        "customer",
+        (
+            ColumnSpec("c_custkey", _D.INT64),
+            ColumnSpec("c_name", _D.STRING),
+            ColumnSpec("c_nationkey", _D.INT64),
+            ColumnSpec("c_mktsegment", _D.STRING),
+            ColumnSpec("c_acctbal", _D.FLOAT64),
+        ),
+        dist_key="c_custkey",
+    ),
+    "part": TableSchema(
+        "part",
+        (
+            ColumnSpec("p_partkey", _D.INT64),
+            ColumnSpec("p_name", _D.STRING),
+            ColumnSpec("p_mfgr", _D.STRING),
+            ColumnSpec("p_brand", _D.STRING),
+            ColumnSpec("p_type_category", _D.STRING),
+            ColumnSpec("p_type", _D.STRING),
+            ColumnSpec("p_size", _D.INT64),
+            ColumnSpec("p_container", _D.STRING),
+            ColumnSpec("p_retailprice", _D.FLOAT64),
+        ),
+        dist_key="p_partkey",
+    ),
+    "partsupp": TableSchema(
+        "partsupp",
+        (
+            ColumnSpec("ps_partkey", _D.INT64),
+            ColumnSpec("ps_suppkey", _D.INT64),
+            ColumnSpec("ps_availqty", _D.INT64),
+            ColumnSpec("ps_supplycost", _D.FLOAT64),
+        ),
+        dist_key="ps_partkey",
+    ),
+    "orders": TableSchema(
+        "orders",
+        (
+            ColumnSpec("o_orderkey", _D.INT64),
+            ColumnSpec("o_custkey", _D.INT64),
+            ColumnSpec("o_orderstatus", _D.STRING),
+            ColumnSpec("o_totalprice", _D.FLOAT64),
+            ColumnSpec("o_orderdate", _D.DATE),
+            ColumnSpec("o_orderpriority", _D.STRING),
+            ColumnSpec("o_shippriority", _D.INT64),
+        ),
+        dist_key="o_orderkey",
+    ),
+    "lineitem": TableSchema(
+        "lineitem",
+        (
+            ColumnSpec("l_orderkey", _D.INT64),
+            ColumnSpec("l_partkey", _D.INT64),
+            ColumnSpec("l_suppkey", _D.INT64),
+            ColumnSpec("l_linenumber", _D.INT64),
+            ColumnSpec("l_quantity", _D.FLOAT64),
+            ColumnSpec("l_extendedprice", _D.FLOAT64),
+            ColumnSpec("l_discount", _D.FLOAT64),
+            ColumnSpec("l_tax", _D.FLOAT64),
+            ColumnSpec("l_returnflag", _D.STRING),
+            ColumnSpec("l_linestatus", _D.STRING),
+            ColumnSpec("l_shipdate", _D.DATE),
+            ColumnSpec("l_commitdate", _D.DATE),
+            ColumnSpec("l_receiptdate", _D.DATE),
+            ColumnSpec("l_shipinstruct", _D.STRING),
+            ColumnSpec("l_shipmode", _D.STRING),
+        ),
+        dist_key="l_orderkey",
+    ),
+}
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_SHIPMODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_SHIPINSTRUCT = [
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN",
+]
+_CONTAINERS = [
+    f"{size} {kind}"
+    for size in ("SM", "MED", "LG", "JUMBO", "WRAP")
+    for kind in ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM")
+]
+_COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+    "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+    "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+    "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+    "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+    "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat", "white",
+    "yellow",
+]
+
+_TYPE_CATEGORIES = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+_TYPE_FINISH = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+_TYPE_METAL = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+_TYPES = [
+    f"{c} {f} {m}"
+    for c in _TYPE_CATEGORIES
+    for f in _TYPE_FINISH
+    for m in _TYPE_METAL
+]
+
+_START_DATE = date_to_days("1992-01-01")
+_END_DATE = date_to_days("1998-08-02")
+
+SIMPLIFICATIONS = {
+    "Q2": "min-cost aggregate without the correlated min subquery",
+    "Q4": "EXISTS rewritten as join + count(distinct o_orderkey)",
+    "Q5": "drops the c_nationkey = s_nationkey cycle condition",
+    "Q7": "single nation dimension (no supplier/customer nation pair)",
+    "Q8": "market share ratio simplified to revenue by year and nation",
+    "Q9": "partsupp cost term dropped (profit ~ discounted revenue)",
+    "Q12": "CASE priority counts simplified to count(*) per shipmode",
+    "Q13": "left join + nested aggregate simplified to order counts",
+    "Q14": "CASE promo fraction replaced by the LIKE filter alone",
+    "Q15": "revenue view + max subquery replaced by order/limit 1",
+    "Q16": "drops the supplier NOT IN subquery",
+    "Q17": "drops the correlated avg-quantity subquery",
+    "Q18": "drops the HAVING sum subquery (top quantities instead)",
+    "Q20": "supplier availability check without nested subqueries",
+    "Q21": "waiting-supplier count without the anti-join conditions",
+    "Q22": "phone-prefix/acctbal subqueries replaced by acctbal filter",
+}
+
+
+def clusterize(
+    values: np.ndarray,
+    window: int,
+    offset: int = 0,
+) -> np.ndarray:
+    """Sort values within windows of ``window`` rows (temporal locality).
+
+    Skewed real-world data is not just *frequency*-skewed but also
+    *temporally clustered* — hot values arrive in bursts (campaigns,
+    batch loads).  The paper's skewed-TPC-H reference [3] produces such
+    correlated skew; this transform adds it to Zipf draws: within each
+    window the values are sorted, so rare values concentrate in few
+    blocks instead of being sprinkled everywhere.
+    """
+    if window <= 1:
+        return values
+    out = values.copy()
+    start = -offset % window if offset else 0
+    if start:
+        out[:start].sort()
+    for begin in range(start, len(out), window):
+        out[begin : begin + window].sort()
+    return out
+
+
+def zipf_choice(
+    rng: np.random.Generator,
+    num_values: int,
+    size: int,
+    skew: float,
+) -> np.ndarray:
+    """Draw ``size`` ranks from ``[0, num_values)``.
+
+    ``skew=0`` is uniform; larger values concentrate mass on low ranks
+    with probability ∝ 1/(rank+1)^skew (a Zipf-Mandelbrot draw).
+    """
+    if num_values <= 0:
+        raise ValueError("num_values must be positive")
+    if skew <= 0:
+        return rng.integers(0, num_values, size)
+    weights = 1.0 / np.power(np.arange(1, num_values + 1, dtype=np.float64), skew)
+    weights /= weights.sum()
+    return rng.choice(num_values, size=size, p=weights)
+
+
+def generate(
+    scale_factor: float = 0.01,
+    skew: float = 0.0,
+    seed: int = 0,
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Generate all eight TPC-H tables as column dictionaries."""
+    rng = np.random.default_rng(seed)
+    num_supplier = max(10, int(10_000 * scale_factor))
+    num_customer = max(30, int(150_000 * scale_factor))
+    num_part = max(40, int(200_000 * scale_factor))
+    num_orders = max(100, int(1_500_000 * scale_factor))
+
+    tables: Dict[str, Dict[str, np.ndarray]] = {}
+
+    tables["region"] = {
+        "r_regionkey": np.arange(5, dtype=np.int64),
+        "r_name": np.array(_REGIONS, dtype=object),
+    }
+    tables["nation"] = {
+        "n_nationkey": np.arange(25, dtype=np.int64),
+        "n_name": np.array(_NATIONS, dtype=object),
+        "n_regionkey": np.arange(25, dtype=np.int64) % 5,
+    }
+    tables["supplier"] = {
+        "s_suppkey": np.arange(1, num_supplier + 1, dtype=np.int64),
+        "s_name": np.array(
+            [f"Supplier#{i:09d}" for i in range(1, num_supplier + 1)], dtype=object
+        ),
+        "s_nationkey": zipf_choice(rng, 25, num_supplier, skew),
+        "s_acctbal": np.round(rng.uniform(-999.99, 9999.99, num_supplier), 2),
+    }
+    tables["customer"] = {
+        "c_custkey": np.arange(1, num_customer + 1, dtype=np.int64),
+        "c_name": np.array(
+            [f"Customer#{i:09d}" for i in range(1, num_customer + 1)], dtype=object
+        ),
+        "c_nationkey": zipf_choice(rng, 25, num_customer, skew),
+        "c_mktsegment": np.array(_SEGMENTS, dtype=object)[
+            zipf_choice(rng, len(_SEGMENTS), num_customer, skew)
+        ],
+        "c_acctbal": np.round(rng.uniform(-999.99, 9999.99, num_customer), 2),
+    }
+
+    brand_ranks = zipf_choice(rng, 25, num_part, skew)
+    type_ranks = zipf_choice(rng, len(_TYPES), num_part, skew)
+    color_picks = zipf_choice(rng, len(_COLORS), num_part * 3, skew).reshape(
+        num_part, 3
+    )
+    part_names = np.array(
+        [" ".join(_COLORS[c] for c in row) for row in color_picks], dtype=object
+    )
+    retail = np.round(
+        900.0 + (np.arange(1, num_part + 1) % 1000) / 10.0 + rng.uniform(0, 100, num_part),
+        2,
+    )
+    tables["part"] = {
+        "p_partkey": np.arange(1, num_part + 1, dtype=np.int64),
+        "p_name": part_names,
+        "p_mfgr": np.array(
+            [f"Manufacturer#{r % 5 + 1}" for r in brand_ranks], dtype=object
+        ),
+        "p_brand": np.array(
+            [f"Brand#{r // 5 + 1}{r % 5 + 1}" for r in brand_ranks], dtype=object
+        ),
+        "p_type_category": np.array(
+            [_TYPES[r].split(" ")[0] for r in type_ranks], dtype=object
+        ),
+        "p_type": np.array([_TYPES[r] for r in type_ranks], dtype=object),
+        "p_size": 1 + zipf_choice(rng, 50, num_part, skew).astype(np.int64),
+        "p_container": np.array(_CONTAINERS, dtype=object)[
+            zipf_choice(rng, len(_CONTAINERS), num_part, skew)
+        ],
+        "p_retailprice": retail,
+    }
+
+    num_ps = num_part * 4
+    ps_part = np.repeat(np.arange(1, num_part + 1, dtype=np.int64), 4)
+    tables["partsupp"] = {
+        "ps_partkey": ps_part,
+        "ps_suppkey": 1 + zipf_choice(rng, num_supplier, num_ps, skew).astype(np.int64),
+        "ps_availqty": rng.integers(1, 10_000, num_ps),
+        "ps_supplycost": np.round(rng.uniform(1.0, 1000.0, num_ps), 2),
+    }
+
+    # Orders arrive in date order (natural ingestion clustering).
+    if skew > 0:
+        # Skewed activity: later dates are hotter.
+        offsets = _END_DATE - _START_DATE - zipf_choice(
+            rng, _END_DATE - _START_DATE, num_orders, skew / 2
+        )
+    else:
+        offsets = rng.integers(0, _END_DATE - _START_DATE, num_orders)
+    orderdates = np.sort(_START_DATE + offsets).astype(np.int64)
+    order_status = np.where(
+        orderdates < date_to_days("1995-06-17"), "F", "O"
+    ).astype(object)
+    tables["orders"] = {
+        "o_orderkey": np.arange(1, num_orders + 1, dtype=np.int64),
+        "o_custkey": 1 + zipf_choice(rng, num_customer, num_orders, skew).astype(np.int64),
+        "o_orderstatus": order_status,
+        "o_totalprice": np.round(rng.uniform(850.0, 560_000.0, num_orders), 2),
+        "o_orderdate": orderdates,
+        "o_orderpriority": np.array(_PRIORITIES, dtype=object)[
+            zipf_choice(rng, len(_PRIORITIES), num_orders, skew)
+        ],
+        "o_shippriority": np.zeros(num_orders, dtype=np.int64),
+    }
+
+    lines_per_order = rng.integers(1, 8, num_orders)
+    num_lineitem = int(lines_per_order.sum())
+    l_orderkey = np.repeat(tables["orders"]["o_orderkey"], lines_per_order)
+    l_orderdate = np.repeat(orderdates, lines_per_order)
+    # Skewed data is also temporally clustered (hot values in bursts);
+    # uniform data stays unclustered (window 0 = no-op).
+    cluster = 4000 if skew > 0 else 0
+    l_partkey = 1 + clusterize(
+        zipf_choice(rng, num_part, num_lineitem, skew), cluster, offset=0
+    ).astype(np.int64)
+    quantity = 1 + clusterize(
+        zipf_choice(rng, 50, num_lineitem, skew),
+        cluster and cluster + 1500,
+        offset=700,
+    ).astype(np.float64)
+    partprice = retail[l_partkey - 1]
+    shipdate = l_orderdate + rng.integers(1, 122, num_lineitem)
+    commitdate = l_orderdate + rng.integers(30, 91, num_lineitem)
+    receiptdate = shipdate + rng.integers(1, 31, num_lineitem)
+    returnflag = np.where(
+        receiptdate <= date_to_days("1995-06-17"),
+        np.where(rng.random(num_lineitem) < 0.5, "R", "A"),
+        "N",
+    ).astype(object)
+    linestatus = np.where(
+        shipdate > date_to_days("1995-06-17"), "O", "F"
+    ).astype(object)
+    tables["lineitem"] = {
+        "l_orderkey": l_orderkey,
+        "l_partkey": l_partkey,
+        "l_suppkey": 1 + clusterize(
+            zipf_choice(rng, num_supplier, num_lineitem, skew),
+            cluster and cluster + 900,
+            offset=300,
+        ).astype(np.int64),
+        "l_linenumber": np.concatenate(
+            [np.arange(1, n + 1) for n in lines_per_order]
+        ).astype(np.int64),
+        "l_quantity": quantity,
+        "l_extendedprice": np.round(quantity * partprice, 2),
+        "l_discount": clusterize(
+            zipf_choice(rng, 11, num_lineitem, skew),
+            cluster and cluster + 2500,
+            offset=1200,
+        ) / 100.0,
+        "l_tax": rng.integers(0, 9, num_lineitem) / 100.0,
+        "l_returnflag": returnflag,
+        "l_linestatus": linestatus,
+        "l_shipdate": shipdate.astype(np.int64),
+        "l_commitdate": commitdate.astype(np.int64),
+        "l_receiptdate": receiptdate.astype(np.int64),
+        "l_shipinstruct": np.array(_SHIPINSTRUCT, dtype=object)[
+            zipf_choice(rng, len(_SHIPINSTRUCT), num_lineitem, skew)
+        ],
+        "l_shipmode": np.array(_SHIPMODES, dtype=object)[
+            zipf_choice(rng, len(_SHIPMODES), num_lineitem, skew)
+        ],
+    }
+    return tables
+
+
+def load(
+    database: Database,
+    scale_factor: float = 0.01,
+    skew: float = 0.0,
+    seed: int = 0,
+) -> None:
+    """Create and populate all TPC-H tables in ``database``."""
+    data = generate(scale_factor=scale_factor, skew=skew, seed=seed)
+    for name, schema in SCHEMAS.items():
+        table = database.create_table(schema)
+        table.insert(data[name], database.begin())
+
+
+def d(date_text: str) -> int:
+    """Date literal as days-since-epoch (the engine's date encoding)."""
+    return date_to_days(date_text)
+
+
+def queries(skewed: bool = False) -> Dict[str, str]:
+    """The 22-query set with fixed literals.
+
+    ``skewed=True`` picks literals that are *rare* under the Zipfian
+    distribution (high selectivity), the regime where the paper's
+    skewed run shows its gains.
+    """
+    brand_a = "Brand#45" if skewed else "Brand#12"
+    brand_b = "Brand#34" if skewed else "Brand#23"
+    brand_c = "Brand#55" if skewed else "Brand#34"
+    quantity_hi = 45 if skewed else 11
+    return {
+        "Q1": f"""
+            select l_returnflag, l_linestatus,
+                   sum(l_quantity) as sum_qty,
+                   sum(l_extendedprice) as sum_base_price,
+                   sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+                   avg(l_quantity) as avg_qty,
+                   avg(l_extendedprice) as avg_price,
+                   avg(l_discount) as avg_disc,
+                   count(*) as count_order
+            from lineitem
+            where l_shipdate <= {d('1998-09-02') - 90}
+            group by l_returnflag, l_linestatus
+            order by l_returnflag, l_linestatus""",
+        "Q2": f"""
+            select min(ps_supplycost) as min_cost
+            from partsupp, part, supplier, nation, region
+            where p_partkey = ps_partkey and s_suppkey = ps_suppkey
+              and s_nationkey = n_nationkey and n_regionkey = r_regionkey
+              and p_size = {48 if skewed else 15} and r_name = 'EUROPE'
+              and p_type like '%BRASS'""",
+        "Q3": f"""
+            select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue
+            from customer, orders, lineitem
+            where c_mktsegment = '{'HOUSEHOLD' if skewed else 'BUILDING'}'
+              and c_custkey = o_custkey and l_orderkey = o_orderkey
+              and o_orderdate < {d('1995-03-15')} and l_shipdate > {d('1995-03-15')}
+            group by l_orderkey
+            order by revenue desc limit 10""",
+        "Q4": f"""
+            select o_orderpriority, count(distinct o_orderkey) as order_count
+            from orders, lineitem
+            where l_orderkey = o_orderkey
+              and o_orderdate >= {d('1993-07-01')} and o_orderdate < {d('1993-10-01')}
+              and l_commitdate < l_receiptdate
+            group by o_orderpriority
+            order by o_orderpriority""",
+        "Q5": f"""
+            select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue
+            from customer, orders, lineitem, supplier, nation, region
+            where c_custkey = o_custkey and l_orderkey = o_orderkey
+              and l_suppkey = s_suppkey and s_nationkey = n_nationkey
+              and n_regionkey = r_regionkey and r_name = 'ASIA'
+              and o_orderdate >= {d('1994-01-01')} and o_orderdate < {d('1995-01-01')}
+            group by n_name
+            order by revenue desc""",
+        "Q6": f"""
+            select sum(l_extendedprice * l_discount) as revenue
+            from lineitem
+            where l_shipdate >= {d('1994-01-01')} and l_shipdate < {d('1995-01-01')}
+              and l_discount between {0.07 if skewed else 0.05} and {0.09 if skewed else 0.07}
+              and l_quantity < {45 if skewed else 24}""",
+        "Q7": f"""
+            select n_name, year(l_shipdate) as l_year,
+                   sum(l_extendedprice * (1 - l_discount)) as revenue
+            from lineitem, supplier, nation
+            where l_suppkey = s_suppkey and s_nationkey = n_nationkey
+              and n_name in ('FRANCE', 'GERMANY')
+              and l_shipdate between {d('1995-01-01')} and {d('1996-12-31')}
+            group by n_name, l_year
+            order by n_name, l_year""",
+        "Q8": f"""
+            select year(l_shipdate) as o_year, n_name,
+                   sum(l_extendedprice * (1 - l_discount)) as revenue
+            from lineitem, part, supplier, nation
+            where p_partkey = l_partkey and s_suppkey = l_suppkey
+              and s_nationkey = n_nationkey
+              and p_type = 'ECONOMY ANODIZED STEEL'
+              and l_shipdate >= {d('1995-01-01')} and l_shipdate <= {d('1996-12-31')}
+            group by o_year, n_name
+            order by o_year, revenue desc""",
+        "Q9": """
+            select n_name, year(l_shipdate) as o_year,
+                   sum(l_extendedprice * (1 - l_discount)) as profit
+            from lineitem, part, supplier, nation
+            where p_partkey = l_partkey and s_suppkey = l_suppkey
+              and s_nationkey = n_nationkey and p_name like '%green%'
+            group by n_name, o_year
+            order by n_name, o_year desc limit 50""",
+        "Q10": f"""
+            select c_custkey, c_name, sum(l_extendedprice * (1 - l_discount)) as revenue
+            from customer, orders, lineitem
+            where c_custkey = o_custkey and l_orderkey = o_orderkey
+              and o_orderdate >= {d('1993-10-01')} and o_orderdate < {d('1994-01-01')}
+              and l_returnflag = 'R'
+            group by c_custkey, c_name
+            order by revenue desc limit 20""",
+        "Q11": """
+            select ps_partkey, sum(ps_supplycost * ps_availqty) as value
+            from partsupp, supplier, nation
+            where ps_suppkey = s_suppkey and s_nationkey = n_nationkey
+              and n_name = 'GERMANY'
+            group by ps_partkey
+            order by value desc limit 20""",
+        "Q12": f"""
+            select l_shipmode, count(*) as line_count
+            from orders, lineitem
+            where o_orderkey = l_orderkey
+              and l_shipmode in ('MAIL', 'SHIP')
+              and l_commitdate < l_receiptdate and l_shipdate < l_commitdate
+              and l_receiptdate >= {d('1994-01-01')} and l_receiptdate < {d('1995-01-01')}
+            group by l_shipmode
+            order by l_shipmode""",
+        "Q13": """
+            select o_custkey, count(*) as c_count
+            from orders
+            group by o_custkey
+            order by c_count desc limit 100""",
+        "Q14": f"""
+            select sum(l_extendedprice * (1 - l_discount)) as promo_revenue
+            from lineitem, part
+            where l_partkey = p_partkey and p_type like 'PROMO%'
+              and l_shipdate >= {d('1995-09-01')} and l_shipdate < {d('1995-10-01')}""",
+        "Q15": f"""
+            select l_suppkey, sum(l_extendedprice * (1 - l_discount)) as total_revenue
+            from lineitem
+            where l_shipdate >= {d('1996-01-01')} and l_shipdate < {d('1996-04-01')}
+            group by l_suppkey
+            order by total_revenue desc limit 1""",
+        "Q16": f"""
+            select p_brand, p_type, p_size, count(distinct ps_suppkey) as supplier_cnt
+            from partsupp, part
+            where p_partkey = ps_partkey
+              and p_brand <> '{brand_a}'
+              and p_type not like 'MEDIUM POLISHED%'
+              and p_size in (49, 14, 23, 45, 19, 3, 36, 9)
+            group by p_brand, p_type, p_size
+            order by supplier_cnt desc limit 20""",
+        "Q17": f"""
+            select sum(l_extendedprice) as total
+            from lineitem, part
+            where p_partkey = l_partkey
+              and p_brand = '{brand_b}' and p_container = 'MED BOX'
+              and l_quantity < 5""",
+        "Q18": """
+            select o_orderkey, sum(l_quantity) as total_qty
+            from orders, lineitem
+            where o_orderkey = l_orderkey
+            group by o_orderkey
+            order by total_qty desc limit 100""",
+        "Q19": f"""
+            select sum(l_extendedprice * (1 - l_discount)) as revenue
+            from lineitem, part
+            where p_partkey = l_partkey and (
+                (p_brand = '{brand_a}'
+                 and p_container in ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+                 and l_quantity between {quantity_hi} and {quantity_hi + 10}
+                 and p_size between 1 and 5)
+                or (p_brand = '{brand_b}'
+                 and p_container in ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+                 and l_quantity between {quantity_hi - 5} and {quantity_hi + 5}
+                 and p_size between 1 and 10)
+                or (p_brand = '{brand_c}'
+                 and p_container in ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+                 and l_quantity between {quantity_hi - 10} and {quantity_hi}
+                 and p_size between 1 and 15))""",
+        "Q20": """
+            select count(*) as available
+            from partsupp, supplier, nation
+            where ps_suppkey = s_suppkey and s_nationkey = n_nationkey
+              and n_name = 'CANADA' and ps_availqty > 5000""",
+        "Q21": """
+            select s_suppkey, count(*) as numwait
+            from lineitem, orders, supplier
+            where l_orderkey = o_orderkey and l_suppkey = s_suppkey
+              and o_orderstatus = 'F' and l_receiptdate > l_commitdate
+            group by s_suppkey
+            order by numwait desc limit 10""",
+        "Q22": """
+            select c_nationkey, count(*) as numcust, sum(c_acctbal) as totacctbal
+            from customer
+            where c_acctbal > 7500.0
+            group by c_nationkey
+            order by c_nationkey""",
+    }
+
+
+def query(name: str, skewed: bool = False) -> str:
+    """One query by name (``"Q1"`` .. ``"Q22"``)."""
+    return queries(skewed=skewed)[name]

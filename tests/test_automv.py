@@ -1,0 +1,168 @@
+"""Automated materialized views with predicate elevation (§3.2, Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro import Database, QueryEngine
+from repro.baselines.automv import AutoMVManager, extract_template
+from repro.storage import ColumnSpec, DataType, TableSchema
+
+
+@pytest.fixture()
+def engine():
+    db = Database(num_slices=2, rows_per_block=100)
+    db.create_table(
+        TableSchema(
+            "lineitem",
+            (
+                ColumnSpec("l_shipdate", DataType.INT64),
+                ColumnSpec("l_discount", DataType.FLOAT64),
+                ColumnSpec("l_quantity", DataType.FLOAT64),
+                ColumnSpec("l_extendedprice", DataType.FLOAT64),
+            ),
+        )
+    )
+    eng = QueryEngine(db)
+    rng = np.random.default_rng(1)
+    n = 5000
+    eng.insert(
+        "lineitem",
+        {
+            "l_shipdate": rng.integers(8000, 8100, n),
+            "l_discount": rng.integers(0, 11, n) / 100.0,
+            "l_quantity": rng.integers(1, 51, n).astype(float),
+            "l_extendedprice": rng.random(n) * 1000,
+        },
+    )
+    return eng
+
+
+Q6 = (
+    "select sum(l_extendedprice * l_discount) as revenue from lineitem "
+    "where l_shipdate >= {lo} and l_shipdate < {hi} "
+    "and l_discount between 0.05 and 0.07 and l_quantity < 24"
+)
+
+
+class TestTemplateExtraction:
+    def test_literals_stripped(self):
+        a = extract_template("select * from t where x = 5 and s = 'abc'")
+        b = extract_template("select * from t where x = 99 and s = 'zzz'")
+        assert a == b
+
+    def test_structure_differs(self):
+        a = extract_template("select * from t where x = 5")
+        b = extract_template("select * from t where y = 5")
+        assert a != b
+
+    def test_case_and_whitespace_normalized(self):
+        a = extract_template("SELECT * FROM t  WHERE x = 5")
+        b = extract_template("select * from t where x = 1")
+        assert a == b
+
+
+class TestAutoMVLoop:
+    def test_view_created_after_threshold(self, engine):
+        manager = AutoMVManager(engine, create_threshold=3)
+        q = Q6.format(lo=8010, hi=8020)
+        assert manager.process(q) is None
+        assert manager.process(q) is None
+        assert manager.process(q) is not None
+        assert len(manager.views) == 1
+
+    def test_rewrite_matches_direct_execution(self, engine):
+        manager = AutoMVManager(engine, create_threshold=2)
+        q = Q6.format(lo=8010, hi=8020)
+        direct = engine.execute(q)
+        manager.process(q)
+        plan = manager.process(q)
+        via_view = engine.execute_plan(plan)
+        assert float(via_view.scalar()) == pytest.approx(float(direct.scalar()))
+
+    def test_generalizes_across_literals(self, engine):
+        """Fig. 8: elevated predicates answer different literal choices."""
+        manager = AutoMVManager(engine, create_threshold=2)
+        manager.process(Q6.format(lo=8010, hi=8020))
+        manager.process(Q6.format(lo=8010, hi=8020))
+        other = Q6.format(lo=8050, hi=8090)
+        plan = manager.process(other)
+        assert plan is not None
+        assert len(manager.views) == 1  # same template, same view
+        direct = engine.execute(other)
+        assert float(engine.execute_plan(plan).scalar()) == pytest.approx(
+            float(direct.scalar())
+        )
+
+    def test_stale_view_refreshes_on_use(self, engine):
+        manager = AutoMVManager(engine, create_threshold=2)
+        q = Q6.format(lo=8010, hi=8020)
+        manager.process(q)
+        manager.process(q)
+        engine.insert(
+            "lineitem",
+            {
+                "l_shipdate": [8015],
+                "l_discount": [0.06],
+                "l_quantity": [5.0],
+                "l_extendedprice": [100.0],
+            },
+        )
+        direct = engine.execute(q)
+        plan = manager.process(q)
+        assert manager.refreshes >= 1
+        assert float(engine.execute_plan(plan).scalar()) == pytest.approx(
+            float(direct.scalar())
+        )
+
+    def test_group_by_and_avg(self, engine):
+        manager = AutoMVManager(engine, create_threshold=2)
+        q = (
+            "select l_quantity, avg(l_extendedprice) as ap, count(*) as c "
+            "from lineitem where l_discount = 0.05 "
+            "group by l_quantity order by l_quantity"
+        )
+        direct = engine.execute(q)
+        manager.process(q)
+        plan = manager.process(q)
+        via = engine.execute_plan(plan)
+        assert via.num_rows == direct.num_rows
+        np.testing.assert_allclose(
+            np.asarray(via.column("ap"), dtype=float),
+            np.asarray(direct.column("ap"), dtype=float),
+        )
+
+    def test_min_max_reaggregation(self, engine):
+        manager = AutoMVManager(engine, create_threshold=2)
+        q = (
+            "select max(l_extendedprice) as hi, min(l_quantity) as lo "
+            "from lineitem where l_shipdate between 8010 and 8050"
+        )
+        direct = engine.execute(q)
+        manager.process(q)
+        plan = manager.process(q)
+        via = engine.execute_plan(plan)
+        assert float(via.column("hi")[0]) == pytest.approx(float(direct.column("hi")[0]))
+        assert float(via.column("lo")[0]) == pytest.approx(float(direct.column("lo")[0]))
+
+    def test_joins_are_ineligible(self, engine):
+        engine.database.create_table(
+            TableSchema("d", (ColumnSpec("dk", DataType.INT64),))
+        )
+        engine.insert("d", {"dk": np.arange(10)})
+        manager = AutoMVManager(engine, create_threshold=1)
+        q = "select count(*) from lineitem, d where l_shipdate = dk"
+        assert manager.process(q) is None
+        assert len(manager.views) == 0
+
+    def test_count_distinct_ineligible(self, engine):
+        manager = AutoMVManager(engine, create_threshold=1)
+        q = "select count(distinct l_quantity) as d from lineitem where l_discount = 0.05"
+        assert manager.process(q) is None
+
+    def test_view_nbytes(self, engine):
+        manager = AutoMVManager(engine, create_threshold=2)
+        q = Q6.format(lo=8010, hi=8020)
+        manager.process(q)
+        manager.process(q)
+        view = next(iter(manager.views.values()))
+        assert manager.view_nbytes(view) > 0

@@ -1,0 +1,68 @@
+"""Bloom filters for semi-join pushdown."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.bloom import BloomFilter
+
+
+class TestBloomBasics:
+    def test_no_false_negatives(self):
+        keys = np.arange(1000, dtype=np.int64)
+        bloom = BloomFilter(expected_items=1000)
+        bloom.add_many(keys)
+        assert bloom.may_contain(keys).all()
+
+    def test_rejects_most_absent_keys(self):
+        rng = np.random.default_rng(0)
+        present = rng.integers(0, 10**9, 5000)
+        bloom = BloomFilter(expected_items=5000, fpr=0.01)
+        bloom.add_many(present)
+        absent = rng.integers(10**10, 10**11, 10_000)
+        fpr = bloom.may_contain(absent).mean()
+        assert fpr < 0.05
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(expected_items=100)
+        assert not bloom.may_contain(np.array([1, 2, 3])).any()
+
+    def test_empty_probe(self):
+        bloom = BloomFilter(expected_items=10)
+        assert bloom.may_contain(np.array([], dtype=np.int64)).shape == (0,)
+
+    def test_add_empty_is_noop(self):
+        bloom = BloomFilter(expected_items=10)
+        bloom.add_many(np.array([], dtype=np.int64))
+        assert bloom.items_added == 0
+
+    def test_negative_keys(self):
+        keys = np.array([-5, -1, 0, 3], dtype=np.int64)
+        bloom = BloomFilter(expected_items=4)
+        bloom.add_many(keys)
+        assert bloom.may_contain(keys).all()
+
+    def test_rejects_bad_fpr(self):
+        with pytest.raises(ValueError):
+            BloomFilter(10, fpr=1.5)
+
+    def test_size_grows_with_items(self):
+        small = BloomFilter(expected_items=100)
+        large = BloomFilter(expected_items=100_000)
+        assert large.nbytes > small.nbytes
+
+    def test_fill_ratio_increases(self):
+        bloom = BloomFilter(expected_items=1000)
+        empty_fill = bloom.fill_ratio
+        bloom.add_many(np.arange(1000))
+        assert bloom.fill_ratio > empty_fill
+
+
+@given(st.lists(st.integers(-(2**62), 2**62), min_size=1, max_size=500))
+@settings(max_examples=100, deadline=None)
+def test_membership_property(keys):
+    array = np.array(keys, dtype=np.int64)
+    bloom = BloomFilter(expected_items=len(keys))
+    bloom.add_many(array)
+    assert bloom.may_contain(array).all()

@@ -1,0 +1,103 @@
+"""B+-tree secondary index baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.btree import BPlusTree, btree_size_model
+
+
+class TestBPlusTree:
+    def test_point_lookup(self):
+        keys = np.array([5, 3, 5, 9, 1])
+        tree = BPlusTree.build(keys)
+        assert sorted(tree.search(5).tolist()) == [0, 2]
+        assert tree.search(4).tolist() == []
+
+    def test_range_search_inclusive(self):
+        keys = np.arange(100)
+        tree = BPlusTree.build(keys, order=8)
+        assert sorted(tree.range_search(10, 20).tolist()) == list(range(10, 21))
+
+    def test_range_search_exclusive_high(self):
+        keys = np.arange(100)
+        tree = BPlusTree.build(keys, order=8)
+        result = tree.range_search(10, 20, include_high=False)
+        assert sorted(result.tolist()) == list(range(10, 20))
+
+    def test_range_beyond_bounds(self):
+        keys = np.arange(10)
+        tree = BPlusTree.build(keys)
+        assert sorted(tree.range_search(-5, 100).tolist()) == list(range(10))
+
+    def test_custom_row_ids(self):
+        tree = BPlusTree.build(np.array([7, 7]), row_ids=np.array([100, 200]))
+        assert sorted(tree.search(7).tolist()) == [100, 200]
+
+    def test_multi_level_height(self):
+        tree = BPlusTree.build(np.arange(10_000), order=8)
+        assert tree.height >= 3
+        assert tree.num_keys == 10_000
+
+    def test_items_in_order(self):
+        keys = np.array([3, 1, 2])
+        tree = BPlusTree.build(keys)
+        assert [k for k, _ in tree.items()] == [1, 2, 3]
+
+    def test_empty(self):
+        tree = BPlusTree.build(np.array([], dtype=np.int64))
+        assert tree.search(1).tolist() == []
+
+    def test_string_keys(self):
+        keys = np.array(["b", "a", "c", "a"], dtype=object)
+        tree = BPlusTree.build(keys, order=4)
+        assert sorted(tree.search("a").tolist()) == [1, 3]
+        assert sorted(tree.range_search("a", "b").tolist()) == [0, 1, 3]
+
+    def test_rejects_tiny_order(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            BPlusTree.build(np.arange(5), row_ids=np.arange(4))
+
+    def test_nbytes_scales_with_entries(self):
+        small = BPlusTree.build(np.arange(100))
+        large = BPlusTree.build(np.arange(10_000))
+        assert large.nbytes > small.nbytes * 50
+
+
+class TestSizeModel:
+    def test_paper_scale_near_540gb(self):
+        """Table 3: ~540 GB for 18 B rows x 3 indexed columns."""
+        size = btree_size_model(18_000_000_000, num_columns=3)
+        assert 450e9 < size < 700e9
+
+    def test_scales_linearly(self):
+        assert btree_size_model(2_000_000) == pytest.approx(
+            2 * btree_size_model(1_000_000), rel=0.01
+        )
+
+
+@given(
+    st.lists(st.integers(0, 100), min_size=1, max_size=300),
+    st.integers(0, 100),
+    st.integers(0, 100),
+)
+@settings(max_examples=100, deadline=None)
+def test_range_search_matches_brute_force(values, a, b):
+    low, high = min(a, b), max(a, b)
+    keys = np.array(values)
+    tree = BPlusTree.build(keys, order=4)
+    expected = sorted(i for i, v in enumerate(values) if low <= v <= high)
+    assert sorted(tree.range_search(low, high).tolist()) == expected
+
+
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=200), st.integers(0, 50))
+@settings(max_examples=100, deadline=None)
+def test_point_search_matches_brute_force(values, probe):
+    tree = BPlusTree.build(np.array(values), order=4)
+    expected = sorted(i for i, v in enumerate(values) if v == probe)
+    assert sorted(tree.search(probe).tolist()) == expected

@@ -1,0 +1,155 @@
+"""Multi-node per-node caches (§3.4 "lightweight", §4.6 per-node state)."""
+
+import numpy as np
+import pytest
+
+from repro import Database, PredicateCacheConfig, QueryEngine
+from repro.cluster import ClusterCaches
+from repro.core import CostBasedPolicy
+from repro.storage import ColumnSpec, DataType, TableSchema
+
+
+def make_cluster(num_slices=8, num_nodes=4, **config):
+    db = Database(num_slices=num_slices, rows_per_block=100)
+    db.create_table(
+        TableSchema("t", (ColumnSpec("x", DataType.INT64), ColumnSpec("v", DataType.FLOAT64)))
+    )
+    caches = ClusterCaches(
+        num_nodes=num_nodes,
+        config=PredicateCacheConfig(variant="bitmap", bitmap_block_rows=100, **config),
+    )
+    engine = QueryEngine(db, predicate_cache=caches)
+    rng = np.random.default_rng(3)
+    engine.insert(
+        "t", {"x": np.sort(rng.integers(0, 1000, 40_000)), "v": rng.random(40_000)}
+    )
+    return engine, caches
+
+
+class TestRouting:
+    def test_slices_route_round_robin(self):
+        caches = ClusterCaches(num_nodes=3)
+        assert caches.cache_for_slice(0) is caches.node(0)
+        assert caches.cache_for_slice(4) is caches.node(1)
+        assert caches.cache_for_slice(5) is caches.node(2)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            ClusterCaches(num_nodes=0)
+
+    def test_results_identical_to_single_cache(self):
+        engine, _ = make_cluster()
+        single_db = Database(num_slices=8, rows_per_block=100)
+        single_db.create_table(
+            TableSchema("t", (ColumnSpec("x", DataType.INT64), ColumnSpec("v", DataType.FLOAT64)))
+        )
+        from repro import PredicateCache
+
+        single = QueryEngine(
+            single_db,
+            predicate_cache=PredicateCache(
+                PredicateCacheConfig(variant="bitmap", bitmap_block_rows=100)
+            ),
+        )
+        rng = np.random.default_rng(3)
+        single.insert(
+            "t", {"x": np.sort(rng.integers(0, 1000, 40_000)), "v": rng.random(40_000)}
+        )
+        for sql in (
+            "select count(*) as c from t where x < 50",
+            "select count(*) as c from t where x < 50",
+            "select sum(v) as s from t where x between 200 and 220",
+        ):
+            assert engine.execute(sql).scalar() == pytest.approx(
+                single.execute(sql).scalar()
+            )
+
+
+class TestPerNodeState:
+    def test_each_node_holds_only_its_slices(self):
+        engine, caches = make_cluster(num_slices=8, num_nodes=4)
+        engine.execute("select count(*) as c from t where x < 50")
+        for node_id in range(4):
+            entries = caches.node(node_id).entries()
+            assert len(entries) == 1
+            states = entries[0].slice_states
+            owned = {s for s in range(8) if s % 4 == node_id}
+            for slice_id, state in enumerate(states):
+                if slice_id in owned:
+                    assert state is not None
+                else:
+                    assert state is None
+
+    def test_memory_is_balanced(self):
+        engine, caches = make_cluster()
+        engine.execute("select count(*) as c from t where x < 100")
+        sizes = caches.per_node_nbytes()
+        assert max(sizes) - min(sizes) <= 16
+
+    def test_aggregate_stats(self):
+        engine, caches = make_cluster()
+        engine.execute("select count(*) as c from t where x < 100")
+        engine.execute("select count(*) as c from t where x < 100")
+        stats = caches.aggregate_stats()
+        # One probe per (node, scan): 4 nodes x 2 scans.
+        assert stats.lookups == 8
+        assert stats.hits == 4
+        assert stats.misses == 4
+
+    def test_len_counts_distinct_keys(self):
+        engine, caches = make_cluster()
+        engine.execute("select count(*) as c from t where x < 100")
+        engine.execute("select count(*) as c from t where x < 200")
+        assert len(caches) == 2
+
+
+class TestNodeFailure:
+    def test_failure_relearns_only_that_node(self):
+        engine, caches = make_cluster()
+        sql = "select count(*) as c from t where x < 50"
+        expected = engine.execute(sql).scalar()
+        engine.execute(sql)
+
+        survivors_bytes = [
+            caches.node(i).total_nbytes for i in range(4) if i != 2
+        ]
+        caches.fail_node(2)
+        assert caches.node(2).total_nbytes == 0
+
+        after = engine.execute(sql)
+        assert after.scalar() == expected
+        # Survivors untouched; the replacement relearned its share.
+        assert [
+            caches.node(i).total_nbytes for i in range(4) if i != 2
+        ] == survivors_bytes
+        assert caches.node(2).total_nbytes > 0
+        again = engine.execute(sql)
+        assert again.scalar() == expected
+
+    def test_failure_during_dml_lifecycle(self):
+        engine, caches = make_cluster()
+        sql = "select count(*) as c from t where x < 50"
+        base = engine.execute(sql).scalar()
+        engine.insert("t", {"x": [-5], "v": [0.5]})  # sentinel not in data
+        caches.fail_node(0)
+        assert engine.execute(sql).scalar() == base + 1
+        engine.delete_where("t", __import__("repro").parse_predicate("x = -5"))
+        assert engine.execute(sql).scalar() == base
+
+
+class TestPolicyFactory:
+    def test_per_node_policies_are_independent(self):
+        db = Database(num_slices=4, rows_per_block=100)
+        db.create_table(TableSchema("t", (ColumnSpec("x", DataType.INT64),)))
+        caches = ClusterCaches(
+            num_nodes=2,
+            policy_factory=lambda: CostBasedPolicy(min_sightings=2),
+        )
+        engine = QueryEngine(db, predicate_cache=caches)
+        engine.insert("t", {"x": np.arange(10_000)})
+        sql = "select count(*) as c from t where x < 10"
+        engine.execute(sql)
+        assert len(caches) == 0  # first sighting observed, not admitted
+        engine.execute(sql)
+        assert len(caches) == 1
+        assert caches.node(0).policy is not caches.node(1).policy

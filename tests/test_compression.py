@@ -1,0 +1,177 @@
+"""Block compression codecs: roundtrips and size accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.compression import (
+    CODECS,
+    DictionaryCodec,
+    FrameOfReferenceCodec,
+    PlainCodec,
+    RunLengthCodec,
+    choose_codec,
+    decode_block,
+)
+
+
+class TestPlain:
+    def test_roundtrip(self):
+        values = np.array([3.5, 2.25, -1.0])
+        block = PlainCodec().encode(values)
+        assert decode_block(block).tolist() == values.tolist()
+        assert block.nbytes == values.nbytes
+
+    def test_copy_isolation(self):
+        values = np.array([1, 2, 3])
+        block = PlainCodec().encode(values)
+        values[0] = 99
+        assert decode_block(block)[0] == 1
+
+
+class TestRunLength:
+    def test_roundtrip(self):
+        values = np.array([5, 5, 5, 2, 2, 9])
+        block = RunLengthCodec().encode(values)
+        assert decode_block(block).tolist() == values.tolist()
+
+    def test_compresses_runs(self):
+        values = np.repeat(np.arange(5), 200)
+        block = RunLengthCodec().encode(values)
+        assert block.nbytes < values.nbytes / 10
+
+    def test_worst_case_bigger_than_plain(self):
+        values = np.arange(100)
+        rle = RunLengthCodec().encode(values)
+        assert rle.nbytes > PlainCodec().encode(values).nbytes
+
+    def test_empty(self):
+        block = RunLengthCodec().encode(np.array([], dtype=np.int64))
+        assert decode_block(block).tolist() == []
+
+    def test_strings(self):
+        values = np.array(["a", "a", "b"], dtype=object)
+        block = RunLengthCodec().encode(values)
+        assert decode_block(block).tolist() == ["a", "a", "b"]
+
+
+class TestFrameOfReference:
+    def test_roundtrip(self):
+        values = np.array([1000, 1001, 1005, 1003], dtype=np.int64)
+        block = FrameOfReferenceCodec().encode(values)
+        assert decode_block(block).tolist() == values.tolist()
+
+    def test_small_range_compresses_well(self):
+        values = 1_000_000 + np.random.default_rng(0).integers(0, 4, 1000)
+        block = FrameOfReferenceCodec().encode(values)
+        # 2 bits per value plus the reference.
+        assert block.nbytes <= 8 + 1000 * 2 // 8 + 1
+
+    def test_declines_floats(self):
+        assert FrameOfReferenceCodec().encode(np.array([1.5, 2.5])) is None
+
+    def test_declines_huge_spans(self):
+        values = np.array([0, 2**40], dtype=np.int64)
+        assert FrameOfReferenceCodec().encode(values) is None
+
+    def test_negative_values(self):
+        values = np.array([-100, -50, -75], dtype=np.int64)
+        block = FrameOfReferenceCodec().encode(values)
+        assert decode_block(block).tolist() == values.tolist()
+
+
+class TestDictionary:
+    def test_roundtrip_strings(self):
+        values = np.array(["x", "y", "x", "z"], dtype=object)
+        block = DictionaryCodec().encode(values)
+        assert decode_block(block).tolist() == values.tolist()
+
+    def test_roundtrip_ints(self):
+        values = np.array([7, 7, 9, 7], dtype=np.int64)
+        block = DictionaryCodec().encode(values)
+        assert decode_block(block).tolist() == values.tolist()
+
+    def test_declines_high_cardinality(self):
+        values = np.arange(10_000)
+        assert DictionaryCodec(max_card=100).encode(values) is None
+
+    def test_small_domain_compresses(self):
+        values = np.array(["MAIL", "SHIP"] * 500, dtype=object)
+        block = DictionaryCodec().encode(values)
+        assert block.nbytes < 200
+
+
+class TestChooseCodec:
+    def test_prefers_rle_for_runs(self):
+        values = np.repeat(np.array([1, 2, 3], dtype=np.int64), 300)
+        assert choose_codec(values).codec_name == "rle"
+
+    def test_prefers_for_for_dense_ranges(self):
+        values = np.random.default_rng(0).permutation(np.arange(1000)) + 10**6
+        assert choose_codec(values).codec_name == "for"
+
+    def test_strings_use_dictionary(self):
+        values = np.array(["a", "b"] * 10, dtype=object)
+        assert choose_codec(values).codec_name == "dict"
+
+    def test_high_cardinality_strings_fall_back_to_plain(self):
+        values = np.array([f"unique-{i}" for i in range(5000)], dtype=object)
+        block = choose_codec(values)
+        assert block.codec_name == "plain"
+        assert block.nbytes == sum(len(s) for s in values)
+
+    def test_floats_stay_plain(self):
+        values = np.random.default_rng(0).random(100)
+        assert choose_codec(values).codec_name == "plain"
+
+    def test_roundtrip_always(self):
+        for values in (
+            np.arange(100),
+            np.repeat([5], 100),
+            np.array(["x"] * 50 + ["y"] * 50, dtype=object),
+            np.random.default_rng(1).random(64),
+        ):
+            assert decode_block(choose_codec(values)).tolist() == values.tolist()
+
+
+# -- property-based roundtrips -------------------------------------------------------
+
+
+@given(st.lists(st.integers(-(2**31), 2**31), min_size=1, max_size=200))
+@settings(max_examples=150, deadline=None)
+def test_integer_roundtrip_through_best_codec(values):
+    array = np.array(values, dtype=np.int64)
+    block = choose_codec(array)
+    assert decode_block(block).tolist() == values
+
+
+@given(
+    st.lists(
+        st.sampled_from(["AIR", "SHIP", "RAIL", "MAIL", "TRUCK"]),
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_string_roundtrip_through_best_codec(values):
+    array = np.array(values, dtype=object)
+    block = choose_codec(array)
+    assert decode_block(block).tolist() == values
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=1, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_float_roundtrip(values):
+    array = np.array(values, dtype=np.float64)
+    block = choose_codec(array)
+    assert decode_block(block).tolist() == array.tolist()
+
+
+@given(st.lists(st.integers(0, 10), min_size=1, max_size=300))
+@settings(max_examples=100, deadline=None)
+def test_chosen_codec_is_never_larger_than_plain(values):
+    array = np.array(values, dtype=np.int64)
+    best = choose_codec(array)
+    plain = CODECS["plain"].encode(array)
+    assert best.nbytes <= plain.nbytes

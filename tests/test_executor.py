@@ -1,0 +1,309 @@
+"""Plan execution: joins, aggregation, projection, sort/limit, filters."""
+
+import numpy as np
+import pytest
+
+from repro import Database, PredicateCache, QueryEngine
+from repro.engine.executor import _hash_join_indices
+from repro.engine.expr import Col, Const
+from repro.engine.plan import (
+    AggregateNode,
+    Aggregation,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+from repro.predicates import parse_predicate
+from repro.storage import ColumnSpec, DataType, TableSchema
+
+
+@pytest.fixture()
+def star_db():
+    db = Database(num_slices=2, rows_per_block=50)
+    db.create_table(
+        TableSchema(
+            "fact",
+            (
+                ColumnSpec("fk", DataType.INT64),
+                ColumnSpec("amount", DataType.FLOAT64),
+                ColumnSpec("tag", DataType.INT64),
+            ),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "dim",
+            (ColumnSpec("pk", DataType.INT64), ColumnSpec("label", DataType.STRING)),
+        )
+    )
+    rng = np.random.default_rng(7)
+    engine = QueryEngine(db, predicate_cache=PredicateCache())
+    engine.insert(
+        "dim",
+        {
+            "pk": np.arange(100),
+            "label": np.array([f"L{i % 10}" for i in range(100)], dtype=object),
+        },
+    )
+    engine.insert(
+        "fact",
+        {
+            "fk": rng.integers(0, 100, 5000),
+            "amount": rng.random(5000).round(3),
+            "tag": rng.integers(0, 5, 5000),
+        },
+    )
+    return db, engine
+
+
+class TestHashJoinIndices:
+    def test_pk_fk_join(self):
+        probe = np.array([3, 1, 3, 9], dtype=np.int64)
+        build = np.array([1, 3, 5], dtype=np.int64)
+        p, b = _hash_join_indices(probe, build)
+        pairs = sorted(zip(p.tolist(), b.tolist()))
+        assert pairs == [(0, 1), (1, 0), (2, 1)]
+
+    def test_duplicates_produce_cross_product(self):
+        probe = np.array([7, 7], dtype=np.int64)
+        build = np.array([7, 7, 7], dtype=np.int64)
+        p, b = _hash_join_indices(probe, build)
+        assert len(p) == 6
+
+    def test_empty_sides(self):
+        empty = np.array([], dtype=np.int64)
+        some = np.array([1], dtype=np.int64)
+        assert _hash_join_indices(empty, some)[0].shape == (0,)
+        assert _hash_join_indices(some, empty)[1].shape == (0,)
+
+
+class TestJoins:
+    def test_join_matches_brute_force(self, star_db):
+        db, engine = star_db
+        plan = AggregateNode(
+            JoinNode(
+                ScanNode("fact"),
+                ScanNode("dim", parse_predicate("label = 'L3'")),
+                "fk",
+                "pk",
+            ),
+            [],
+            [Aggregation("sum", Col("amount"), "total")],
+        )
+        result = engine.execute_plan(plan)
+        fk = db.table("fact").read_column_all("fk")
+        amount = db.table("fact").read_column_all("amount")
+        labels = db.table("dim").read_column_all("label")
+        pks = db.table("dim").read_column_all("pk")
+        good = {int(k) for k, l in zip(pks, labels) if l == "L3"}
+        expected = sum(a for k, a in zip(fk, amount) if int(k) in good)
+        assert result.scalar() == pytest.approx(expected)
+
+    def test_join_without_semijoin_flag(self, star_db):
+        db, engine = star_db
+        plan = AggregateNode(
+            JoinNode(
+                ScanNode("fact"),
+                ScanNode("dim", parse_predicate("label = 'L3'")),
+                "fk",
+                "pk",
+                semijoin=False,
+            ),
+            [],
+            [Aggregation("count", None, "cnt")],
+        )
+        with_flag = engine.execute_plan(
+            AggregateNode(
+                JoinNode(
+                    ScanNode("fact"),
+                    ScanNode("dim", parse_predicate("label = 'L3'")),
+                    "fk",
+                    "pk",
+                ),
+                [],
+                [Aggregation("count", None, "cnt")],
+            )
+        )
+        without = engine.execute_plan(plan)
+        assert with_flag.scalar() == without.scalar()
+
+    def test_semijoin_filter_reduces_qualifying_rows(self, star_db):
+        db, engine = star_db
+        counters_rows = []
+        plan = AggregateNode(
+            JoinNode(
+                ScanNode("fact"),
+                ScanNode("dim", parse_predicate("label = 'L3'")),
+                "fk",
+                "pk",
+            ),
+            [],
+            [Aggregation("count", None, "cnt")],
+        )
+        result = engine.execute_plan(plan)
+        # ~10% of dim keys match L3, so the bloom filter admits ~10% of
+        # fact rows (plus false positives).
+        assert result.counters.rows_qualifying < 5000 * 0.2 + 100
+
+
+class TestAggregation:
+    def test_group_by_single_column(self, star_db):
+        db, engine = star_db
+        plan = AggregateNode(
+            ScanNode("fact"),
+            ["tag"],
+            [
+                Aggregation("count", None, "cnt"),
+                Aggregation("sum", Col("amount"), "total"),
+                Aggregation("avg", Col("amount"), "mean"),
+                Aggregation("min", Col("amount"), "lo"),
+                Aggregation("max", Col("amount"), "hi"),
+            ],
+        )
+        result = engine.execute_plan(plan)
+        tags = db.table("fact").read_column_all("tag")
+        amounts = db.table("fact").read_column_all("amount")
+        for i, tag in enumerate(result.column("tag")):
+            members = amounts[tags == tag]
+            assert result.column("cnt")[i] == len(members)
+            assert result.column("total")[i] == pytest.approx(members.sum())
+            assert result.column("mean")[i] == pytest.approx(members.mean())
+            assert result.column("lo")[i] == pytest.approx(members.min())
+            assert result.column("hi")[i] == pytest.approx(members.max())
+
+    def test_group_by_multiple_columns(self, star_db):
+        db, engine = star_db
+        plan = AggregateNode(
+            JoinNode(ScanNode("fact"), ScanNode("dim"), "fk", "pk"),
+            ["tag", "label"],
+            [Aggregation("count", None, "cnt")],
+        )
+        result = engine.execute_plan(plan)
+        assert result.column("cnt").sum() == 5000
+        assert result.num_rows <= 5 * 10
+
+    def test_count_distinct(self, star_db):
+        db, engine = star_db
+        plan = AggregateNode(
+            ScanNode("fact"),
+            ["tag"],
+            [Aggregation("count_distinct", Col("fk"), "dk")],
+        )
+        result = engine.execute_plan(plan)
+        tags = db.table("fact").read_column_all("tag")
+        fks = db.table("fact").read_column_all("fk")
+        for i, tag in enumerate(result.column("tag")):
+            assert result.column("dk")[i] == len(np.unique(fks[tags == tag]))
+
+    def test_global_aggregate_on_empty_result(self, star_db):
+        db, engine = star_db
+        plan = AggregateNode(
+            ScanNode("fact", parse_predicate("tag = 999")),
+            [],
+            [Aggregation("count", None, "cnt")],
+        )
+        assert engine.execute_plan(plan).scalar() == 0
+
+    def test_aggregation_validation(self):
+        with pytest.raises(ValueError):
+            Aggregation("median", Col("x"), "m")
+        with pytest.raises(ValueError):
+            Aggregation("sum", None, "s")
+
+
+class TestOtherOperators:
+    def test_project_expressions(self, star_db):
+        db, engine = star_db
+        plan = ProjectNode(
+            ScanNode("fact", parse_predicate("tag = 1")),
+            [("double_amount", Col("amount") * Const(2))],
+        )
+        result = engine.execute_plan(plan)
+        amounts = db.table("fact").read_column_all("amount")
+        tags = db.table("fact").read_column_all("tag")
+        assert result.num_rows == int((tags == 1).sum())
+        assert result.column("double_amount").max() == pytest.approx(
+            2 * amounts[tags == 1].max()
+        )
+
+    def test_sort_and_limit(self, star_db):
+        db, engine = star_db
+        plan = LimitNode(
+            SortNode(
+                AggregateNode(
+                    ScanNode("fact"), ["tag"], [Aggregation("count", None, "cnt")]
+                ),
+                [("cnt", False)],
+            ),
+            2,
+        )
+        result = engine.execute_plan(plan)
+        assert result.num_rows == 2
+        counts = result.column("cnt")
+        assert counts[0] >= counts[1]
+
+    def test_sort_multiple_keys(self, star_db):
+        db, engine = star_db
+        plan = SortNode(
+            AggregateNode(
+                JoinNode(ScanNode("fact"), ScanNode("dim"), "fk", "pk"),
+                ["label", "tag"],
+                [Aggregation("count", None, "cnt")],
+            ),
+            [("label", True), ("tag", False)],
+        )
+        result = engine.execute_plan(plan)
+        labels = result.column("label")
+        tags = result.column("tag")
+        for i in range(1, result.num_rows):
+            assert labels[i - 1] <= labels[i]
+            if labels[i - 1] == labels[i]:
+                assert tags[i - 1] >= tags[i]
+
+    def test_filter_node(self, star_db):
+        db, engine = star_db
+        plan = AggregateNode(
+            FilterNode(ScanNode("fact"), parse_predicate("tag = 2 or tag = 3")),
+            [],
+            [Aggregation("count", None, "cnt")],
+        )
+        tags = db.table("fact").read_column_all("tag")
+        expected = int(((tags == 2) | (tags == 3)).sum())
+        assert engine.execute_plan(plan).scalar() == expected
+
+    def test_snowflake_chain_pushes_filter_through_build(self):
+        """Semi-join filters must reach scans on inner build sides."""
+        db = Database(num_slices=1, rows_per_block=50)
+        db.create_table(TableSchema("f", (ColumnSpec("a", DataType.INT64),)))
+        db.create_table(
+            TableSchema(
+                "m", (ColumnSpec("b", DataType.INT64), ColumnSpec("c", DataType.INT64))
+            )
+        )
+        db.create_table(
+            TableSchema(
+                "d", (ColumnSpec("e", DataType.INT64), ColumnSpec("g", DataType.INT64))
+            )
+        )
+        engine = QueryEngine(db, predicate_cache=PredicateCache())
+        engine.insert("d", {"e": np.arange(10), "g": np.arange(10) % 2})
+        engine.insert("m", {"b": np.arange(100), "c": np.arange(100) % 10})
+        engine.insert("f", {"a": np.random.default_rng(0).integers(0, 100, 2000)})
+        # f join m on a=b, m join d on c=e, filter g=1.
+        plan = AggregateNode(
+            JoinNode(
+                JoinNode(ScanNode("f"), ScanNode("m"), "a", "b"),
+                ScanNode("d", parse_predicate("g = 1")),
+                "c",
+                "e",
+            ),
+            [],
+            [Aggregation("count", None, "cnt")],
+        )
+        result = engine.execute_plan(plan)
+        a = db.table("f").read_column_all("a")
+        expected = int(np.isin(a % 10, [1, 3, 5, 7, 9]).sum())
+        assert result.scalar() == expected

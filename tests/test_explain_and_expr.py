@@ -1,0 +1,123 @@
+"""EXPLAIN rendering and scalar-expression units."""
+
+import numpy as np
+import pytest
+
+from repro import Database, QueryEngine
+from repro.engine.expr import BinOp, Col, Const, column, const
+from repro.engine.explain import explain
+from repro.engine.plan import AggregateNode, Aggregation, ScanNode
+from repro.storage import ColumnSpec, DataType, TableSchema
+
+
+def batch(**cols):
+    return {k: np.asarray(v) for k, v in cols.items()}
+
+
+class TestExpr:
+    def test_column_and_const(self):
+        assert column("x").evaluate(batch(x=[1, 2])).tolist() == [1, 2]
+        assert const(3).evaluate(batch(x=[1])) == 3
+
+    def test_arithmetic(self):
+        expr = (column("a") + column("b")) * const(2)
+        assert expr.evaluate(batch(a=[1, 2], b=[3, 4])).tolist() == [8, 12]
+
+    def test_division(self):
+        expr = column("a") / const(4)
+        assert expr.evaluate(batch(a=[8, 2])).tolist() == [2.0, 0.5]
+
+    def test_rsub_rmul(self):
+        expr = 1 - column("d")
+        assert expr.evaluate(batch(d=[0.25])).tolist() == [0.75]
+        expr = 3 * column("d")
+        assert expr.evaluate(batch(d=[2])).tolist() == [6]
+
+    def test_labels(self):
+        expr = column("price") * (1 - column("disc"))
+        assert expr.label() == "(price * (1 - disc))"
+
+    def test_columns(self):
+        expr = column("a") + column("b") * const(2)
+        assert expr.columns() == frozenset({"a", "b"})
+
+    def test_missing_column(self):
+        with pytest.raises(KeyError):
+            column("nope").evaluate(batch(x=[1]))
+
+    def test_bad_operator(self):
+        with pytest.raises(ValueError):
+            BinOp(Col("a"), "%", Const(2))
+
+    def test_coerce_rejects_strings(self):
+        with pytest.raises(TypeError):
+            column("a") + "b"
+
+
+class TestExplain:
+    @pytest.fixture()
+    def engine(self):
+        db = Database(num_slices=1)
+        db.create_table(
+            TableSchema(
+                "f",
+                (ColumnSpec("k", DataType.INT64), ColumnSpec("v", DataType.FLOAT64)),
+            )
+        )
+        db.create_table(TableSchema("d", (ColumnSpec("pk", DataType.INT64),)))
+        engine = QueryEngine(db)
+        engine.insert("f", {"k": np.arange(10), "v": np.zeros(10)})
+        engine.insert("d", {"pk": np.arange(5)})
+        return engine
+
+    def test_scan_plan(self, engine):
+        text = engine.explain("select count(*) from f where k < 3")
+        assert "Aggregate" in text
+        assert "Scan(f, filter=k < 3)" in text
+
+    def test_join_plan_structure(self, engine):
+        text = engine.explain("select count(*) from f, d where k = pk")
+        lines = text.splitlines()
+        assert any("HashJoin" in line for line in lines)
+        # Probe and build scans are indented under the join.
+        join_depth = next(
+            len(l) - len(l.lstrip()) for l in lines if "HashJoin" in l
+        )
+        scan_depths = [
+            len(l) - len(l.lstrip()) for l in lines if l.strip().startswith("Scan")
+        ]
+        assert all(d > join_depth for d in scan_depths)
+
+    def test_q19_shape_shows_residual_filter(self, engine):
+        engine.database.create_table(
+            TableSchema(
+                "p", (ColumnSpec("pk2", DataType.INT64), ColumnSpec("sz", DataType.INT64))
+            )
+        )
+        engine.insert("p", {"pk2": np.arange(5), "sz": np.arange(5)})
+        text = engine.explain(
+            "select count(*) from f, p where k = pk2 "
+            "and ((sz < 2 and v > 0.5) or (sz > 3 and v < 0.1))"
+        )
+        assert "Filter(" in text
+        assert "OR" in text
+
+    def test_explain_rejects_dml(self, engine):
+        with pytest.raises(ValueError):
+            engine.explain("delete from f where k = 1")
+
+    def test_sort_limit_rendered(self, engine):
+        text = engine.explain(
+            "select k, count(*) as c from f group by k order by c desc limit 3"
+        )
+        assert "Limit(3)" in text
+        assert "Sort(c desc)" in text
+
+    def test_direct_plan_explain(self):
+        plan = AggregateNode(
+            ScanNode("t", columns=["x"]),
+            [],
+            [Aggregation("count", None, "c")],
+        )
+        text = explain(plan)
+        assert text.splitlines()[0].startswith("Aggregate")

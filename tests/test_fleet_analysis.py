@@ -1,0 +1,150 @@
+"""Fleet simulator and the Section 2 analysis pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    query_repetition_rate,
+    read_write_ratio,
+    repetition_by_table_size,
+    repetition_histogram,
+    scan_repetition_rate,
+    simulate_result_cache,
+    statement_mix,
+)
+from repro.workloads import customer, fleet
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    profiles = fleet.sample_fleet(num_clusters=60, statements_per_cluster=1200, seed=3)
+    return [fleet.generate_workload(p, seed=3) for p in profiles]
+
+
+class TestFleetCalibration:
+    def test_average_repetition_near_paper(self, workloads):
+        """Fig. 4: queries repeat ~71 % on average across clusters."""
+        rates = [query_repetition_rate(w.statements) for w in workloads]
+        assert 0.60 < float(np.mean(rates)) < 0.85
+
+    def test_scans_at_least_as_repetitive_as_queries(self, workloads):
+        """Fig. 4: scan repetition is >= query repetition (shared scans)."""
+        query_rates = [query_repetition_rate(w.statements) for w in workloads]
+        scan_rates = [scan_repetition_rate(w.statements) for w in workloads]
+        assert float(np.mean(scan_rates)) >= float(np.mean(query_rates)) - 0.02
+
+    def test_statement_mix_near_table2(self, workloads):
+        mixes = [statement_mix(w.statements) for w in workloads]
+        average = {k: float(np.mean([m[k] for m in mixes])) for k in mixes[0]}
+        assert average["select"] == pytest.approx(0.423, abs=0.08)
+        assert average["insert"] + average["copy"] == pytest.approx(0.247, abs=0.08)
+        assert average["delete"] + average["update"] == pytest.approx(0.099, abs=0.06)
+
+    def test_cluster_diversity(self, workloads):
+        """Fig. 2-3: the mix varies widely across clusters."""
+        selects = [statement_mix(w.statements)["select"] for w in workloads]
+        assert max(selects) - min(selects) > 0.3
+
+    def test_xlarge_queries_less_repetitive_than_scans(self, workloads):
+        """Fig. 5's signature: scans stay repetitive on huge tables."""
+        merged = [s for w in workloads for s in w.statements]
+        buckets = repetition_by_table_size(merged)
+        q_xl, s_xl = buckets["xlarge"]
+        assert s_xl > q_xl
+
+    def test_read_write_ratio(self, workloads):
+        ratios = [read_write_ratio(w.statements) for w in workloads]
+        # Fig. 3: a majority of clusters read more than they write.
+        reads_dominate = sum(1 for r in ratios if r > 1)
+        assert reads_dominate > len(ratios) * 0.4
+
+
+class TestResultCacheSimulation:
+    def test_hit_rate_drops_with_updates(self, workloads):
+        """Fig. 7: write-heavy clusters lose their result-cache hits."""
+        sims = [simulate_result_cache(w.statements) for w in workloads]
+        light = [s.hit_rate for s in sims if s.write_fraction < 0.15]
+        heavy = [s.hit_rate for s in sims if s.write_fraction > 0.4]
+        if light and heavy:
+            assert float(np.mean(light)) > float(np.mean(heavy))
+
+    def test_fleet_average_hit_rate_is_low(self, workloads):
+        """Fig. 6: low hit rates despite repetitive queries (~20 %)."""
+        sims = [simulate_result_cache(w.statements) for w in workloads]
+        average = float(np.mean([s.hit_rate for s in sims]))
+        assert 0.05 < average < 0.5
+
+    def test_no_writes_means_high_hit_rate(self):
+        profile = fleet.ClusterProfile(
+            cluster_id=0,
+            num_statements=1000,
+            target_repetition=0.9,
+            statement_mix={
+                "select": 1.0, "insert": 0.0, "copy": 0.0,
+                "delete": 0.0, "update": 0.0, "other": 0.0,
+            },
+            table_rows=[10**6] * 5,
+            scan_share=0.8,
+        )
+        workload = fleet.generate_workload(profile, seed=0)
+        sim = simulate_result_cache(workload.statements)
+        assert sim.hit_rate > 0.6  # paper: >80 % for no-update clusters
+
+    def test_exact_replay_semantics(self):
+        statements = [
+            fleet.Statement("select", "q1", ("t",)),
+            fleet.Statement("select", "q1", ("t",)),  # hit
+            fleet.Statement("insert", "w", ("t",)),
+            fleet.Statement("select", "q1", ("t",)),  # invalidated
+            fleet.Statement("select", "q1", ("t",)),  # hit again
+        ]
+        sim = simulate_result_cache(statements)
+        assert sim.selects == 4
+        assert sim.hits == 2
+        assert sim.invalidations == 1
+
+
+class TestRepetitionHelpers:
+    def test_repetition_rate_definition(self):
+        statements = [
+            fleet.Statement("select", "a"),
+            fleet.Statement("select", "a"),
+            fleet.Statement("select", "b"),
+        ]
+        # 2 of 3 statements belong to queries seen >= 2 times.
+        assert query_repetition_rate(statements) == pytest.approx(2 / 3)
+
+    def test_histogram(self):
+        hist = repetition_histogram(["a", "a", "b", "c", "c", "c"])
+        assert hist == {1: 1, 2: 1, 3: 1}
+
+
+class TestCustomerWorkloads:
+    def test_workload_b_anchors(self):
+        events = customer.workload_b(seed=0)
+        anchors = customer.WORKLOAD_B_ANCHORS
+        keys = [e.scan_key for e in events]
+        hist = repetition_histogram(keys)
+        assert len(set(keys)) == anchors["unique_scans"]
+        assert hist.get(1, 0) == anchors["singleton_scans"]
+        ten_plus = sum(k * v for k, v in hist.items() if k >= 10)
+        assert ten_plus == pytest.approx(anchors["scans_from_10plus"], rel=0.05)
+        assert len(events) == pytest.approx(anchors["total_scans"], rel=0.05)
+
+    def test_workload_a_hit_rate_climbs(self):
+        """Fig. 13's shape: low early, high late."""
+        events = customer.workload_a(num_queries=3000, seed=0)
+        seen = set()
+        hits = []
+        for event in events:
+            hits.append(event.scan_key in seen)
+            seen.add(event.scan_key)
+        early = float(np.mean(hits[: len(hits) // 4]))
+        late = float(np.mean(hits[-len(hits) // 4 :]))
+        assert late > 0.8
+        assert late > early + 0.2
+
+    def test_workload_a_sql_replayable(self):
+        statements = customer.workload_a_sql(num_queries=50, seed=1)
+        assert len(statements) == 50
+        assert all(s.startswith("select count(*) from facts") for s in statements)

@@ -1,0 +1,202 @@
+"""Predicate normalization (§4.1.2 extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predicates import (
+    And,
+    Comparison,
+    FalsePredicate,
+    Not,
+    Or,
+    TruePredicate,
+    col,
+    lit,
+    normalize,
+    parse_predicate,
+    push_not_inward,
+    to_cnf,
+)
+
+
+def batch(**cols):
+    return {k: np.asarray(v) for k, v in cols.items()}
+
+
+class TestNotPushdown:
+    def test_comparison_negation(self):
+        cases = {
+            "not x < 5": "x >= 5",
+            "not x <= 5": "x > 5",
+            "not x > 5": "x <= 5",
+            "not x >= 5": "x < 5",
+            "not x = 5": "x <> 5",
+            "not x <> 5": "x = 5",
+        }
+        for text, expected in cases.items():
+            assert push_not_inward(parse_predicate(text)).cache_key() == expected
+
+    def test_de_morgan(self):
+        pred = push_not_inward(parse_predicate("not (a = 1 and b = 2)"))
+        assert isinstance(pred, Or)
+        pred = push_not_inward(parse_predicate("not (a = 1 or b = 2)"))
+        assert isinstance(pred, And)
+
+    def test_double_negation(self):
+        pred = push_not_inward(parse_predicate("not not x = 1"))
+        assert pred.cache_key() == "x = 1"
+
+    def test_not_between_becomes_disjunction(self):
+        pred = push_not_inward(parse_predicate("not d between 2 and 8"))
+        assert pred.evaluate(batch(d=[1, 2, 5, 8, 9])).tolist() == [
+            True, False, False, False, True,
+        ]
+
+    def test_column_comparison_negation(self):
+        pred = push_not_inward(parse_predicate("not a > b"))
+        assert pred.cache_key() == "a <= b"
+
+    def test_not_in_stays_explicit(self):
+        pred = push_not_inward(parse_predicate("m not in ('A')"))
+        assert isinstance(pred, Not)
+
+
+class TestIntervalMerging:
+    def test_redundant_bounds_collapse(self):
+        a = normalize(parse_predicate("x > 3 and x >= 5 and x < 9"))
+        b = normalize(parse_predicate("x >= 5 and x < 9"))
+        assert a.cache_key() == b.cache_key()
+
+    def test_closed_interval_becomes_between(self):
+        pred = normalize(parse_predicate("x >= 2 and x <= 9"))
+        assert pred.cache_key() == "x BETWEEN 2 AND 9"
+
+    def test_equality_from_tight_interval(self):
+        pred = normalize(parse_predicate("x >= 4 and x <= 4"))
+        assert pred.cache_key() == "x = 4"
+
+    def test_contradiction_is_false(self):
+        assert isinstance(normalize(parse_predicate("x < 3 and x > 9")), FalsePredicate)
+        assert isinstance(normalize(parse_predicate("x < 3 and x = 9")), FalsePredicate)
+        assert isinstance(normalize(parse_predicate("x > 4 and x < 5 and x >= 5")), FalsePredicate)
+
+    def test_between_plus_bound(self):
+        pred = normalize(parse_predicate("x between 0 and 100 and x < 50"))
+        parsed_back = parse_predicate(pred.cache_key())
+        values = list(range(-5, 110, 7))
+        np.testing.assert_array_equal(
+            parsed_back.evaluate(batch(x=values)),
+            parse_predicate("x >= 0 and x < 50").evaluate(batch(x=values)),
+        )
+
+    def test_strings_not_merged(self):
+        # String ranges are left alone (no general value arithmetic).
+        pred = normalize(parse_predicate("s >= 'a' and s <= 'f'"))
+        assert "s" in pred.cache_key()
+
+    def test_duplicates_removed(self):
+        pred = normalize(parse_predicate("a = 1 and a = 1 and b = 2"))
+        assert pred.cache_key() == parse_predicate("a = 1 and b = 2").cache_key()
+
+
+class TestConstantFolding:
+    def test_and_false(self):
+        pred = And((Comparison(col("x"), "=", lit(1)), FalsePredicate()))
+        assert isinstance(normalize(pred), FalsePredicate)
+
+    def test_or_true(self):
+        pred = Or((Comparison(col("x"), "=", lit(1)), TruePredicate()))
+        assert isinstance(normalize(pred), TruePredicate)
+
+    def test_or_false_dropped(self):
+        pred = Or((Comparison(col("x"), "=", lit(1)), FalsePredicate()))
+        assert normalize(pred).cache_key() == "x = 1"
+
+
+class TestCnf:
+    def test_distribution(self):
+        pred = to_cnf(parse_predicate("a = 1 or (b = 2 and c = 3)"))
+        assert pred.cache_key() == "(a = 1 OR b = 2) AND (a = 1 OR c = 3)"
+
+    def test_already_cnf_unchanged_semantics(self):
+        pred = parse_predicate("(a = 1 or b = 2) and c = 3")
+        assert to_cnf(pred).cache_key() == pred.cache_key()
+
+    def test_blowup_guard(self):
+        # 2^10 clauses would exceed the limit: input returned unchanged.
+        branches = " or ".join(f"(a{i} = 1 and b{i} = 2)" for i in range(10))
+        pred = parse_predicate(branches)
+        assert to_cnf(pred) is pred
+
+
+comparisons = st.builds(
+    lambda column, op, value: Comparison(col(column), op, lit(value)),
+    st.sampled_from(["x", "y"]),
+    st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+    st.integers(0, 10),
+)
+
+
+def predicate_trees():
+    return st.recursive(
+        comparisons,
+        lambda children: st.one_of(
+            st.builds(lambda a, b: And((a, b)), children, children),
+            st.builds(lambda a, b: Or((a, b)), children, children),
+            st.builds(Not, children),
+        ),
+        max_leaves=8,
+    )
+
+
+@given(predicate_trees(), st.lists(st.integers(0, 10), min_size=1, max_size=30),
+       st.lists(st.integers(0, 10), min_size=1, max_size=30))
+@settings(max_examples=300, deadline=None)
+def test_normalization_preserves_semantics(pred, xs, ys):
+    n = min(len(xs), len(ys))
+    values = batch(x=xs[:n], y=ys[:n])
+    normalized = normalize(pred)
+    np.testing.assert_array_equal(
+        pred.evaluate(values), normalized.evaluate(values)
+    )
+
+
+@given(predicate_trees())
+@settings(max_examples=200, deadline=None)
+def test_normalization_is_idempotent(pred):
+    once = normalize(pred)
+    twice = normalize(once)
+    assert once.cache_key() == twice.cache_key()
+
+
+class TestCacheIntegration:
+    def test_normalized_keys_share_entries(self):
+        from repro import Database, PredicateCache, PredicateCacheConfig, QueryEngine
+        from repro.storage import ColumnSpec, DataType, TableSchema
+
+        db = Database(num_slices=1, rows_per_block=100)
+        db.create_table(TableSchema("t", (ColumnSpec("x", DataType.INT64),)))
+        engine = QueryEngine(
+            db,
+            predicate_cache=PredicateCache(PredicateCacheConfig(normalize_keys=True)),
+        )
+        engine.insert("t", {"x": np.arange(5000)})
+        a = engine.execute("select count(*) as c from t where x > 3 and x >= 5 and x < 9")
+        b = engine.execute("select count(*) as c from t where x >= 5 and x < 9")
+        assert a.scalar() == b.scalar() == 4
+        assert len(engine.predicate_cache) == 1
+        assert engine.predicate_cache.stats.hits == 1
+
+    def test_without_normalization_entries_split(self):
+        from repro import Database, PredicateCache, QueryEngine
+        from repro.storage import ColumnSpec, DataType, TableSchema
+
+        db = Database(num_slices=1, rows_per_block=100)
+        db.create_table(TableSchema("t", (ColumnSpec("x", DataType.INT64),)))
+        engine = QueryEngine(db, predicate_cache=PredicateCache())
+        engine.insert("t", {"x": np.arange(5000)})
+        engine.execute("select count(*) as c from t where x > 3 and x >= 5 and x < 9")
+        engine.execute("select count(*) as c from t where x >= 5 and x < 9")
+        assert len(engine.predicate_cache) == 2

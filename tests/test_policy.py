@@ -1,0 +1,106 @@
+"""Admission policies (§4.1.2 cost-based caching extension)."""
+
+import numpy as np
+import pytest
+
+from repro import Database, PredicateCache, PredicateCacheConfig, QueryEngine
+from repro.core import AlwaysAdmit, CostBasedPolicy, ScanKey
+from repro.storage import ColumnSpec, DataType, TableSchema
+
+
+def make_engine(policy=None):
+    db = Database(num_slices=2, rows_per_block=100)
+    db.create_table(
+        TableSchema("t", (ColumnSpec("x", DataType.INT64), ColumnSpec("g", DataType.INT64)))
+    )
+    engine = QueryEngine(
+        db,
+        predicate_cache=PredicateCache(
+            PredicateCacheConfig(variant="bitmap", bitmap_block_rows=100),
+            policy=policy,
+        ),
+    )
+    rng = np.random.default_rng(0)
+    engine.insert("t", {"x": np.sort(rng.integers(0, 1000, 20_000)), "g": rng.integers(0, 4, 20_000)})
+    return engine
+
+
+class TestPolicyUnits:
+    def test_always_admit(self):
+        policy = AlwaysAdmit()
+        assert policy.should_admit(ScanKey("t", "x = 1"))
+
+    def test_cost_based_requires_sightings(self):
+        policy = CostBasedPolicy(min_sightings=2, max_selectivity=0.5)
+        key = ScanKey("t", "x = 1")
+        assert not policy.should_admit(key)       # never seen
+        policy.observe(key, 0.01)
+        assert policy.should_admit(key)           # second sighting
+        assert policy.admissions == 1
+
+    def test_cost_based_rejects_unselective(self):
+        policy = CostBasedPolicy(min_sightings=2, max_selectivity=0.5)
+        key = ScanKey("t", "x >= 0")
+        policy.observe(key, 0.99)
+        assert not policy.should_admit(key)
+
+    def test_forget(self):
+        policy = CostBasedPolicy(min_sightings=2)
+        key = ScanKey("t", "x = 1")
+        policy.observe(key, 0.1)
+        policy.forget(key)
+        assert not policy.should_admit(key)
+
+    def test_tracking_bound(self):
+        policy = CostBasedPolicy(min_sightings=2, max_tracked=10)
+        for i in range(25):
+            policy.observe(ScanKey("t", f"x = {i}"), 0.1)
+        assert policy.tracked_keys <= 10 + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostBasedPolicy(min_sightings=0)
+        with pytest.raises(ValueError):
+            CostBasedPolicy(max_selectivity=0.0)
+
+
+class TestPolicyInEngine:
+    def test_cost_based_delays_admission(self):
+        engine = make_engine(CostBasedPolicy(min_sightings=2, max_selectivity=0.5))
+        sql = "select count(*) as c from t where x < 50"
+        engine.execute(sql)
+        assert len(engine.predicate_cache) == 0     # first sighting: observed only
+        engine.execute(sql)
+        assert len(engine.predicate_cache) == 1     # repeat: admitted
+        third = engine.execute(sql)
+        assert third.counters.cache_hits == 1
+
+    def test_one_off_queries_create_no_entries(self):
+        engine = make_engine(CostBasedPolicy(min_sightings=2))
+        for i in range(20):
+            engine.execute(f"select count(*) as c from t where x < {i}")
+        assert len(engine.predicate_cache) == 0
+
+    def test_unselective_scans_not_admitted(self):
+        engine = make_engine(CostBasedPolicy(min_sightings=2, max_selectivity=0.5))
+        sql = "select count(*) as c from t where x >= 0"  # qualifies everything
+        engine.execute(sql)
+        engine.execute(sql)
+        engine.execute(sql)
+        assert len(engine.predicate_cache) == 0
+
+    def test_results_identical_under_any_policy(self):
+        always = make_engine(AlwaysAdmit())
+        costly = make_engine(CostBasedPolicy(min_sightings=3, max_selectivity=0.2))
+        for sql in (
+            "select count(*) as c from t where x < 100",
+            "select count(*) as c from t where x < 100",
+            "select count(*) as c from t where x between 400 and 500",
+            "select count(*) as c from t where x < 100",
+        ):
+            assert always.execute(sql).scalar() == costly.execute(sql).scalar()
+
+    def test_default_policy_admits_first_scan(self):
+        engine = make_engine()  # AlwaysAdmit
+        engine.execute("select count(*) as c from t where x < 50")
+        assert len(engine.predicate_cache) == 1

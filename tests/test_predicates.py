@@ -1,0 +1,347 @@
+"""Predicate ASTs: evaluation, cache keys, bounds, and the parser."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predicates import (
+    And,
+    Between,
+    ColumnComparison,
+    Comparison,
+    InList,
+    IsNull,
+    Not,
+    Or,
+    TruePredicate,
+    col,
+    conjunction_of,
+    lit,
+    parse_predicate,
+)
+from repro.predicates.ast import ColumnRef, Literal
+from repro.predicates.parser import PredicateParseError
+
+
+def batch(**cols):
+    return {k: np.asarray(v) for k, v in cols.items()}
+
+
+# -- evaluation ---------------------------------------------------------------------
+
+
+class TestEvaluation:
+    def test_comparison_ops(self):
+        values = batch(x=[1, 2, 3, 4])
+        cases = {
+            "=": [False, True, False, False],
+            "<>": [True, False, True, True],
+            "<": [True, False, False, False],
+            "<=": [True, True, False, False],
+            ">": [False, False, True, True],
+            ">=": [False, True, True, True],
+        }
+        for op, expected in cases.items():
+            pred = Comparison(col("x"), op, lit(2))
+            assert pred.evaluate(values).tolist() == expected
+
+    def test_comparison_rejects_bad_op(self):
+        with pytest.raises(ValueError):
+            Comparison(col("x"), "~", lit(1))
+
+    def test_between_is_inclusive(self):
+        pred = Between(col("x"), lit(2), lit(4))
+        assert pred.evaluate(batch(x=[1, 2, 3, 4, 5])).tolist() == [
+            False, True, True, True, False,
+        ]
+
+    def test_in_list(self):
+        pred = InList(col("x"), (1, 5))
+        assert pred.evaluate(batch(x=[1, 2, 5])).tolist() == [True, False, True]
+
+    def test_in_list_strings(self):
+        pred = InList(col("s"), ("a", "c"))
+        values = batch(s=np.array(["a", "b", "c"], dtype=object))
+        assert pred.evaluate(values).tolist() == [True, False, True]
+
+    def test_column_comparison(self):
+        pred = ColumnComparison(col("a"), ">", col("b"))
+        assert pred.evaluate(batch(a=[1, 5, 3], b=[2, 2, 3])).tolist() == [
+            False, True, False,
+        ]
+
+    def test_is_null_without_validity(self):
+        pred = IsNull(col("x"))
+        assert pred.evaluate(batch(x=[1, 2])).tolist() == [False, False]
+        assert IsNull(col("x"), negated=True).evaluate(batch(x=[1, 2])).tolist() == [
+            True, True,
+        ]
+
+    def test_is_null_with_validity(self):
+        values = batch(x=[1, 2, 3])
+        values["x__valid"] = np.array([True, False, True])
+        assert IsNull(col("x")).evaluate(values).tolist() == [False, True, False]
+
+    def test_and_or_not(self):
+        values = batch(x=[1, 2, 3, 4])
+        a = Comparison(col("x"), ">", lit(1))
+        b = Comparison(col("x"), "<", lit(4))
+        assert And((a, b)).evaluate(values).tolist() == [False, True, True, False]
+        assert Or((a, b)).evaluate(values).tolist() == [True, True, True, True]
+        assert Not(a).evaluate(values).tolist() == [True, False, False, False]
+
+    def test_true_predicate(self):
+        assert TruePredicate().evaluate(batch(x=[1, 2])).tolist() == [True, True]
+
+    def test_missing_column_raises(self):
+        with pytest.raises(KeyError):
+            Comparison(col("nope"), "=", lit(1)).evaluate(batch(x=[1]))
+
+    def test_operator_sugar(self):
+        values = batch(x=[1, 2, 3])
+        a = Comparison(col("x"), ">", lit(1))
+        b = Comparison(col("x"), "<", lit(3))
+        assert (a & b).evaluate(values).tolist() == [False, True, False]
+        assert (a | b).evaluate(values).tolist() == [True, True, True]
+        assert (~a).evaluate(values).tolist() == [True, False, False]
+
+
+# -- cache keys -------------------------------------------------------------------------
+
+
+class TestCacheKeys:
+    def test_comparison_key(self):
+        assert Comparison(col("x"), "=", lit(1)).cache_key() == "x = 1"
+
+    def test_float_and_int_keys_differ(self):
+        assert Comparison(col("x"), "=", lit(1)).cache_key() != Comparison(
+            col("x"), "=", lit(1.0)
+        ).cache_key()
+
+    def test_string_escaping(self):
+        key = Comparison(col("s"), "=", lit("O'Neil")).cache_key()
+        assert key == "s = 'O''Neil'"
+
+    def test_and_is_order_insensitive(self):
+        a = Comparison(col("x"), "=", lit(1))
+        b = Comparison(col("y"), ">", lit(2))
+        assert And((a, b)).cache_key() == And((b, a)).cache_key()
+
+    def test_or_is_order_insensitive(self):
+        a = Comparison(col("x"), "=", lit(1))
+        b = Comparison(col("y"), ">", lit(2))
+        assert Or((a, b)).cache_key() == Or((b, a)).cache_key()
+
+    def test_between_key(self):
+        key = Between(col("d"), lit(5), lit(9)).cache_key()
+        assert key == "d BETWEEN 5 AND 9"
+
+    def test_in_key(self):
+        assert InList(col("m"), ("A", "B")).cache_key() == "m IN ('A', 'B')"
+
+    def test_true_key(self):
+        assert TruePredicate().cache_key() == "TRUE"
+
+
+# -- bounds (zone-map pruning) -------------------------------------------------------------
+
+
+class TestBounds:
+    def test_equality_bounds(self):
+        assert Comparison(col("x"), "=", lit(5)).bounds("x").as_pair() == (5, 5)
+
+    def test_range_bounds_carry_strictness(self):
+        lt = Comparison(col("x"), "<", lit(5)).bounds("x")
+        assert lt.as_pair() == (None, 5) and lt.hi_strict
+        le = Comparison(col("x"), "<=", lit(5)).bounds("x")
+        assert le.as_pair() == (None, 5) and not le.hi_strict
+        ge = Comparison(col("x"), ">=", lit(5)).bounds("x")
+        assert ge.as_pair() == (5, None) and not ge.lo_strict
+        gt = Comparison(col("x"), ">", lit(5)).bounds("x")
+        assert gt.lo_strict
+
+    def test_not_equal_has_no_bound(self):
+        assert Comparison(col("x"), "<>", lit(5)).bounds("x") is None
+
+    def test_other_column_unbounded(self):
+        assert Comparison(col("x"), "=", lit(5)).bounds("y") is None
+
+    def test_between_bounds(self):
+        assert Between(col("x"), lit(2), lit(9)).bounds("x").as_pair() == (2, 9)
+
+    def test_in_bounds(self):
+        assert InList(col("x"), (5, 1, 9)).bounds("x").as_pair() == (1, 9)
+
+    def test_and_tightens_bounds(self):
+        pred = And(
+            (
+                Comparison(col("x"), ">=", lit(2)),
+                Comparison(col("x"), "<", lit(10)),
+                Comparison(col("x"), ">=", lit(5)),
+            )
+        )
+        b = pred.bounds("x")
+        assert b.as_pair() == (5, 10)
+        assert b.hi_strict and not b.lo_strict
+
+    def test_and_strictness_on_equal_bounds(self):
+        pred = And(
+            (
+                Comparison(col("x"), "<", lit(10)),
+                Comparison(col("x"), "<=", lit(10)),
+            )
+        )
+        assert pred.bounds("x").hi_strict
+
+    def test_or_widens_bounds(self):
+        pred = Or(
+            (
+                Between(col("x"), lit(0), lit(5)),
+                Between(col("x"), lit(20), lit(30)),
+            )
+        )
+        assert pred.bounds("x").as_pair() == (0, 30)
+
+    def test_or_with_unbounded_branch(self):
+        pred = Or(
+            (
+                Between(col("x"), lit(0), lit(5)),
+                Comparison(col("y"), "=", lit(1)),
+            )
+        )
+        assert pred.bounds("x") is None
+
+
+# -- structure helpers ----------------------------------------------------------------------
+
+
+class TestStructure:
+    def test_conjuncts_flatten(self):
+        a = Comparison(col("x"), "=", lit(1))
+        b = Comparison(col("y"), "=", lit(2))
+        c = Comparison(col("z"), "=", lit(3))
+        pred = And((And((a, b)), c))
+        assert set(p.cache_key() for p in pred.conjuncts()) == {
+            "x = 1", "y = 2", "z = 3",
+        }
+
+    def test_and_drops_true(self):
+        a = Comparison(col("x"), "=", lit(1))
+        combined = And((a, TruePredicate()))
+        assert len(combined.operands) == 1
+
+    def test_conjunction_of(self):
+        assert isinstance(conjunction_of([]), TruePredicate)
+        a = Comparison(col("x"), "=", lit(1))
+        assert conjunction_of([a]) is a
+        both = conjunction_of([a, Comparison(col("y"), "=", lit(2))])
+        assert isinstance(both, And)
+
+    def test_columns(self):
+        pred = parse_predicate("a = 1 and (b > 2 or c < 3)")
+        assert pred.columns() == frozenset({"a", "b", "c"})
+
+
+# -- parser -----------------------------------------------------------------------------------
+
+
+class TestParser:
+    def test_simple_comparison(self):
+        pred = parse_predicate("x >= 42")
+        assert pred.cache_key() == "x >= 42"
+
+    def test_floats_and_strings(self):
+        pred = parse_predicate("price = 0.07 and name = 'widget'")
+        values = batch(
+            price=[0.07, 0.08], name=np.array(["widget", "widget"], dtype=object)
+        )
+        assert pred.evaluate(values).tolist() == [True, False]
+
+    def test_between(self):
+        pred = parse_predicate("d between 10 and 20")
+        assert pred.evaluate(batch(d=[9, 10, 20, 21])).tolist() == [
+            False, True, True, False,
+        ]
+
+    def test_in_and_not_in(self):
+        pred = parse_predicate("m in ('A', 'B')")
+        values = batch(m=np.array(["A", "C"], dtype=object))
+        assert pred.evaluate(values).tolist() == [True, False]
+        negated = parse_predicate("m not in ('A', 'B')")
+        assert negated.evaluate(values).tolist() == [False, True]
+
+    def test_precedence_or_binds_loosest(self):
+        pred = parse_predicate("a = 1 or b = 2 and c = 3")
+        assert isinstance(pred, Or)
+
+    def test_parentheses(self):
+        pred = parse_predicate("(a = 1 or b = 2) and c = 3")
+        assert isinstance(pred, And)
+
+    def test_not(self):
+        pred = parse_predicate("not x > 3")
+        assert pred.evaluate(batch(x=[2, 5])).tolist() == [True, False]
+
+    def test_is_null(self):
+        pred = parse_predicate("x is not null")
+        assert isinstance(pred, IsNull)
+        assert pred.negated
+
+    def test_column_comparison_parse(self):
+        pred = parse_predicate("a > b")
+        assert isinstance(pred, ColumnComparison)
+
+    def test_qualified_column(self):
+        pred = parse_predicate("lineitem.l_quantity < 24")
+        assert pred.columns() == frozenset({"l_quantity"})
+
+    def test_negative_literal(self):
+        pred = parse_predicate("x < -5")
+        assert pred.evaluate(batch(x=[-10, 0])).tolist() == [True, False]
+
+    def test_parse_errors(self):
+        for bad in ("", "x", "x <", "x between 1", "and x = 1", "x = 1 or"):
+            with pytest.raises(PredicateParseError):
+                parse_predicate(bad)
+
+    def test_reparse_of_cache_key_is_stable(self):
+        pred = parse_predicate("l_discount = 0.1 and l_quantity >= 40")
+        again = parse_predicate(pred.cache_key())
+        assert again.cache_key() == pred.cache_key()
+
+
+# -- property-based: evaluation matches Python semantics -----------------------------------
+
+
+@given(
+    st.lists(st.integers(-50, 50), min_size=1, max_size=50),
+    st.integers(-50, 50),
+    st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+)
+@settings(max_examples=200, deadline=None)
+def test_comparison_matches_python(values, literal, op):
+    import operator
+
+    ops = {
+        "=": operator.eq, "<>": operator.ne, "<": operator.lt,
+        "<=": operator.le, ">": operator.gt, ">=": operator.ge,
+    }
+    pred = Comparison(col("x"), op, lit(literal))
+    result = pred.evaluate(batch(x=values))
+    expected = [ops[op](v, literal) for v in values]
+    assert result.tolist() == expected
+
+
+@given(
+    st.lists(st.integers(0, 20), min_size=1, max_size=30),
+    st.integers(0, 20),
+    st.integers(0, 20),
+)
+@settings(max_examples=200, deadline=None)
+def test_between_matches_python(values, a, b):
+    low, high = min(a, b), max(a, b)
+    pred = Between(col("x"), lit(low), lit(high))
+    assert pred.evaluate(batch(x=values)).tolist() == [
+        low <= v <= high for v in values
+    ]

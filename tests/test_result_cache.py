@@ -1,0 +1,68 @@
+"""The result-cache baseline (§3.1)."""
+
+import numpy as np
+
+from repro.baselines.result_cache import ResultCache
+
+
+class TestResultCache:
+    def test_miss_store_hit(self):
+        cache = ResultCache()
+        assert cache.lookup("q1", {"t": 0}) is None
+        cache.store("q1", {"t": 0}, "payload")
+        assert cache.lookup("q1", {"t": 0}) == "payload"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_version_mismatch_invalidates(self):
+        cache = ResultCache()
+        cache.store("q1", {"t": 0}, "payload")
+        assert cache.lookup("q1", {"t": 1}) is None
+        assert cache.stats.invalidations == 1
+        assert "q1" not in cache
+
+    def test_multi_table_dependencies(self):
+        cache = ResultCache()
+        cache.store("q", {"a": 1, "b": 2}, "x")
+        assert cache.lookup("q", {"a": 1, "b": 2}) == "x"
+        assert cache.lookup("q", {"a": 1, "b": 3}) is None
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        for i in range(3):
+            cache.store(f"q{i}", {}, i)
+        assert "q0" not in cache
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+
+    def test_eager_table_invalidation(self):
+        cache = ResultCache()
+        cache.store("q1", {"t": 0}, "x")
+        cache.store("q2", {"u": 0}, "y")
+        assert cache.invalidate_table("t") == 1
+        assert "q1" not in cache and "q2" in cache
+
+    def test_hit_rate(self):
+        cache = ResultCache()
+        cache.store("q", {}, 1)
+        cache.lookup("q", {})
+        cache.lookup("other", {})
+        assert cache.stats.hit_rate == 0.5
+
+    def test_nbytes_measures_arrays(self):
+        cache = ResultCache()
+        payload = ({"c": np.zeros(100)}, ["c"])
+        cache.store("q", {}, payload)
+        assert cache.nbytes == 800
+
+    def test_paper_q6_entry_is_8_bytes(self):
+        """Table 3: a single-value result cache entry is 8 bytes."""
+        cache = ResultCache()
+        cache.store("q6", {}, ({"revenue": np.array([123.45])}, ["revenue"]))
+        assert cache.nbytes == 8
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.store("q", {}, 1)
+        cache.clear()
+        assert len(cache) == 0

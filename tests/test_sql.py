@@ -1,0 +1,262 @@
+"""SQL front end: parser and planner."""
+
+import numpy as np
+import pytest
+
+from repro import Database, PredicateCache, QueryEngine
+from repro.engine.plan import (
+    AggregateNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+from repro.sql import (
+    DeleteStatement,
+    InsertStatement,
+    SQLParseError,
+    SelectStatement,
+    UpdateStatement,
+    VacuumStatement,
+    parse_statement,
+    plan_select,
+)
+from repro.sql.planner import PlannerError
+from repro.storage import ColumnSpec, DataType, TableSchema
+
+
+@pytest.fixture()
+def db():
+    database = Database(num_slices=2, rows_per_block=100)
+    database.create_table(
+        TableSchema(
+            "orders",
+            (
+                ColumnSpec("o_orderkey", DataType.INT64),
+                ColumnSpec("o_custkey", DataType.INT64),
+                ColumnSpec("o_total", DataType.FLOAT64),
+            ),
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "lineitem",
+            (
+                ColumnSpec("l_orderkey", DataType.INT64),
+                ColumnSpec("l_qty", DataType.INT64),
+                ColumnSpec("l_price", DataType.FLOAT64),
+            ),
+        )
+    )
+    rng = np.random.default_rng(0)
+    engine = QueryEngine(database)
+    engine.insert(
+        "orders",
+        {
+            "o_orderkey": np.arange(200),
+            "o_custkey": rng.integers(0, 20, 200),
+            "o_total": rng.random(200) * 100,
+        },
+    )
+    engine.insert(
+        "lineitem",
+        {
+            "l_orderkey": rng.integers(0, 200, 1000),
+            "l_qty": rng.integers(1, 50, 1000),
+            "l_price": rng.random(1000) * 10,
+        },
+    )
+    return database
+
+
+class TestParser:
+    def test_select_shape(self):
+        stmt = parse_statement(
+            "select l_qty, count(*) as c from lineitem "
+            "where l_qty > 10 group by l_qty order by c desc limit 5"
+        )
+        assert isinstance(stmt, SelectStatement)
+        assert stmt.tables == ["lineitem"]
+        assert stmt.group_by == ["l_qty"]
+        assert stmt.order_by == [("c", False)]
+        assert stmt.limit == 5
+
+    def test_select_star(self):
+        stmt = parse_statement("select * from lineitem")
+        assert stmt.items == []
+
+    def test_aggregates(self):
+        stmt = parse_statement(
+            "select sum(l_price * l_qty) as total, count(distinct l_orderkey) as dk "
+            "from lineitem"
+        )
+        assert stmt.items[0].func == "sum"
+        assert stmt.items[1].func == "count_distinct"
+
+    def test_join_syntax_variants(self):
+        implicit = parse_statement(
+            "select count(*) from lineitem, orders where l_orderkey = o_orderkey"
+        )
+        explicit = parse_statement(
+            "select count(*) from lineitem join orders on l_orderkey = o_orderkey"
+        )
+        assert implicit.tables == explicit.tables
+
+    def test_insert(self):
+        stmt = parse_statement(
+            "insert into orders (o_orderkey, o_custkey, o_total) "
+            "values (1, 2, 3.5), (4, 5, 6.5)"
+        )
+        assert isinstance(stmt, InsertStatement)
+        assert stmt.rows == [(1, 2, 3.5), (4, 5, 6.5)]
+
+    def test_delete_update_vacuum(self):
+        assert isinstance(parse_statement("delete from orders where o_total < 1"), DeleteStatement)
+        stmt = parse_statement("update orders set o_total = 0.0 where o_custkey = 3")
+        assert isinstance(stmt, UpdateStatement)
+        assert stmt.assignments == [("o_total", 0.0)]
+        vac = parse_statement("vacuum orders")
+        assert isinstance(vac, VacuumStatement) and vac.table == "orders"
+        assert parse_statement("vacuum").table is None
+
+    def test_order_by_position(self):
+        stmt = parse_statement(
+            "select l_qty, count(*) as c from lineitem group by l_qty order by 2 desc"
+        )
+        assert stmt.order_by == [("c", False)]
+
+    def test_string_escapes(self):
+        stmt = parse_statement("select count(*) from orders where o_orderkey = 1")
+        assert isinstance(stmt, SelectStatement)
+
+    def test_parse_errors(self):
+        for bad in (
+            "explain select 1",
+            "select from lineitem",
+            "select count(* from lineitem",
+            "select avg(*) from lineitem",
+            "insert into t values (1,",
+            "select count(*) from lineitem limit 2.5",
+        ):
+            with pytest.raises((SQLParseError, Exception)):
+                parse_statement(bad)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLParseError):
+            parse_statement("select count(*) from lineitem; drop")
+
+
+class TestPlanner:
+    def test_single_table_aggregate(self, db):
+        stmt = parse_statement("select count(*) as c from lineitem where l_qty > 10")
+        plan = plan_select(stmt, db)
+        assert isinstance(plan, AggregateNode)
+        assert isinstance(plan.child, ScanNode)
+        assert plan.child.predicate.cache_key() == "l_qty > 10"
+
+    def test_join_probe_is_largest_table(self, db):
+        stmt = parse_statement(
+            "select count(*) from lineitem, orders where l_orderkey = o_orderkey"
+        )
+        plan = plan_select(stmt, db)
+        join = plan.child
+        assert isinstance(join, JoinNode)
+        assert join.probe.table == "lineitem"  # 1000 rows vs 200
+        assert join.build.table == "orders"
+
+    def test_filters_pushed_to_owning_scan(self, db):
+        stmt = parse_statement(
+            "select count(*) from lineitem, orders "
+            "where l_orderkey = o_orderkey and o_total < 10 and l_qty > 5"
+        )
+        plan = plan_select(stmt, db)
+        join = plan.child
+        assert join.probe.predicate.cache_key() == "l_qty > 5"
+        assert join.build.predicate.cache_key() == "o_total < 10"
+
+    def test_multi_table_or_becomes_residual_with_implied_pushdown(self, db):
+        stmt = parse_statement(
+            "select count(*) from lineitem, orders where l_orderkey = o_orderkey "
+            "and ((l_qty > 40 and o_total < 5) or (l_qty < 2 and o_total > 95))"
+        )
+        plan = plan_select(stmt, db)
+        filter_node = plan.child
+        assert isinstance(filter_node, FilterNode)
+        join = filter_node.child
+        # Each scan received the implied disjunction of its own parts.
+        assert "OR" in join.probe.predicate.cache_key()
+        assert "OR" in join.build.predicate.cache_key()
+
+    def test_unknown_column_rejected(self, db):
+        stmt = parse_statement("select count(*) from lineitem where nope = 1")
+        with pytest.raises(PlannerError):
+            plan_select(stmt, db)
+
+    def test_cross_join_rejected(self, db):
+        stmt = parse_statement("select count(*) from lineitem, orders")
+        with pytest.raises(PlannerError):
+            plan_select(stmt, db)
+
+    def test_non_grouped_select_item_rejected(self, db):
+        stmt = parse_statement("select l_qty, count(*) as c from lineitem")
+        with pytest.raises(PlannerError):
+            plan_select(stmt, db)
+
+    def test_order_and_limit_stack(self, db):
+        stmt = parse_statement(
+            "select l_qty, count(*) as c from lineitem group by l_qty "
+            "order by c desc limit 3"
+        )
+        plan = plan_select(stmt, db)
+        assert isinstance(plan, LimitNode)
+        assert isinstance(plan.child, SortNode)
+
+
+class TestEndToEndSQL:
+    def test_select_correctness(self, db):
+        engine = QueryEngine(db, predicate_cache=PredicateCache())
+        result = engine.execute("select count(*) as c from lineitem where l_qty >= 25")
+        qty = db.table("lineitem").read_column_all("l_qty")
+        assert result.scalar() == int((qty >= 25).sum())
+
+    def test_projection_select(self, db):
+        engine = QueryEngine(db)
+        result = engine.execute(
+            "select l_qty * 2 as dbl from lineitem where l_qty > 48"
+        )
+        qty = db.table("lineitem").read_column_all("l_qty")
+        assert sorted(result.column("dbl").tolist()) == sorted(
+            (qty[qty > 48] * 2).tolist()
+        )
+
+    def test_select_star(self, db):
+        engine = QueryEngine(db)
+        result = engine.execute("select * from orders limit 5")
+        assert result.num_rows == 5
+        assert set(result.column_order) == {"o_orderkey", "o_custkey", "o_total"}
+
+    def test_insert_via_sql(self, db):
+        engine = QueryEngine(db)
+        before = engine.count_rows("orders")
+        engine.execute("insert into orders (o_orderkey, o_custkey, o_total) values (999, 1, 5.0)")
+        assert engine.count_rows("orders") == before + 1
+
+    def test_delete_and_update_via_sql(self, db):
+        engine = QueryEngine(db)
+        deleted = engine.execute("delete from orders where o_custkey = 3")
+        assert deleted.column("affected")[0] > 0
+        remaining = engine.execute("select count(*) as c from orders where o_custkey = 3")
+        assert remaining.scalar() == 0
+        updated = engine.execute("update orders set o_total = 0.0 where o_custkey = 5")
+        zeros = engine.execute(
+            "select count(*) as c from orders where o_custkey = 5 and o_total = 0.0"
+        )
+        assert zeros.scalar() == updated.column("affected")[0]
+
+    def test_vacuum_via_sql(self, db):
+        engine = QueryEngine(db)
+        engine.execute("delete from orders where o_custkey = 2")
+        result = engine.execute("vacuum orders")
+        assert result.column("affected")[0] == 1

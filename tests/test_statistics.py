@@ -1,0 +1,211 @@
+"""Statistics subsystem: HLL, histograms, ANALYZE, planner integration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, QueryEngine
+from repro.predicates import parse_predicate
+from repro.predicates.ast import Bounds
+from repro.stats import EquiDepthHistogram, HyperLogLog, analyze_table
+from repro.storage import ColumnSpec, DataType, TableSchema
+
+
+class TestHyperLogLog:
+    def test_accuracy_at_scale(self):
+        for true_ndv in (100, 10_000, 200_000):
+            hll = HyperLogLog(p=12)
+            rng = np.random.default_rng(true_ndv)
+            values = rng.integers(0, true_ndv, true_ndv * 3)
+            hll.add_many(values)
+            distinct = len(np.unique(values))
+            estimate = hll.cardinality()
+            assert abs(estimate - distinct) / distinct < 0.1, true_ndv
+
+    def test_small_range_exact_ish(self):
+        hll = HyperLogLog()
+        hll.add_many(np.arange(10))
+        assert abs(hll.cardinality() - 10) < 2
+
+    def test_duplicates_do_not_inflate(self):
+        hll = HyperLogLog()
+        hll.add_many(np.zeros(100_000, dtype=np.int64))
+        assert hll.cardinality() < 3
+
+    def test_strings(self):
+        hll = HyperLogLog()
+        hll.add_many(np.array([f"v{i % 500}" for i in range(5000)], dtype=object))
+        assert abs(hll.cardinality() - 500) / 500 < 0.15
+
+    def test_merge(self):
+        a, b = HyperLogLog(), HyperLogLog()
+        a.add_many(np.arange(0, 5000))
+        b.add_many(np.arange(2500, 7500))
+        a.merge(b)
+        assert abs(a.cardinality() - 7500) / 7500 < 0.1
+
+    def test_merge_rejects_mismatched_precision(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(p=10).merge(HyperLogLog(p=12))
+
+    def test_empty(self):
+        assert HyperLogLog().cardinality() < 1
+
+    def test_precision_validation(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(p=2)
+
+
+class TestHistogram:
+    def test_uniform_range_fraction(self):
+        hist = EquiDepthHistogram.build(np.arange(10_000))
+        assert hist.range_fraction(Bounds(lo=2500, hi=7500)) == pytest.approx(0.5, abs=0.03)
+        assert hist.range_fraction(Bounds(hi=1000)) == pytest.approx(0.1, abs=0.03)
+        assert hist.range_fraction(Bounds(lo=20_000)) == 0.0
+
+    def test_mcv_equality(self):
+        values = np.concatenate([np.full(5000, 7), np.arange(5000)])
+        hist = EquiDepthHistogram.build(values)
+        assert hist.equality_fraction(7, ndv=5000) == pytest.approx(0.5, abs=0.02)
+        # A rare value gets the uniform non-MCV share.
+        assert hist.equality_fraction(123, ndv=5000) < 0.01
+
+    def test_skewed_range(self):
+        rng = np.random.default_rng(0)
+        values = rng.zipf(1.6, 50_000).clip(0, 10_000)
+        hist = EquiDepthHistogram.build(values)
+        actual = float((values <= 2).mean())
+        estimate = hist.range_fraction(Bounds(hi=2))
+        assert abs(estimate - actual) < 0.15
+
+    def test_empty(self):
+        hist = EquiDepthHistogram.build(np.array([]))
+        assert hist.range_fraction(Bounds(lo=0, hi=1)) == 1.0
+        assert hist.equality_fraction(1, 1) == 0.0
+
+    def test_string_histogram(self):
+        values = np.array([f"k{i % 100:03d}" for i in range(10_000)], dtype=object)
+        hist = EquiDepthHistogram.build(values)
+        fraction = hist.range_fraction(Bounds(lo="k000", hi="k049"))
+        assert 0.3 < fraction < 0.7
+
+
+@given(
+    st.lists(st.integers(0, 1000), min_size=50, max_size=2000),
+    st.integers(0, 1000),
+    st.integers(0, 1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_histogram_range_estimate_bounded_error(values, a, b):
+    lo, hi = min(a, b), max(a, b)
+    array = np.array(values)
+    hist = EquiDepthHistogram.build(array)
+    actual = float(((array >= lo) & (array <= hi)).mean())
+    estimate = hist.range_fraction(Bounds(lo=lo, hi=hi))
+    assert abs(estimate - actual) <= 0.25  # 32 buckets over arbitrary data
+
+
+class TestAnalyze:
+    @pytest.fixture()
+    def engine(self):
+        db = Database(num_slices=2, rows_per_block=200)
+        db.create_table(
+            TableSchema(
+                "t",
+                (
+                    ColumnSpec("x", DataType.INT64),
+                    ColumnSpec("s", DataType.STRING),
+                ),
+            )
+        )
+        engine = QueryEngine(db)
+        rng = np.random.default_rng(1)
+        engine.insert(
+            "t",
+            {
+                "x": rng.integers(0, 500, 30_000),
+                "s": np.array(["hot", "cold"], dtype=object)[
+                    (rng.random(30_000) < 0.9).astype(int)
+                ],
+            },
+        )
+        return engine
+
+    def test_analyze_sql(self, engine):
+        result = engine.execute("analyze t")
+        assert result.column("affected")[0] == 1
+        stats = engine.database.table_statistics("t")
+        assert stats is not None
+        assert stats.num_rows == 30_000
+        assert set(stats.columns) == {"x", "s"}
+
+    def test_analyze_all_tables(self, engine):
+        engine.execute("analyze")
+        assert engine.database.table_statistics("t") is not None
+
+    def test_ndv_estimates(self, engine):
+        engine.execute("analyze t")
+        stats = engine.database.table_statistics("t")
+        assert abs(stats.columns["x"].ndv - 500) / 500 < 0.25
+        assert stats.columns["s"].ndv < 10
+
+    def test_selectivity_tracks_reality(self, engine):
+        engine.execute("analyze t")
+        stats = engine.database.table_statistics("t")
+        for text in ("x < 100", "x between 200 and 300", "s = 'cold'"):
+            predicate = parse_predicate(text)
+            actual = (
+                engine.execute(f"select count(*) as c from t where {text}").scalar()
+                / 30_000
+            )
+            assert abs(stats.selectivity(predicate) - actual) < 0.1, text
+
+    def test_conjunction_independence(self, engine):
+        engine.execute("analyze t")
+        stats = engine.database.table_statistics("t")
+        single = stats.selectivity(parse_predicate("x < 100"))
+        double = stats.selectivity(parse_predicate("x < 100 and s = 'cold'"))
+        assert double < single
+
+    def test_drop_table_clears_stats(self, engine):
+        engine.execute("analyze t")
+        engine.database.drop_table("t")
+        assert engine.database.table_statistics("t") is None
+
+
+class TestPlannerUsesStatistics:
+    def test_selective_fact_filter_flips_probe_side(self):
+        """With stats, a heavily filtered big table can become the
+        build side — the estimated-cardinality ordering."""
+        db = Database(num_slices=2, rows_per_block=200)
+        db.create_table(
+            TableSchema("big", (ColumnSpec("bk", DataType.INT64), ColumnSpec("flag", DataType.INT64)))
+        )
+        db.create_table(
+            TableSchema("small", (ColumnSpec("sk", DataType.INT64),))
+        )
+        engine = QueryEngine(db)
+        rng = np.random.default_rng(2)
+        engine.insert(
+            "big",
+            {"bk": rng.integers(0, 1000, 50_000), "flag": (rng.random(50_000) < 0.001).astype(int)},
+        )
+        engine.insert("small", {"sk": np.arange(2_000)})
+        sql = "select count(*) from big, small where bk = sk and flag = 1"
+
+        from repro.engine.plan import JoinNode
+        from repro.sql import parse_statement, plan_select
+
+        without = plan_select(parse_statement(sql), db)
+        join = without.child
+        assert isinstance(join, JoinNode)
+        assert join.probe.table == "big"  # size heuristic
+
+        engine.execute("analyze")
+        with_stats = plan_select(parse_statement(sql), db)
+        join = with_stats.child
+        assert join.probe.table == "small"  # ~50 estimated rows from big
+
+        # And of course the answer is identical either way.
+        assert engine.execute(sql).num_rows == 1

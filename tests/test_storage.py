@@ -1,0 +1,204 @@
+"""Storage engine: zone maps, column stores, managed storage."""
+
+import numpy as np
+import pytest
+
+from repro.core.rowrange import RangeList
+from repro.storage.column import ColumnStore, GrowableArray
+from repro.storage.compression import EncodedBlock
+from repro.storage.dtypes import DataType, date_to_days, days_to_date
+from repro.storage.rms import ManagedStorage
+from repro.predicates.ast import Bounds
+from repro.storage.zonemap import ZoneEntry, ZoneMap
+
+
+class TestDtypes:
+    def test_date_roundtrip(self):
+        days = date_to_days("1995-01-31")
+        assert days_to_date(days).isoformat() == "1995-01-31"
+
+    def test_date_from_int_passthrough(self):
+        assert date_to_days(100) == 100
+
+    def test_numpy_dtypes(self):
+        assert DataType.INT64.numpy_dtype == np.int64
+        assert DataType.DATE.numpy_dtype == np.int64
+        assert DataType.FLOAT64.numpy_dtype == np.float64
+        assert DataType.STRING.numpy_dtype == object
+
+    def test_is_numeric(self):
+        assert DataType.DATE.is_numeric
+        assert not DataType.STRING.is_numeric
+
+
+class TestGrowableArray:
+    def test_append_and_read(self):
+        a = GrowableArray(np.dtype(np.int64), capacity=2)
+        a.append_many(np.array([1, 2, 3]))
+        a.append_many(np.array([4]))
+        assert a.values.tolist() == [1, 2, 3, 4]
+        assert len(a) == 4
+
+    def test_replace(self):
+        a = GrowableArray(np.dtype(np.int64))
+        a.append_many(np.arange(10))
+        a.replace(np.array([7, 8]))
+        assert a.values.tolist() == [7, 8]
+
+
+class TestZoneMap:
+    def test_bounds_recorded(self):
+        zm = ZoneMap()
+        zm.append_block(np.array([5, 1, 9]))
+        assert zm[0].minimum == 1
+        assert zm[0].maximum == 9
+
+    def test_may_contain(self):
+        entry = ZoneEntry(10, 20)
+        assert entry.may_contain(Bounds(15, 18))
+        assert entry.may_contain(Bounds(None, 10))  # touches minimum
+        assert entry.may_contain(Bounds(20, None))
+        assert not entry.may_contain(Bounds(None, 9))
+        assert not entry.may_contain(Bounds(21, None))
+
+    def test_strict_bounds_prune_equal_extremes(self):
+        entry = ZoneEntry(10, 20)
+        assert not entry.may_contain(Bounds(hi=10, hi_strict=True))
+        assert not entry.may_contain(Bounds(lo=20, lo_strict=True))
+        assert entry.may_contain(Bounds(hi=10))
+        assert entry.may_contain(Bounds(lo=20))
+
+    def test_unknown_bounds_never_prune(self):
+        assert ZoneEntry(None, None).may_contain(Bounds(0, 1))
+
+    def test_incomparable_types_never_prune(self):
+        entry = ZoneEntry("apple", "pear")
+        assert entry.may_contain(Bounds(1, 5))
+
+    def test_pruned_blocks(self):
+        zm = ZoneMap()
+        zm.append_block(np.array([0, 9]))
+        zm.append_block(np.array([10, 19]))
+        zm.append_block(np.array([20, 29]))
+        assert zm.pruned_blocks(Bounds(12, 15)).tolist() == [True, False, True]
+
+    def test_nbytes(self):
+        zm = ZoneMap()
+        zm.append_block(np.array([1]))
+        zm.append_block(np.array([2]))
+        assert zm.nbytes == 32
+
+
+def make_column(values, rows_per_block=10, dtype=DataType.INT64):
+    column = ColumnStore("t", 0, "c", dtype, rows_per_block)
+    column.append(list(values), None)
+    return column
+
+
+class TestColumnStore:
+    def test_sealing(self):
+        column = make_column(range(25), rows_per_block=10)
+        assert len(column.blocks) == 2
+        assert column.num_sealed_rows == 20
+        assert column.num_rows == 25
+        assert column.num_blocks == 3  # 2 sealed + open tail
+
+    def test_read_ranges_spanning_blocks_and_tail(self):
+        column = make_column(range(25), rows_per_block=10)
+        rms = ManagedStorage()
+        values = column.read_ranges(RangeList([(5, 12), (18, 23)]), rms)
+        assert values.tolist() == list(range(5, 12)) + list(range(18, 23))
+
+    def test_tail_reads_do_not_count_blocks(self):
+        column = make_column(range(25), rows_per_block=10)
+        rms = ManagedStorage()
+        column.read_ranges(RangeList([(21, 24)]), rms)
+        assert rms.stats.blocks_accessed == 0
+
+    def test_sealed_reads_count_blocks_once_per_call(self):
+        column = make_column(range(30), rows_per_block=10)
+        rms = ManagedStorage()
+        column.read_ranges(RangeList([(0, 5), (7, 9)]), rms)  # both in block 0
+        assert rms.stats.blocks_accessed == 1
+
+    def test_read_all(self):
+        column = make_column(range(15), rows_per_block=10)
+        assert column.read_all(ManagedStorage()).tolist() == list(range(15))
+
+    def test_string_column(self):
+        column = make_column(
+            ["a", "b", "c", "d"], rows_per_block=2, dtype=DataType.STRING
+        )
+        values = column.read_ranges(RangeList([(1, 4)]), ManagedStorage())
+        assert values.tolist() == ["b", "c", "d"]
+
+    def test_prunable_block_ranges(self):
+        column = make_column(list(range(100)), rows_per_block=10)
+        prunable = column.prunable_block_ranges(Bounds(35, 44))
+        # Only blocks 3 ([30,40)) and 4 ([40,50)) may contain matches.
+        assert prunable.complement(100).to_pairs() == [(30, 50)]
+
+    def test_tail_never_pruned(self):
+        column = make_column(list(range(15)), rows_per_block=10)
+        prunable = column.prunable_block_ranges(Bounds(1000, 2000))
+        assert prunable.to_pairs() == [(0, 10)]  # only the sealed block
+
+    def test_rebuild(self):
+        column = make_column(range(20), rows_per_block=10)
+        column.rebuild(np.array([5, 6, 7]), None)
+        assert column.num_rows == 3
+        assert column.read_all(ManagedStorage()).tolist() == [5, 6, 7]
+
+    def test_compressed_nbytes_positive(self):
+        column = make_column(range(20), rows_per_block=10)
+        assert column.compressed_nbytes > 0
+
+
+class TestManagedStorage:
+    def _block(self, values):
+        from repro.storage.compression import choose_codec
+
+        return choose_codec(np.asarray(values))
+
+    def test_remote_then_local(self):
+        rms = ManagedStorage()
+        block = self._block([1, 2, 3])
+        key = ("t", 0, "c", 0)
+        rms.read_block(key, block)
+        rms.read_block(key, block)
+        assert rms.stats.remote_fetches == 1
+        assert rms.stats.local_hits == 1
+        assert rms.stats.blocks_accessed == 2
+
+    def test_lru_eviction(self):
+        rms = ManagedStorage(cache_capacity=2)
+        blocks = {i: self._block([i]) for i in range(3)}
+        for i in range(3):
+            rms.read_block(("t", 0, "c", i), blocks[i])
+        # Block 0 evicted; re-reading is a remote fetch again.
+        rms.read_block(("t", 0, "c", 0), blocks[0])
+        assert rms.stats.remote_fetches == 4
+
+    def test_invalidate_table(self):
+        rms = ManagedStorage()
+        rms.read_block(("a", 0, "c", 0), self._block([1]))
+        rms.read_block(("b", 0, "c", 0), self._block([2]))
+        rms.invalidate_table("a")
+        assert rms.cached_blocks == 1
+        rms.read_block(("a", 0, "c", 0), self._block([1]))
+        assert rms.stats.remote_fetches == 3
+
+    def test_bytes_fetched(self):
+        rms = ManagedStorage()
+        block = self._block(np.arange(100))
+        rms.read_block(("t", 0, "c", 0), block)
+        assert rms.stats.bytes_fetched == block.nbytes
+
+    def test_stats_delta(self):
+        rms = ManagedStorage()
+        rms.read_block(("t", 0, "c", 0), self._block([1]))
+        before = rms.stats.snapshot()
+        rms.read_block(("t", 0, "c", 0), self._block([1]))
+        delta = rms.stats.delta(before)
+        assert delta.local_hits == 1
+        assert delta.remote_fetches == 0

@@ -1,0 +1,192 @@
+"""Tables: distribution, MVCC visibility, vacuum, change events."""
+
+import numpy as np
+import pytest
+
+from repro.core.rowrange import RangeList
+from repro.storage import ColumnSpec, Database, DataType, Table, TableSchema
+
+
+def make_db(num_slices=2, rows_per_block=10):
+    db = Database(num_slices=num_slices, rows_per_block=rows_per_block)
+    db.create_table(
+        TableSchema(
+            "t",
+            (
+                ColumnSpec("k", DataType.INT64),
+                ColumnSpec("v", DataType.FLOAT64),
+            ),
+        )
+    )
+    return db
+
+
+class TestSchema:
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(ValueError):
+            TableSchema(
+                "t",
+                (ColumnSpec("a", DataType.INT64), ColumnSpec("a", DataType.INT64)),
+            )
+
+    def test_rejects_unknown_dist_key(self):
+        with pytest.raises(ValueError):
+            TableSchema("t", (ColumnSpec("a", DataType.INT64),), dist_key="b")
+
+    def test_dtype_of(self):
+        schema = TableSchema("t", (ColumnSpec("a", DataType.DATE),))
+        assert schema.dtype_of("a") is DataType.DATE
+        with pytest.raises(KeyError):
+            schema.dtype_of("z")
+
+
+class TestInsertAndDistribution:
+    def test_round_robin_covers_all_slices(self):
+        db = make_db(num_slices=4)
+        table = db.table("t")
+        table.insert({"k": np.arange(100), "v": np.zeros(100)}, db.begin())
+        assert all(s.num_rows == 25 for s in table.slices)
+
+    def test_hash_distribution_is_stable(self):
+        db = Database(num_slices=4)
+        db.create_table(
+            TableSchema(
+                "h",
+                (ColumnSpec("k", DataType.INT64), ColumnSpec("v", DataType.INT64)),
+                dist_key="k",
+            )
+        )
+        table = db.table("h")
+        table.insert({"k": np.arange(50), "v": np.zeros(50)}, db.begin())
+        table.insert({"k": np.arange(50), "v": np.ones(50)}, db.begin())
+        # Same key -> same slice: every slice's key set is duplicated.
+        for s in table.slices:
+            keys = s.columns["k"].read_all(table.rms)
+            unique, counts = np.unique(keys, return_counts=True)
+            assert (counts == 2).all()
+
+    def test_insert_missing_column_raises(self):
+        db = make_db()
+        with pytest.raises(ValueError):
+            db.table("t").insert({"k": [1]}, db.begin())
+
+    def test_insert_bumps_data_version_only(self):
+        db = make_db()
+        table = db.table("t")
+        v_data, v_layout = table.data_version, table.layout_version
+        table.insert({"k": [1], "v": [1.0]}, db.begin())
+        assert table.data_version == v_data + 1
+        assert table.layout_version == v_layout
+
+
+class TestMVCC:
+    def test_snapshot_isolation_of_inserts(self):
+        db = make_db()
+        table = db.table("t")
+        tx1 = db.begin()
+        table.insert({"k": [1, 2], "v": [0.0, 0.0]}, tx1)
+        read_old = tx1 - 1
+        assert table.visible_row_count(read_old) == 0
+        assert table.visible_row_count(tx1) == 2
+
+    def test_delete_hides_rows_from_later_snapshots(self):
+        db = make_db(num_slices=1)
+        table = db.table("t")
+        table.insert({"k": np.arange(10), "v": np.zeros(10)}, db.begin())
+        del_tx = db.begin()
+        table.delete_local_rows(0, np.array([0, 1, 2]), del_tx)
+        assert table.visible_row_count(db.begin()) == 7
+        # A snapshot before the delete still sees all rows.
+        assert table.visible_row_count(del_tx - 1) == 10
+
+    def test_double_delete_is_idempotent(self):
+        db = make_db(num_slices=1)
+        table = db.table("t")
+        table.insert({"k": np.arange(5), "v": np.zeros(5)}, db.begin())
+        assert table.delete_local_rows(0, np.array([1]), db.begin()) == 1
+        assert table.delete_local_rows(0, np.array([1]), db.begin()) == 0
+
+    def test_visibility_mask(self):
+        db = make_db(num_slices=1)
+        table = db.table("t")
+        table.insert({"k": np.arange(6), "v": np.zeros(6)}, db.begin())
+        table.delete_local_rows(0, np.array([2, 3]), db.begin())
+        mask = table.slices[0].visibility_mask(RangeList.full(6), db.begin())
+        assert mask.tolist() == [True, True, False, False, True, True]
+
+
+class TestVacuum:
+    def test_vacuum_reclaims_and_renumbers(self):
+        db = make_db(num_slices=1, rows_per_block=4)
+        table = db.table("t")
+        table.insert({"k": np.arange(10), "v": np.zeros(10)}, db.begin())
+        table.delete_local_rows(0, np.array([0, 5]), db.begin())
+        assert table.vacuum(db.horizon_txid)
+        assert table.num_rows == 8
+        kept = table.read_column_all("k")
+        assert kept.tolist() == [1, 2, 3, 4, 6, 7, 8, 9]
+
+    def test_vacuum_without_dead_rows_is_noop(self):
+        db = make_db()
+        table = db.table("t")
+        table.insert({"k": [1], "v": [1.0]}, db.begin())
+        assert not table.vacuum(db.horizon_txid)
+
+    def test_vacuum_fires_layout_event(self):
+        db = make_db(num_slices=1)
+        table = db.table("t")
+        events = []
+        table.on_change(lambda t, e: events.append(e))
+        table.insert({"k": np.arange(5), "v": np.zeros(5)}, db.begin())
+        table.delete_local_rows(0, np.array([0]), db.begin())
+        table.vacuum(db.horizon_txid)
+        assert "layout" in events
+
+    def test_vacuum_preserves_visible_data_across_blocks(self):
+        db = make_db(num_slices=2, rows_per_block=3)
+        table = db.table("t")
+        table.insert({"k": np.arange(40), "v": np.arange(40) * 1.5}, db.begin())
+        # Delete every fourth row, per slice.
+        tx = db.begin()
+        for slice_id, s in enumerate(table.slices):
+            keys = s.columns["k"].read_all(table.rms)
+            doomed = np.flatnonzero(keys % 4 == 0)
+            table.delete_local_rows(slice_id, doomed, tx)
+        survivors_before = sorted(
+            int(k)
+            for k in table.read_column_all("k")
+            if k % 4 != 0
+        )
+        table.vacuum(db.horizon_txid)
+        assert sorted(table.read_column_all("k").tolist()) == survivors_before
+
+
+class TestDatabase:
+    def test_create_and_drop(self):
+        db = make_db()
+        assert "t" in db
+        db.drop_table("t")
+        assert "t" not in db
+        with pytest.raises(KeyError):
+            db.table("t")
+
+    def test_duplicate_create_rejected(self):
+        db = make_db()
+        with pytest.raises(ValueError):
+            db.create_table(TableSchema("t", (ColumnSpec("x", DataType.INT64),)))
+
+    def test_txids_are_monotonic(self):
+        db = make_db()
+        assert db.begin() < db.begin() < db.begin()
+
+    def test_reorganize_fires_layout_event_and_reorders(self):
+        db = make_db(num_slices=1)
+        table = db.table("t")
+        table.insert({"k": np.array([3, 1, 2]), "v": np.zeros(3)}, db.begin())
+        events = []
+        table.on_change(lambda t, e: events.append(e))
+        table.reorganize(
+            lambda t: [np.argsort(s.columns["k"].read_all(t.rms)) for s in t.slices]
+        )
+        assert table.read_column_all("k").tolist() == [1, 2, 3]
+        assert "layout" in events

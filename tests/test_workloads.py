@@ -1,0 +1,181 @@
+"""Workload generators: TPC-H, SSB, TPC-DS-lite."""
+
+import numpy as np
+import pytest
+
+from repro import Database, PredicateCache, QueryEngine
+from repro.storage.dtypes import date_to_days
+from repro.workloads import ssb, tpch, tpcds_lite
+
+
+class TestTpchGenerator:
+    def test_table_sizes_scale(self):
+        data = tpch.generate(scale_factor=0.01, seed=1)
+        assert len(data["orders"]["o_orderkey"]) == 15_000
+        assert len(data["customer"]["c_custkey"]) == 1_500
+        assert len(data["part"]["p_partkey"]) == 2_000
+        assert len(data["partsupp"]["ps_partkey"]) == 8_000
+        # Lineitem averages 4 lines per order.
+        n_li = len(data["lineitem"]["l_orderkey"])
+        assert 15_000 * 2 < n_li < 15_000 * 7
+
+    def test_referential_integrity(self):
+        data = tpch.generate(scale_factor=0.005, seed=2)
+        assert set(np.unique(data["lineitem"]["l_orderkey"])) <= set(
+            data["orders"]["o_orderkey"].tolist()
+        )
+        assert data["lineitem"]["l_partkey"].max() <= data["part"]["p_partkey"].max()
+        assert data["orders"]["o_custkey"].max() <= data["customer"]["c_custkey"].max()
+        assert data["nation"]["n_regionkey"].max() == 4
+
+    def test_dates_consistent(self):
+        data = tpch.generate(scale_factor=0.005, seed=3)
+        li = data["lineitem"]
+        assert (li["l_shipdate"] > date_to_days("1992-01-01")).all()
+        assert (li["l_receiptdate"] > li["l_shipdate"]).all()
+
+    def test_orders_arrive_in_date_order(self):
+        data = tpch.generate(scale_factor=0.005, seed=4)
+        dates = data["orders"]["o_orderdate"]
+        assert (np.diff(dates) >= 0).all()
+
+    def test_skew_concentrates_values(self):
+        uniform = tpch.generate(scale_factor=0.01, skew=0.0, seed=5)
+        skewed = tpch.generate(scale_factor=0.01, skew=1.2, seed=5)
+
+        def top_share(values):
+            _, counts = np.unique(values, return_counts=True)
+            return counts.max() / counts.sum()
+
+        assert top_share(skewed["lineitem"]["l_quantity"]) > 2 * top_share(
+            uniform["lineitem"]["l_quantity"]
+        )
+
+    def test_deterministic_per_seed(self):
+        a = tpch.generate(scale_factor=0.003, seed=7)
+        b = tpch.generate(scale_factor=0.003, seed=7)
+        assert (a["lineitem"]["l_partkey"] == b["lineitem"]["l_partkey"]).all()
+
+    def test_zipf_choice_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            tpch.zipf_choice(rng, 0, 10, 1.0)
+        uniform = tpch.zipf_choice(rng, 10, 1000, 0.0)
+        assert uniform.min() >= 0 and uniform.max() < 10
+
+
+class TestTpchQueries:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        db = Database(num_slices=2, rows_per_block=500)
+        tpch.load(db, scale_factor=0.005, skew=1.0, seed=0)
+        return QueryEngine(db, predicate_cache=PredicateCache())
+
+    def test_all_queries_run_and_repeat_consistently(self, engine):
+        for name, sql in tpch.queries(skewed=True).items():
+            first = engine.execute(sql)
+            second = engine.execute(sql)
+            assert first.num_rows == second.num_rows, name
+            assert first.column_order == second.column_order, name
+            for column in first.column_order:
+                a, b = first.column(column), second.column(column)
+                if a.dtype == object:
+                    assert a.tolist() == b.tolist(), name
+                else:
+                    np.testing.assert_allclose(
+                        np.asarray(a, float), np.asarray(b, float), err_msg=name
+                    )
+
+    def test_q1_aggregate_values(self, engine):
+        result = engine.execute(tpch.query("Q1"))
+        li = engine.database.table("lineitem")
+        ship = li.read_column_all("l_shipdate")
+        qty = li.read_column_all("l_quantity")
+        cutoff = date_to_days("1998-09-02") - 90
+        assert result.column("count_order").sum() == int((ship <= cutoff).sum())
+        assert result.column("sum_qty").sum() == pytest.approx(
+            qty[ship <= cutoff].sum()
+        )
+
+    def test_q6_matches_brute_force(self, engine):
+        result = engine.execute(tpch.query("Q6", skewed=True))
+        li = engine.database.table("lineitem")
+        ship = li.read_column_all("l_shipdate")
+        disc = li.read_column_all("l_discount")
+        qty = li.read_column_all("l_quantity")
+        price = li.read_column_all("l_extendedprice")
+        mask = (
+            (ship >= date_to_days("1994-01-01"))
+            & (ship < date_to_days("1995-01-01"))
+            & (disc >= 0.07) & (disc <= 0.09)
+            & (qty < 45)
+        )
+        assert float(result.scalar()) == pytest.approx((price * disc)[mask].sum())
+
+    def test_simplifications_documented(self):
+        for name in tpch.SIMPLIFICATIONS:
+            assert name in tpch.queries()
+
+
+class TestSsb:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        db = Database(num_slices=2, rows_per_block=500)
+        ssb.load(db, scale_factor=0.003, seed=0)
+        return QueryEngine(db, predicate_cache=PredicateCache())
+
+    def test_generator_integrity(self):
+        data = ssb.generate(scale_factor=0.003, seed=1)
+        lo = data["lineorder"]
+        assert set(np.unique(lo["lo_orderdate"])) <= set(
+            data["date"]["d_datekey"].tolist()
+        )
+        assert lo["lo_partkey"].max() <= data["ssb_part"]["p_partkey"].max()
+        assert (lo["lo_revenue"] <= lo["lo_extendedprice"]).all()
+
+    def test_all_13_queries_run(self, engine):
+        results = {}
+        for name, sql in ssb.queries().items():
+            results[name] = engine.execute(sql)
+        assert len(results) == 13
+
+    def test_q11_brute_force(self, engine):
+        result = engine.execute(ssb.query("Q1.1"))
+        db = engine.database
+        lo = db.table("lineorder")
+        dates = db.table("date")
+        year_of = dict(
+            zip(
+                dates.read_column_all("d_datekey").tolist(),
+                dates.read_column_all("d_year").tolist(),
+            )
+        )
+        od = lo.read_column_all("lo_orderdate")
+        disc = lo.read_column_all("lo_discount")
+        qty = lo.read_column_all("lo_quantity")
+        price = lo.read_column_all("lo_extendedprice")
+        expected = sum(
+            float(p * d)
+            for o, d, q, p in zip(od, disc, qty, price)
+            if year_of[int(o)] == 1993 and 1 <= d <= 3 and q < 25
+        )
+        assert float(result.scalar()) == pytest.approx(expected)
+
+
+class TestTpcdsLite:
+    def test_generator_integrity(self):
+        data = tpcds_lite.generate(scale_factor=0.002, seed=1)
+        sales = data["store_sales"]
+        assert set(np.unique(sales["ss_sold_date_sk"])) <= set(
+            data["date_dim"]["d_date_sk"].tolist()
+        )
+        assert sales["ss_item_sk"].max() <= data["item"]["i_item_sk"].max()
+
+    def test_all_queries_run(self):
+        db = Database(num_slices=2, rows_per_block=500)
+        tpcds_lite.load(db, scale_factor=0.002, seed=0)
+        engine = QueryEngine(db, predicate_cache=PredicateCache())
+        for name, sql in tpcds_lite.queries().items():
+            first = engine.execute(sql)
+            second = engine.execute(sql)
+            assert first.num_rows == second.num_rows, name
