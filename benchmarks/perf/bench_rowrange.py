@@ -1,0 +1,184 @@
+"""Microbenchmark: range algebra + gap-heap build, new vs seed implementation.
+
+Measures the array-backed :class:`repro.core.rowrange.RangeList` against
+the frozen seed implementation (``legacy_rowrange.py``) on identical
+inputs, on the same machine, and writes ops/sec + speedups to
+``benchmarks/results/BENCH_rowrange.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_rowrange.py            # full
+    PYTHONPATH=src python benchmarks/perf/bench_rowrange.py --smoke    # CI smoke
+
+Full mode also checks the PR gate: >= 5x speedup on every set operation
+at 10k+ ranges (exit code 1 on failure).  Smoke mode only checks that
+both implementations agree on every result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import legacy_rowrange as legacy  # noqa: E402  (frozen seed copy)
+
+from repro.core.gapheap import GapHeapRangeBuilder  # noqa: E402
+from repro.core.rowrange import RangeList  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+SETOP_GATE = 5.0  # required speedup on set ops (acceptance criterion)
+
+
+def make_pairs(n_ranges: int, seed: int, gap_scale: int = 40) -> list:
+    """n disjoint ranges with jittered widths/gaps, as (start, end) pairs."""
+    rng = np.random.default_rng(seed)
+    widths = rng.integers(1, 30, size=n_ranges)
+    gaps = rng.integers(1, gap_scale, size=n_ranges)
+    starts = np.cumsum(gaps + widths) - widths
+    return list(zip(starts.tolist(), (starts + widths).tolist()))
+
+
+def timeit(fn, reps: int) -> float:
+    """Best-of-reps wall time of fn() in seconds."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench(name, new_fn, legacy_fn, reps, results, check=None):
+    """Time both implementations; optionally verify they agree."""
+    if check is not None:
+        check(new_fn(), legacy_fn())
+    new_s = timeit(new_fn, reps)
+    legacy_s = timeit(legacy_fn, reps)
+    results[name] = {
+        "new_s": new_s,
+        "legacy_s": legacy_s,
+        "new_ops_per_s": 1.0 / new_s if new_s > 0 else float("inf"),
+        "legacy_ops_per_s": 1.0 / legacy_s if legacy_s > 0 else float("inf"),
+        "speedup": legacy_s / new_s if new_s > 0 else float("inf"),
+    }
+    print(f"  {name:<22} new {new_s * 1e3:9.3f} ms   "
+          f"legacy {legacy_s * 1e3:9.3f} ms   speedup {results[name]['speedup']:7.1f}x")
+
+
+def same_pairs(a, b):
+    a_pairs = a.to_pairs() if hasattr(a, "to_pairs") else a
+    b_pairs = b.to_pairs() if hasattr(b, "to_pairs") else b
+    assert list(map(tuple, a_pairs)) == list(map(tuple, b_pairs)), "result mismatch"
+
+
+def same_array(a, b):
+    assert np.array_equal(a, b), "result mismatch"
+
+
+def run(n_ranges: int, reps: int) -> dict:
+    a_pairs = make_pairs(n_ranges, seed=1)
+    b_pairs = make_pairs(n_ranges, seed=2)
+    shuffled = list(a_pairs)
+    np.random.default_rng(0).shuffle(shuffled)
+
+    new_a, new_b = RangeList(a_pairs), RangeList(b_pairs)
+    old_a, old_b = legacy.RangeList(a_pairs), legacy.RangeList(b_pairs)
+    domain = int(max(new_a.span.end, new_b.span.end)) + 10
+
+    rows = new_a.to_row_ids()
+    scattered = rows[:: 3].copy()
+    mask = new_a.to_mask(domain)
+
+    results: dict = {}
+    bench("construct_shuffled",
+          lambda: RangeList(shuffled), lambda: legacy.RangeList(shuffled),
+          reps, results, check=same_pairs)
+    bench("union",
+          lambda: new_a.union(new_b), lambda: old_a.union(old_b),
+          reps, results, check=same_pairs)
+    bench("intersect",
+          lambda: new_a.intersect(new_b), lambda: old_a.intersect(old_b),
+          reps, results, check=same_pairs)
+    bench("difference",
+          lambda: new_a.difference(new_b), lambda: old_a.difference(old_b),
+          reps, results, check=same_pairs)
+    bench("complement",
+          lambda: new_a.complement(domain), lambda: old_a.complement(domain),
+          reps, results, check=same_pairs)
+    bench("num_rows_uncached",
+          lambda: RangeList(a_pairs).num_rows,
+          lambda: legacy.RangeList(a_pairs).num_rows,
+          reps, results)
+    bench("from_mask",
+          lambda: RangeList.from_mask(mask), lambda: legacy.RangeList.from_mask(mask),
+          reps, results, check=same_pairs)
+    bench("from_rows",
+          lambda: RangeList.from_rows(scattered),
+          lambda: legacy.RangeList.from_rows(scattered),
+          reps, results, check=same_pairs)
+    bench("to_row_ids",
+          lambda: new_a.to_row_ids(), lambda: old_a.to_row_ids(),
+          reps, results, check=same_array)
+    bench("coalesce_256",
+          lambda: new_a.coalesce(256), lambda: old_a.coalesce(256),
+          reps, results)
+
+    def new_gapheap():
+        builder = GapHeapRangeBuilder(max_ranges=256)
+        builder.add_range_list(new_a)
+        return builder.finish()
+
+    def legacy_gapheap():
+        builder = legacy.LegacyGapHeapRangeBuilder(max_ranges=256)
+        for start, end in a_pairs:
+            builder.add(start, end)
+        return builder.finish()
+
+    bench("gapheap_build_256", new_gapheap, legacy_gapheap, reps, results)
+    return results
+
+
+def main() -> int:
+    smoke = "--smoke" in sys.argv
+    n_ranges = 2_000 if smoke else 20_000
+    reps = 3 if smoke else 7
+    print(f"BENCH_rowrange: {n_ranges} ranges, best of {reps} "
+          f"({'smoke' if smoke else 'full'} mode)")
+    results = run(n_ranges, reps)
+
+    set_ops = ["union", "intersect", "difference", "complement"]
+    min_setop_speedup = min(results[op]["speedup"] for op in set_ops)
+    gate_pass = min_setop_speedup >= SETOP_GATE
+    report = {
+        "benchmark": "rowrange",
+        "mode": "smoke" if smoke else "full",
+        "n_ranges": n_ranges,
+        "reps": reps,
+        "ops": results,
+        "gate": {
+            "set_ops": set_ops,
+            "required_speedup": SETOP_GATE,
+            "min_setop_speedup": min_setop_speedup,
+            "pass": gate_pass,
+            "gating": not smoke,
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out = os.path.join(RESULTS_DIR, "BENCH_rowrange.json")
+    with open(out, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"min set-op speedup: {min_setop_speedup:.1f}x "
+          f"(gate {SETOP_GATE}x) -> {'PASS' if gate_pass else 'FAIL'}")
+    print(f"[saved to {out}]")
+    if not smoke and not gate_pass:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

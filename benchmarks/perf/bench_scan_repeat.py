@@ -1,0 +1,171 @@
+"""Microbenchmark: cached repeated TPC-H-style scan, new vs seed hot path.
+
+The paper's headline scenario: a selective predicate is scanned once
+(cold, cache fill), then repeated — the predicate cache restricts the
+repeat to the cached qualifying ranges.  With a scattered predicate the
+cached entry holds thousands of short ranges per slice, which is exactly
+the shape that made the seed per-object hot path slow.
+
+Both modes run the *same* engine on the *same* data; legacy mode swaps
+the scan hot path back to the frozen seed implementation (per-object
+``RangeList`` plus the nested-while ``ColumnStore.read_ranges``) via
+monkeypatching, so speedups are measured on this machine rather than
+read off a recorded baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_scan_repeat.py          # full
+    PYTHONPATH=src python benchmarks/perf/bench_scan_repeat.py --smoke  # CI smoke
+
+Full mode enforces the PR gate: >= 2x wall-clock speedup on the repeated
+(cache-hit) scan.  Writes ``benchmarks/results/BENCH_scan_repeat.json``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import statistics
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import legacy_rowrange as legacy  # noqa: E402  (frozen seed copy)
+
+from repro import Database, PredicateCache, PredicateCacheConfig, QueryEngine  # noqa: E402
+from repro.storage import ColumnSpec, DataType, TableSchema  # noqa: E402
+from repro.storage.column import ColumnStore  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+SCAN_GATE = 2.0  # required wall-clock speedup on the cached repeat
+QUERY = "select count(*) as c, sum(quantity) as q from lineitem where discount < 150"
+
+
+@contextlib.contextmanager
+def legacy_hot_path():
+    """Swap the scan hot path back to the frozen seed implementation.
+
+    Replaces the ``RangeList`` global of every scan-path module with the
+    seed class and restores the seed ``ColumnStore`` readers.  The seed
+    class is API-compatible, so the unchanged engine code runs on top of
+    it — which is the point: same control flow, old data structure.
+    """
+    import repro.core.cache as cache_mod
+    import repro.core.entry as entry_mod
+    import repro.engine.engine as engine_mod
+    import repro.engine.scan as scan_mod
+    import repro.storage.column as column_mod
+    import repro.storage.slice as slice_mod
+
+    modules = [cache_mod, entry_mod, engine_mod, scan_mod, column_mod, slice_mod]
+    saved = [(m, m.RangeList) for m in modules]
+    saved_read = ColumnStore.read_ranges
+    saved_prunable = ColumnStore.prunable_block_ranges
+    try:
+        for m in modules:
+            m.RangeList = legacy.RangeList
+        ColumnStore.read_ranges = legacy.legacy_read_ranges
+        ColumnStore.prunable_block_ranges = legacy.legacy_prunable_block_ranges
+        yield
+    finally:
+        for m, cls in saved:
+            m.RangeList = cls
+        ColumnStore.read_ranges = saved_read
+        ColumnStore.prunable_block_ranges = saved_prunable
+
+
+def build_database(num_rows: int, num_slices: int = 4) -> Database:
+    """A lineitem-shaped table with a scattered selective predicate column."""
+    db = Database(num_slices=num_slices, rows_per_block=500)
+    db.create_table(TableSchema("lineitem", (
+        ColumnSpec("orderkey", DataType.INT64),
+        ColumnSpec("quantity", DataType.INT64),
+        ColumnSpec("discount", DataType.INT64),
+    )))
+    rng = np.random.default_rng(7)
+    engine = QueryEngine(db)
+    engine.insert("lineitem", {
+        "orderkey": np.arange(num_rows, dtype=np.int64),
+        "quantity": rng.integers(1, 50, size=num_rows),
+        # ~15% selectivity, uniformly scattered -> thousands of short
+        # cached ranges per slice (the fragmented hot-path shape).
+        "discount": rng.integers(0, 1000, size=num_rows),
+    })
+    return db
+
+
+def measure_mode(db: Database, repeats: int) -> dict:
+    """Cold scan (cache fill) + timed cached repeats, for one mode."""
+    cache = PredicateCache(PredicateCacheConfig(variant="range"))
+    engine = QueryEngine(db, predicate_cache=cache)
+    t0 = time.perf_counter()
+    cold = engine.execute(QUERY)
+    cold_s = time.perf_counter() - t0
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        warm = engine.execute(QUERY)
+        times.append(time.perf_counter() - t0)
+    assert warm.counters.cache_hits > 0, "repeat did not hit the predicate cache"
+    return {
+        "cold_s": cold_s,
+        "repeat_s_median": statistics.median(times),
+        "repeat_s_best": min(times),
+        "rows_scanned_repeat": int(warm.counters.rows_scanned),
+        "result": int(warm.column("c")[0]),
+    }
+
+
+def main() -> int:
+    smoke = "--smoke" in sys.argv
+    num_rows = 40_000 if smoke else 240_000
+    repeats = 3 if smoke else 9
+    print(f"BENCH_scan_repeat: {num_rows} rows, {repeats} repeats "
+          f"({'smoke' if smoke else 'full'} mode)")
+
+    db = build_database(num_rows)
+    new_stats = measure_mode(db, repeats)
+    with legacy_hot_path():
+        legacy_stats = measure_mode(db, repeats)
+    assert new_stats["result"] == legacy_stats["result"], "modes disagree on results"
+    assert new_stats["rows_scanned_repeat"] == legacy_stats["rows_scanned_repeat"], (
+        "modes disagree on rows scanned"
+    )
+
+    speedup = legacy_stats["repeat_s_median"] / new_stats["repeat_s_median"]
+    gate_pass = speedup >= SCAN_GATE
+    print(f"  cached repeat: new {new_stats['repeat_s_median'] * 1e3:8.2f} ms   "
+          f"legacy {legacy_stats['repeat_s_median'] * 1e3:8.2f} ms   "
+          f"speedup {speedup:5.1f}x")
+    print(f"gate {SCAN_GATE}x -> {'PASS' if gate_pass else 'FAIL'}")
+
+    report = {
+        "benchmark": "scan_repeat",
+        "mode": "smoke" if smoke else "full",
+        "query": QUERY,
+        "num_rows": num_rows,
+        "repeats": repeats,
+        "new": new_stats,
+        "legacy": legacy_stats,
+        "speedup_repeat_median": speedup,
+        "gate": {
+            "required_speedup": SCAN_GATE,
+            "pass": gate_pass,
+            "gating": not smoke,
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out = os.path.join(RESULTS_DIR, "BENCH_scan_repeat.json")
+    with open(out, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"[saved to {out}]")
+    if not smoke and not gate_pass:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

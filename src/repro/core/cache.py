@@ -230,8 +230,12 @@ class PredicateCache:
         max_bytes = self.config.max_bytes
         if max_bytes is None:
             return
-        while len(self._entries) > 1 and self.total_nbytes > max_bytes:
-            self._entries.popitem(last=False)
+        # Compute the payload total once and decrement per eviction —
+        # re-summing every entry per loop iteration is quadratic.
+        total = self.total_nbytes
+        while len(self._entries) > 1 and total > max_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            total -= evicted.nbytes
             self.stats.evictions += 1
 
     # -- introspection -------------------------------------------------------------

@@ -25,8 +25,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from .gapheap import GapHeapRangeBuilder
-from .rowrange import RangeList, RowRange
+from .rowrange import RangeList
 
 __all__ = ["SliceState", "RangeSliceState", "BitmapSliceState", "CacheEntry"]
 
@@ -111,27 +110,29 @@ class BitmapSliceState(SliceState):
         return (num_rows + self.block_size - 1) // self.block_size
 
     def _set_bits(self, qualifying: RangeList) -> None:
-        for r in qualifying:
-            first = r.start // self.block_size
-            last = (r.end - 1) // self.block_size
-            self.bits[first : last + 1] = True
+        bounds = qualifying.bounds
+        if not len(bounds):
+            return
+        # Boundary-delta accumulation over block indices: +1 at each
+        # range's first block, -1 one past its last block, prefix sum > 0
+        # marks covered blocks — no per-range Python loop.
+        delta = np.zeros(len(self.bits) + 1, dtype=np.int64)
+        np.add.at(delta, bounds[:, 0] // self.block_size, 1)
+        np.add.at(delta, (bounds[:, 1] - 1) // self.block_size + 1, -1)
+        self.bits |= np.cumsum(delta[:-1]) > 0
 
     def candidates(self, num_rows: int) -> RangeList:
-        blocks = np.flatnonzero(self.bits)
-        size = self.block_size
-        cached = RangeList(
-            (int(b) * size, min((int(b) + 1) * size, self.last_cached_row))
-            for b in blocks
-        )
-        return cached.union(self._tail_range(num_rows))
+        return self.cached_candidates().union(self._tail_range(num_rows))
 
     def cached_candidates(self) -> RangeList:
-        blocks = np.flatnonzero(self.bits)
-        size = self.block_size
-        return RangeList(
-            (int(b) * size, min((int(b) + 1) * size, self.last_cached_row))
-            for b in blocks
-        )
+        if not self.bits.any():
+            return RangeList.empty()
+        # Merged runs of set bits, scaled to row ranges and clipped at the
+        # watermark (the last block may be partial).
+        bounds = RangeList.from_mask(self.bits).bounds * self.block_size
+        bounds = bounds.copy()
+        np.minimum(bounds[:, 1], self.last_cached_row, out=bounds[:, 1])
+        return RangeList.from_bounds(bounds)
 
     def extend(self, tail_qualifying: RangeList, scanned_upto: int) -> None:
         if scanned_upto < self.last_cached_row:

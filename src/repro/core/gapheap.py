@@ -9,6 +9,15 @@ Merging only ever *adds* rows to the cached ranges (false positives); it
 never drops a qualifying row (no false negatives), which is the safety
 property the predicate cache relies on — the vectorized scan re-checks
 the predicate on cached rows.
+
+Two feeding modes share the same state:
+
+* :meth:`add` streams one range at a time through a classic bounded
+  min-heap (``heapq``), for callers that produce ranges incrementally.
+* :meth:`add_ranges` ingests whole ``starts``/``ends`` arrays at once:
+  gap widths are computed vectorially and the top ``max_ranges - 1``
+  gaps are selected with ``np.partition``-style selection instead of a
+  per-gap Python heap loop.
 """
 
 from __future__ import annotations
@@ -16,7 +25,9 @@ from __future__ import annotations
 import heapq
 from typing import List, Optional, Tuple
 
-from .rowrange import RangeList, RowRange
+import numpy as np
+
+from .rowrange import RangeList
 
 __all__ = ["GapHeapRangeBuilder"]
 
@@ -24,10 +35,11 @@ __all__ = ["GapHeapRangeBuilder"]
 class GapHeapRangeBuilder:
     """Builds a bounded :class:`RangeList` from streamed qualifying ranges.
 
-    Feed qualifying ranges in ascending row order with :meth:`add`; call
-    :meth:`finish` once to obtain the merged result.  At most
-    ``max_ranges`` ranges are produced, by keeping the ``max_ranges - 1``
-    widest gaps seen between consecutive qualifying ranges.
+    Feed qualifying ranges in ascending row order with :meth:`add` (or in
+    bulk with :meth:`add_ranges`); call :meth:`finish` once to obtain the
+    merged result.  At most ``max_ranges`` ranges are produced, by
+    keeping the ``max_ranges - 1`` widest gaps seen between consecutive
+    qualifying ranges.
 
     Example:
         >>> b = GapHeapRangeBuilder(max_ranges=2)
@@ -75,10 +87,75 @@ class GapHeapRangeBuilder:
             self._push_gap(self._last_end, start)
         self._last_end = end
 
+    def add_ranges(self, starts: np.ndarray, ends: np.ndarray) -> None:
+        """Bulk-stream qualifying ranges ``[starts[i], ends[i])``.
+
+        Ranges must be in ascending, non-overlapping order (empty ranges
+        are ignored).  All gap bookkeeping is vectorized: gap widths come
+        from one array subtraction and the largest ``max_ranges - 1``
+        survivors — merged with any gaps already held — are selected with
+        ``np.argpartition`` instead of per-gap heap pushes.
+        """
+        if self._finished:
+            raise RuntimeError("builder already finished")
+        starts = np.asarray(starts, dtype=np.int64)
+        ends = np.asarray(ends, dtype=np.int64)
+        nonempty = ends > starts
+        if not nonempty.all():
+            starts, ends = starts[nonempty], ends[nonempty]
+        if not len(starts):
+            return
+        if len(starts) > 1 and (starts[1:] < ends[:-1]).any():
+            bad = int(np.flatnonzero(starts[1:] < ends[:-1])[0])
+            raise ValueError(
+                f"ranges must be streamed in ascending order; "
+                f"got start {int(starts[bad + 1])} < previous end {int(ends[bad])}"
+            )
+        if self._last_end is not None and starts[0] < self._last_end:
+            raise ValueError(
+                f"ranges must be streamed in ascending order; "
+                f"got start {int(starts[0])} < previous end {self._last_end}"
+            )
+
+        gap_starts = ends[:-1]
+        gap_ends = starts[1:]
+        if self._first_start is None:
+            self._first_start = int(starts[0])
+        elif starts[0] > self._last_end:  # gap back to the previous batch
+            gap_starts = np.concatenate(([self._last_end], gap_starts))
+            gap_ends = np.concatenate(([starts[0]], gap_ends))
+        self._last_end = int(ends[-1])
+
+        keep = self.max_ranges - 1
+        if keep == 0:
+            return
+        widths = gap_ends - gap_starts
+        positive = widths > 0
+        if not positive.all():
+            gap_starts, gap_ends, widths = (
+                gap_starts[positive], gap_ends[positive], widths[positive],
+            )
+        if not len(widths):
+            return
+        if self._gaps:  # merge with gaps carried over from scalar adds
+            carried = np.array(self._gaps, dtype=np.int64)
+            widths = np.concatenate((carried[:, 0], widths))
+            gap_starts = np.concatenate((carried[:, 1], gap_starts))
+            gap_ends = np.concatenate((carried[:, 2], gap_ends))
+        if len(widths) > keep:
+            top = np.argpartition(widths, len(widths) - keep)[-keep:]
+            widths, gap_starts, gap_ends = (
+                widths[top], gap_starts[top], gap_ends[top],
+            )
+        self._gaps = [
+            (int(w), int(s), int(e))
+            for w, s, e in zip(widths, gap_starts, gap_ends)
+        ]
+        heapq.heapify(self._gaps)
+
     def add_range_list(self, ranges: RangeList) -> None:
-        """Stream every range of a :class:`RangeList`."""
-        for r in ranges:
-            self.add(r.start, r.end)
+        """Stream every range of a :class:`RangeList` (bulk path)."""
+        self.add_ranges(ranges.starts, ranges.ends)
 
     def _push_gap(self, gap_start: int, gap_end: int) -> None:
         width = gap_end - gap_start
@@ -95,13 +172,15 @@ class GapHeapRangeBuilder:
         if self._first_start is None:
             return RangeList.empty()
         assert self._last_end is not None
-        kept = sorted((start, end) for _, start, end in self._gaps)
-        ranges: List[RowRange] = []
-        cursor = self._first_start
-        for gap_start, gap_end in kept:
-            ranges.append(RowRange(cursor, gap_start))
-            cursor = gap_end
-        ranges.append(RowRange(cursor, self._last_end))
-        result = RangeList.__new__(RangeList)
-        result._ranges = ranges
-        return result
+        if not self._gaps:
+            bounds = np.array([[self._first_start, self._last_end]], dtype=np.int64)
+            return RangeList._wrap(bounds)
+        kept = np.array(
+            sorted((start, end) for _, start, end in self._gaps), dtype=np.int64
+        )
+        bounds = np.empty((len(kept) + 1, 2), dtype=np.int64)
+        bounds[0, 0] = self._first_start
+        bounds[1:, 0] = kept[:, 1]
+        bounds[:-1, 1] = kept[:, 0]
+        bounds[-1, 1] = self._last_end
+        return RangeList._wrap(bounds)

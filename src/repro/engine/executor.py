@@ -20,6 +20,7 @@ from ..predicates.ast import Predicate, TruePredicate
 from ..storage.database import Database
 from .bloom import BloomFilter
 from .counters import QueryCounters
+from .hashing import stable_int_keys
 from .plan import (
     AggregateNode,
     Aggregation,
@@ -176,7 +177,7 @@ class Executor:
         build = self._execute(
             node.build, build_needed, build_side_filters, txid, counters
         )
-        build_keys = _as_int_keys(build[node.build_key])
+        build_keys = stable_int_keys(build[node.build_key])
 
         if node.semijoin:
             bloom = BloomFilter(expected_items=max(len(build_keys), 1))
@@ -200,7 +201,7 @@ class Executor:
             self._subtree_columns(node.probe)
         )
         probe = self._execute(node.probe, probe_needed, probe_filters, txid, counters)
-        probe_keys = _as_int_keys(probe[node.probe_key])
+        probe_keys = stable_int_keys(probe[node.probe_key])
 
         counters.rows_joined += len(probe_keys)
         probe_idx, build_idx = _hash_join_indices(probe_keys, build_keys)
@@ -347,12 +348,6 @@ def _batch_len(batch: Batch) -> int:
     for values in batch.values():
         return len(values)
     return 0
-
-
-def _as_int_keys(values: np.ndarray) -> np.ndarray:
-    if values.dtype == object:
-        return np.array([hash(v) for v in values], dtype=np.int64)
-    return values.astype(np.int64, copy=False)
 
 
 def _descending_key(values: np.ndarray) -> np.ndarray:

@@ -25,6 +25,7 @@ join result is a subset of the predicate result), so it may write both.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,6 +39,7 @@ from ..storage.slice import DataSlice
 from ..storage.table import Table
 from .bloom import BloomFilter
 from .counters import QueryCounters
+from .hashing import stable_int_keys
 
 __all__ = ["SemiJoinFilter", "ScanResult", "execute_scan"]
 
@@ -60,7 +62,7 @@ class ScanResult:
     per_slice: List[RangeList]
     txid: int
 
-    @property
+    @cached_property
     def num_rows(self) -> int:
         return sum(r.num_rows for r in self.per_slice)
 
@@ -340,7 +342,7 @@ def _scan_slice(
         plain_mask = pred_mask & vis_mask
         full_mask = plain_mask
         for sj in semijoins:
-            keys = _as_int_keys(batch[sj.probe_column])
+            keys = stable_int_keys(batch[sj.probe_column])
             full_mask = full_mask & sj.bloom.may_contain(keys)
         row_ids = candidates.to_row_ids()
         qualifying = RangeList.from_rows(row_ids[full_mask])
@@ -384,10 +386,3 @@ def _prune_with_zonemaps(
         if not candidates:
             break
     return candidates
-
-
-def _as_int_keys(values: np.ndarray) -> np.ndarray:
-    """Join keys as int64 for Bloom probing (strings via Python hash)."""
-    if values.dtype == object:
-        return np.array([hash(v) for v in values], dtype=np.int64)
-    return values.astype(np.int64, copy=False)

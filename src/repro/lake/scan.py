@@ -141,10 +141,16 @@ class LakeScanner:
         cached_bits = entry.group_bits.get(file.file_id) if entry else None
         new_bits = np.zeros(file.num_row_groups, dtype=bool)
 
-        for group in file.row_groups:
-            if cached_bits is not None and not cached_bits[group.index]:
-                stats.row_groups_skipped_cache += 1
-                continue
+        if cached_bits is None:
+            candidates = file.row_groups
+        else:
+            # Cache hit: jump straight to the qualifying groups instead
+            # of testing every group's bit in Python.
+            live = np.flatnonzero(cached_bits)
+            stats.row_groups_skipped_cache += file.num_row_groups - len(live)
+            candidates = [file.row_groups[i] for i in live]
+
+        for group in candidates:
             if self._stats_prune(group, predicate, predicate_columns):
                 stats.row_groups_skipped_stats += 1
                 continue

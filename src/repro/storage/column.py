@@ -142,41 +142,58 @@ class ColumnStore:
         Sealed blocks are fetched through managed storage exactly once
         per call (the per-access counting the cost model needs); tail
         rows are served from the insert buffer without block accounting.
+
+        Block coverage is computed vectorially: one ``searchsorted``-style
+        division maps range bounds onto block indices, each touched block
+        is decoded once, and the qualifying rows of all ranges are
+        gathered per block — no per-range Python loop.
         """
         if not ranges:
             return self._to_array([])
-        pieces: List[np.ndarray] = []
-        decoded: dict[int, np.ndarray] = {}
         sealed_rows = self.num_sealed_rows
-        tail: Optional[np.ndarray] = None
-        for r in ranges:
-            cursor = r.start
-            while cursor < r.end:
-                if cursor >= sealed_rows:
-                    if tail is None:
-                        tail = self.tail_values()
-                    lo = cursor - sealed_rows
-                    hi = min(r.end - sealed_rows, len(tail))
-                    pieces.append(tail[lo:hi])
-                    cursor = r.end
-                    continue
-                block_index = cursor // self.rows_per_block
-                block_start = block_index * self.rows_per_block
-                block_end = block_start + self.rows_per_block
-                values = decoded.get(block_index)
-                if values is None:
-                    values = rms.read_block(
-                        self._block_key(block_index), self.blocks[block_index]
-                    )
-                    decoded[block_index] = values
-                hi = min(r.end, block_end)
-                pieces.append(values[cursor - block_start : hi - block_start])
-                cursor = hi
+        sealed_part = ranges.clip(0, sealed_rows)
+        tail_part = ranges.clip(sealed_rows, self.num_rows)
+
+        pieces: List[np.ndarray] = []
+        if sealed_part:
+            pieces.append(self._gather_sealed(sealed_part, rms))
+        if tail_part:
+            tail = self.tail_values()
+            rows = tail_part.shift(-sealed_rows).to_row_ids()
+            pieces.append(tail[rows])
         if not pieces:
             return self._to_array([])
         if self.dtype is DataType.STRING:
             return np.concatenate([np.asarray(p, dtype=object) for p in pieces])
+        if len(pieces) == 1:
+            return pieces[0]
         return np.concatenate(pieces)
+
+    def _gather_sealed(self, ranges: RangeList, rms: ManagedStorage) -> np.ndarray:
+        """Decode each touched sealed block once, gather all covered rows."""
+        size = self.rows_per_block
+        bounds = ranges.bounds
+        # Touched blocks as merged block-index intervals (vectorized).
+        block_bounds = np.empty_like(bounds)
+        block_bounds[:, 0] = bounds[:, 0] // size
+        block_bounds[:, 1] = (bounds[:, 1] - 1) // size + 1
+        touched = RangeList.from_bounds(block_bounds).to_row_ids()
+        decoded = [
+            rms.read_block(self._block_key(int(b)), self.blocks[int(b)])
+            for b in touched
+        ]
+        rows = ranges.to_row_ids()
+        block_of = rows // size
+        offsets = rows - block_of * size
+        out_dtype = object if self.dtype is DataType.STRING else decoded[0].dtype
+        out = np.empty(len(rows), dtype=out_dtype)
+        # rows is sorted, so each block's rows form one contiguous chunk.
+        cuts = np.searchsorted(block_of, touched, side="right")
+        lo = 0
+        for values, hi in zip(decoded, cuts):
+            out[lo:hi] = values[offsets[lo:hi]]
+            lo = int(hi)
+        return out
 
     def read_all(self, rms: ManagedStorage) -> np.ndarray:
         """Read the entire column (loads, joins on full tables)."""
@@ -195,7 +212,9 @@ class ColumnStore:
         pruned = self.zonemap.pruned_blocks(bounds)
         if not pruned.any():
             return RangeList.empty()
-        size = self.rows_per_block
-        return RangeList(
-            (int(i) * size, (int(i) + 1) * size) for i in np.flatnonzero(pruned)
+        # Scale merged block-index runs into row ranges in one shot;
+        # adjacent pruned blocks collapse into a single range, exactly
+        # like the per-block constructor used to produce.
+        return RangeList.from_bounds(
+            RangeList.from_mask(pruned).bounds * self.rows_per_block
         )

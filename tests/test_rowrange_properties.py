@@ -1,0 +1,239 @@
+"""Property suite: every RangeList operation against a boolean-mask oracle.
+
+The array-backed RangeList implements its set algebra with boundary
+merges and event sweeps; the oracle re-derives every answer from plain
+boolean masks over the row domain, where union/intersection/difference/
+complement are just ``|``/``&``/``& ~``/``~``.  Any divergence between
+the two is a bug in the vectorized algebra.
+
+The strategies deliberately overweight the edge cases the sweep logic
+has to get right: empty ranges, adjacent ranges (end == next start),
+single-row ranges, and coincident boundaries between the two operands.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rowrange import RangeList, RowRange
+
+DOMAIN = 256  # all oracle masks live over [0, DOMAIN)
+
+# Small-coordinate ranges collide constantly: adjacency, containment and
+# coincident boundaries all appear within a few dozen examples.
+range_pairs = st.tuples(st.integers(0, 60), st.integers(0, 12)).map(
+    lambda t: (t[0], t[0] + t[1])
+)
+pair_lists = st.lists(range_pairs, max_size=16)
+
+# Mixed representation: the constructor accepts RowRange objects too.
+range_objects = range_pairs.map(lambda p: RowRange(*p))
+mixed_lists = st.lists(st.one_of(range_pairs, range_objects), max_size=12)
+
+
+def oracle_mask(pairs) -> np.ndarray:
+    mask = np.zeros(DOMAIN, dtype=bool)
+    for start, end in pairs:
+        mask[start:end] = True
+    return mask
+
+
+def as_mask(rl: RangeList) -> np.ndarray:
+    return rl.to_mask(DOMAIN)
+
+
+def assert_normalized(rl: RangeList) -> None:
+    """Sorted, disjoint, non-adjacent, no empties — the class invariant."""
+    bounds = rl.bounds
+    assert (bounds[:, 1] > bounds[:, 0]).all()
+    if len(bounds) > 1:
+        assert (bounds[1:, 0] > bounds[:-1, 1]).all()
+
+
+# -- constructors ---------------------------------------------------------------
+
+
+@given(mixed_lists)
+@settings(max_examples=300, deadline=None)
+def test_constructor_matches_oracle(items):
+    pairs = [(r.start, r.end) if isinstance(r, RowRange) else r for r in items]
+    rl = RangeList(items)
+    assert_normalized(rl)
+    assert np.array_equal(as_mask(rl), oracle_mask(pairs))
+
+
+@given(pair_lists)
+@settings(max_examples=300, deadline=None)
+def test_from_bounds_matches_constructor(pairs):
+    array = np.array(pairs, dtype=np.int64).reshape(-1, 2)
+    assert RangeList.from_bounds(array) == RangeList(pairs)
+
+
+@given(st.lists(st.booleans(), max_size=64))
+@settings(max_examples=300, deadline=None)
+def test_from_mask_roundtrip(bits):
+    mask = np.array(bits, dtype=bool)
+    rl = RangeList.from_mask(mask)
+    assert_normalized(rl)
+    assert np.array_equal(rl.to_mask(len(mask)), mask)
+    assert rl.num_rows == int(mask.sum())
+
+
+@given(st.lists(st.integers(0, DOMAIN - 1), max_size=40))
+@settings(max_examples=300, deadline=None)
+def test_from_rows_matches_oracle(rows):
+    rl = RangeList.from_rows(rows)
+    assert_normalized(rl)
+    expected = np.zeros(DOMAIN, dtype=bool)
+    expected[rows] = True
+    assert np.array_equal(as_mask(rl), expected)
+    assert rl.to_row_ids().tolist() == sorted(set(rows))
+
+
+@given(st.lists(st.integers(0, DOMAIN - 1), min_size=1, max_size=40))
+@settings(max_examples=200, deadline=None)
+def test_from_rows_presorted_fast_path(rows):
+    presorted = np.array(sorted(set(rows)), dtype=np.int64)
+    assert RangeList.from_rows(presorted) == RangeList.from_rows(rows)
+
+
+# -- set algebra vs the mask oracle ----------------------------------------------
+
+
+@given(pair_lists, pair_lists)
+@settings(max_examples=400, deadline=None)
+def test_union_matches_oracle(a_pairs, b_pairs):
+    result = RangeList(a_pairs).union(RangeList(b_pairs))
+    assert_normalized(result)
+    assert np.array_equal(as_mask(result), oracle_mask(a_pairs) | oracle_mask(b_pairs))
+
+
+@given(pair_lists, pair_lists)
+@settings(max_examples=400, deadline=None)
+def test_intersect_matches_oracle(a_pairs, b_pairs):
+    result = RangeList(a_pairs).intersect(RangeList(b_pairs))
+    assert_normalized(result)
+    assert np.array_equal(as_mask(result), oracle_mask(a_pairs) & oracle_mask(b_pairs))
+
+
+@given(pair_lists, pair_lists)
+@settings(max_examples=400, deadline=None)
+def test_difference_matches_oracle(a_pairs, b_pairs):
+    result = RangeList(a_pairs).difference(RangeList(b_pairs))
+    assert_normalized(result)
+    assert np.array_equal(
+        as_mask(result), oracle_mask(a_pairs) & ~oracle_mask(b_pairs)
+    )
+
+
+@given(pair_lists, st.integers(0, DOMAIN))
+@settings(max_examples=400, deadline=None)
+def test_complement_matches_oracle(pairs, num_rows):
+    result = RangeList(pairs).complement(num_rows)
+    assert_normalized(result)
+    expected = ~oracle_mask(pairs)[:num_rows]
+    assert np.array_equal(result.to_mask(num_rows), expected)
+
+
+@given(pair_lists, st.integers(0, DOMAIN), st.integers(0, DOMAIN))
+@settings(max_examples=400, deadline=None)
+def test_clip_matches_oracle(pairs, a, b):
+    start, end = min(a, b), max(a, b)
+    result = RangeList(pairs).clip(start, end)
+    assert_normalized(result)
+    expected = oracle_mask(pairs).copy()
+    expected[:start] = False
+    expected[end:] = False
+    assert np.array_equal(as_mask(result), expected)
+
+
+@given(pair_lists, pair_lists)
+@settings(max_examples=300, deadline=None)
+def test_covers_matches_oracle(a_pairs, b_pairs):
+    a_mask, b_mask = oracle_mask(a_pairs), oracle_mask(b_pairs)
+    expected = bool((~a_mask & b_mask).sum() == 0)
+    assert RangeList(a_pairs).covers(RangeList(b_pairs)) is expected
+
+
+@given(pair_lists, st.integers(0, DOMAIN - 1))
+@settings(max_examples=300, deadline=None)
+def test_contains_row_matches_oracle(pairs, row):
+    assert RangeList(pairs).contains_row(row) == bool(oracle_mask(pairs)[row])
+
+
+# -- measures and round-trips ------------------------------------------------------
+
+
+@given(pair_lists)
+@settings(max_examples=300, deadline=None)
+def test_num_rows_matches_oracle(pairs):
+    assert RangeList(pairs).num_rows == int(oracle_mask(pairs).sum())
+
+
+@given(pair_lists)
+@settings(max_examples=300, deadline=None)
+def test_row_ids_mask_roundtrip(pairs):
+    rl = RangeList(pairs)
+    ids = rl.to_row_ids()
+    assert np.array_equal(ids, np.flatnonzero(oracle_mask(pairs)))
+    assert RangeList.from_rows(ids) == rl
+    assert RangeList.from_mask(rl.to_mask(DOMAIN)) == rl
+
+
+@given(pair_lists, st.integers(-5, 20))
+@settings(max_examples=200, deadline=None)
+def test_shift_matches_oracle(pairs, offset):
+    rl = RangeList(pairs)
+    if rl and rl.span.start + offset < 0:
+        return  # negative row ids are rejected; covered by unit tests
+    shifted = rl.shift(offset)
+    assert_normalized(shifted)
+    assert np.array_equal(
+        shifted.to_row_ids(), rl.to_row_ids() + offset
+    )
+    assert shifted.num_rows == rl.num_rows
+
+
+@given(pair_lists, st.integers(1, 8))
+@settings(max_examples=300, deadline=None)
+def test_coalesce_superset_and_bound(pairs, max_ranges):
+    rl = RangeList(pairs)
+    merged = rl.coalesce(max_ranges)
+    assert_normalized(merged)
+    assert len(merged) <= max_ranges
+    # Supersets only (false positives allowed, never false negatives).
+    assert not (oracle_mask(pairs) & ~merged.to_mask(DOMAIN + 20)[:DOMAIN]).any()
+
+
+# -- single-row / adjacency / empty edge cases (explicitly) -------------------------
+
+
+def test_empty_edge_cases():
+    empty = RangeList.empty()
+    other = RangeList([(3, 9)])
+    assert empty.union(other) == other
+    assert other.union(empty) == other
+    assert empty.intersect(other) == empty
+    assert other.intersect(empty) == empty
+    assert other.difference(empty) == other
+    assert empty.difference(other) == empty
+    assert empty.complement(5) == RangeList([(0, 5)])
+    assert empty.num_rows == 0
+    assert not empty.contains_row(0)
+    assert empty.to_row_ids().size == 0
+
+
+def test_adjacent_operand_boundaries():
+    a = RangeList([(0, 5)])
+    b = RangeList([(5, 10)])
+    assert a.union(b).to_pairs() == [(0, 10)]
+    assert a.intersect(b).to_pairs() == []
+    assert a.difference(b) == a
+
+
+def test_single_row_ranges():
+    rl = RangeList([(4, 5), (6, 7), (8, 9)])
+    assert rl.num_rows == 3
+    assert rl.to_row_ids().tolist() == [4, 6, 8]
+    assert rl.intersect(RangeList([(6, 7)])).to_pairs() == [(6, 7)]
+    assert rl.coalesce(1).to_pairs() == [(4, 9)]
