@@ -1,0 +1,135 @@
+"""Microbenchmark: observability overhead on the Fig. 15 repeat-scan path.
+
+The observability layer is built around callback-backed instruments
+(metrics are read at scrape time from stats the engine keeps anyway)
+and ``if tracer is not None`` guards, so an engine with a metrics
+registry attached should run the cached-repeat scan at the same speed
+as an uninstrumented one.  This bench verifies that claim on this
+machine: it interleaves baseline rounds and metrics-attached rounds on
+the same data and compares best-of-round medians.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_obs_overhead.py          # full
+    PYTHONPATH=src python benchmarks/perf/bench_obs_overhead.py --smoke  # CI smoke
+
+Full mode enforces the PR gate: metrics-attached within OVERHEAD_GATE
+(2%) of the uninstrumented wall time.  Tracing overhead is reported for
+reference but not gated — a Tracer is an opt-in debugging tool, not an
+always-on production mode.  Writes
+``benchmarks/results/BENCH_obs_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_scan_repeat import QUERY, build_database  # noqa: E402
+
+from repro import (  # noqa: E402
+    MetricsRegistry,
+    PredicateCache,
+    PredicateCacheConfig,
+    QueryEngine,
+    Tracer,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+OVERHEAD_GATE = 0.02  # metrics-attached must be within 2% of baseline
+
+
+def make_engine(db, mode: str) -> QueryEngine:
+    cache = PredicateCache(PredicateCacheConfig(variant="range"))
+    if mode == "baseline":
+        return QueryEngine(db, predicate_cache=cache)
+    if mode == "metrics":
+        return QueryEngine(db, predicate_cache=cache, metrics=MetricsRegistry())
+    if mode == "tracing":
+        return QueryEngine(
+            db,
+            predicate_cache=cache,
+            metrics=MetricsRegistry(),
+            tracer=Tracer(),
+        )
+    raise ValueError(mode)
+
+
+def time_round(engine, repeats: int) -> float:
+    """Median cached-repeat wall time for one engine round."""
+    cold = engine.execute(QUERY)
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        warm = engine.execute(QUERY)
+        times.append(time.perf_counter() - t0)
+    assert warm.counters.cache_hits > 0, "repeat did not hit the predicate cache"
+    assert warm.column("c")[0] == cold.column("c")[0]
+    return statistics.median(times)
+
+
+def measure(db, modes, rounds: int, repeats: int) -> dict:
+    """Interleave rounds of every mode so machine drift hits all alike;
+    keep each mode's best (least-noisy) round."""
+    best = {mode: float("inf") for mode in modes}
+    for _ in range(rounds):
+        for mode in modes:
+            engine = make_engine(db, mode)
+            best[mode] = min(best[mode], time_round(engine, repeats))
+    return best
+
+
+def main() -> int:
+    smoke = "--smoke" in sys.argv
+    num_rows = 40_000 if smoke else 240_000
+    rounds = 3 if smoke else 7
+    repeats = 3 if smoke else 7
+    modes = ["baseline", "metrics", "tracing"]
+    print(f"BENCH_obs_overhead: {num_rows} rows, {rounds} rounds x {repeats} "
+          f"repeats ({'smoke' if smoke else 'full'} mode)")
+
+    db = build_database(num_rows)
+    best = measure(db, modes, rounds, repeats)
+
+    metrics_overhead = best["metrics"] / best["baseline"] - 1.0
+    tracing_overhead = best["tracing"] / best["baseline"] - 1.0
+    gate_pass = metrics_overhead <= OVERHEAD_GATE
+    for mode in modes:
+        print(f"  {mode:8s} cached repeat: {best[mode] * 1e3:8.3f} ms")
+    print(f"  metrics overhead {metrics_overhead * 100:+.2f}%  "
+          f"tracing overhead {tracing_overhead * 100:+.2f}%")
+    print(f"gate metrics <= {OVERHEAD_GATE * 100:.0f}% -> "
+          f"{'PASS' if gate_pass else 'FAIL'}")
+
+    report = {
+        "benchmark": "obs_overhead",
+        "mode": "smoke" if smoke else "full",
+        "query": QUERY,
+        "num_rows": num_rows,
+        "rounds": rounds,
+        "repeats": repeats,
+        "repeat_s_best": best,
+        "metrics_overhead_fraction": metrics_overhead,
+        "tracing_overhead_fraction": tracing_overhead,
+        "gate": {
+            "max_metrics_overhead": OVERHEAD_GATE,
+            "pass": gate_pass,
+            "gating": not smoke,
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out = os.path.join(RESULTS_DIR, "BENCH_obs_overhead.json")
+    with open(out, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"[saved to {out}]")
+    if not smoke and not gate_pass:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,7 @@ from .core import (
     SemiJoinDescriptor,
 )
 from .engine import CostModel, QueryCounters, QueryEngine, QueryResult
+from .obs import MetricsRegistry, Span, Tracer
 from .predicates import normalize, parse_predicate
 from .storage import ColumnSpec, Database, DataType, Table, TableSchema
 
@@ -46,6 +47,7 @@ __all__ = [
     "CostModel",
     "Database",
     "DataType",
+    "MetricsRegistry",
     "PredicateCache",
     "PredicateCacheConfig",
     "QueryCounters",
@@ -55,8 +57,10 @@ __all__ = [
     "RowRange",
     "ScanKey",
     "SemiJoinDescriptor",
+    "Span",
     "Table",
     "TableSchema",
+    "Tracer",
     "normalize",
     "parse_predicate",
 ]

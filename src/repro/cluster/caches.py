@@ -67,6 +67,62 @@ class ClusterCaches:
         for cache in self._nodes:
             cache.clear()
 
+    # -- observability ---------------------------------------------------------------
+
+    def register_metrics(self, registry, prefix: str = "repro_predicate_cache") -> None:
+        """Expose every node's cache plus cluster-level rollups.
+
+        Each node gets the standard per-cache series labelled with its
+        node id, read *through the router* at scrape time so a node
+        replaced by :meth:`fail_node` reports its successor, not the
+        dead cache.  The cluster adds aggregate gauges so dashboards do
+        not need to sum label sets client-side.
+        """
+        for node_id in range(self.num_nodes):
+            labels = {"node": str(node_id)}
+            for field_name in vars(CacheStats()):
+                registry.counter(
+                    f"{prefix}_{field_name}_total",
+                    f"Predicate cache {field_name.replace('_', ' ')}",
+                    labels=labels,
+                    fn=lambda n=node_id, f=field_name: getattr(
+                        self._nodes[n].stats, f
+                    ),
+                )
+            registry.gauge(
+                f"{prefix}_entries",
+                "Live predicate-cache entries",
+                labels=labels,
+                fn=lambda n=node_id: len(self._nodes[n]),
+            )
+            registry.gauge(
+                f"{prefix}_nbytes",
+                "Total payload bytes across entries (Table 3 metric)",
+                labels=labels,
+                fn=lambda n=node_id: self._nodes[n].total_nbytes,
+            )
+            registry.gauge(
+                f"{prefix}_hit_rate",
+                "Hits over lookups (Fig. 13 metric)",
+                labels=labels,
+                fn=lambda n=node_id: self._nodes[n].stats.hit_rate,
+            )
+        registry.gauge(
+            f"{prefix}_cluster_nbytes",
+            "Summed predicate-cache payload bytes across nodes",
+            fn=lambda: self.total_nbytes,
+        )
+        registry.gauge(
+            f"{prefix}_cluster_keys",
+            "Distinct scan keys cached anywhere in the cluster",
+            fn=lambda: len(self),
+        )
+        registry.gauge(
+            f"{prefix}_cluster_nodes",
+            "Compute nodes in the cluster",
+            fn=lambda: self.num_nodes,
+        )
+
     # -- aggregation -----------------------------------------------------------------
 
     @property

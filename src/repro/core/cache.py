@@ -207,8 +207,19 @@ class PredicateCache:
         self.stats.invalidations += len(stale)
         return len(stale)
 
-    def clear(self) -> None:
-        self._entries.clear()
+    def clear(self) -> int:
+        """Drop every entry, counting invalidations.
+
+        Routes through :meth:`_drop` so the admission policy forgets
+        each key — a cleared key starts from scratch and can earn
+        re-admission, instead of being silently blacklisted by stale
+        observation state.
+        """
+        stale = list(self._entries)
+        for key in stale:
+            self._drop(key)
+        self.stats.invalidations += len(stale)
+        return len(stale)
 
     def admits(self, key: ScanKey) -> bool:
         """True if an entry exists or the admission policy allows one."""
@@ -237,6 +248,46 @@ class PredicateCache:
             _, evicted = self._entries.popitem(last=False)
             total -= evicted.nbytes
             self.stats.evictions += 1
+
+    # -- observability -------------------------------------------------------------
+
+    def register_metrics(
+        self,
+        registry,
+        labels: Optional[Mapping[str, str]] = None,
+        prefix: str = "repro_predicate_cache",
+    ) -> None:
+        """Expose this cache on a :class:`~repro.obs.MetricsRegistry`.
+
+        All series are callback-backed reads of the stats the cache
+        keeps anyway, so registration adds nothing to the scan path.
+        ``labels`` distinguishes multiple caches (e.g. cluster nodes).
+        """
+        for field_name in vars(self.stats):
+            registry.counter(
+                f"{prefix}_{field_name}_total",
+                f"Predicate cache {field_name.replace('_', ' ')}",
+                labels=labels,
+                fn=lambda s=self, f=field_name: getattr(s.stats, f),
+            )
+        registry.gauge(
+            f"{prefix}_entries",
+            "Live predicate-cache entries",
+            labels=labels,
+            fn=lambda: len(self._entries),
+        )
+        registry.gauge(
+            f"{prefix}_nbytes",
+            "Total payload bytes across entries (Table 3 metric)",
+            labels=labels,
+            fn=lambda: self.total_nbytes,
+        )
+        registry.gauge(
+            f"{prefix}_hit_rate",
+            "Hits over lookups (Fig. 13 metric)",
+            labels=labels,
+            fn=lambda: self.stats.hit_rate,
+        )
 
     # -- introspection -------------------------------------------------------------
 

@@ -29,12 +29,23 @@ class QueryCounters:
     rows_skipped_cache: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    bloom_probes: int = 0
+    bloom_positives: int = 0
     result_cache_hit: bool = False
     wall_seconds: float = 0.0
     model_seconds: float = 0.0
 
     def merge(self, other: "QueryCounters") -> None:
-        """Accumulate another counter set (sub-plan into query totals)."""
+        """Accumulate another counter set (sub-plan into query totals).
+
+        Every numeric field sums, *including* ``wall_seconds`` and
+        ``model_seconds``: a sub-plan's measured time is part of the
+        enclosing query's total, so merging two timed sub-plans yields
+        their combined time.  (Callers that re-measure the whole query
+        overwrite ``wall_seconds`` afterwards — ``execute_plan`` does.)
+        ``result_cache_hit`` ORs: a merged result is cache-served if any
+        merged part was.
+        """
         self.rows_scanned += other.rows_scanned
         self.rows_qualifying += other.rows_qualifying
         self.rows_joined += other.rows_joined
@@ -46,6 +57,26 @@ class QueryCounters:
         self.rows_skipped_cache += other.rows_skipped_cache
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.bloom_probes += other.bloom_probes
+        self.bloom_positives += other.bloom_positives
+        self.result_cache_hit = self.result_cache_hit or other.result_cache_hit
+        self.wall_seconds += other.wall_seconds
+        self.model_seconds += other.model_seconds
+
+    def snapshot(self) -> "QueryCounters":
+        """An independent copy (for before/after deltas)."""
+        return QueryCounters(**vars(self))
+
+    def delta(self, before: "QueryCounters") -> Dict[str, float]:
+        """Non-zero numeric changes since ``before`` (span attributes)."""
+        out: Dict[str, float] = {}
+        for name, value in vars(self).items():
+            if name == "result_cache_hit":
+                continue
+            diff = value - getattr(before, name)
+            if diff:
+                out[name] = diff
+        return out
 
     def as_dict(self) -> Dict[str, float]:
         return dict(vars(self))

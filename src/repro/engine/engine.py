@@ -46,6 +46,8 @@ class QueryResult:
     columns: Dict[str, np.ndarray]
     column_order: List[str]
     counters: QueryCounters
+    #: Root span of this query's trace (when the engine has a tracer).
+    trace: Optional[object] = None
 
     @property
     def num_rows(self) -> int:
@@ -78,12 +80,74 @@ class QueryEngine:
         predicate_cache: Optional[PredicateCache] = None,
         result_cache=None,
         cost_model: Optional[CostModel] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
+        """Args beyond the caching layers:
+
+        tracer: optional :class:`~repro.obs.Tracer`; when set, every
+            query records a span tree (``query → parse/plan → execute →
+            operators → scan[slice]``) exposed as ``result.trace`` and
+            rendered by :meth:`explain_analyze`.
+        metrics: optional :class:`~repro.obs.MetricsRegistry`; the
+            engine registers query counters/latency and wires up the
+            predicate cache's and database's metrics.  Both default to
+            ``None`` — the uninstrumented engine runs the exact
+            pre-observability code path.
+        """
         self.database = database
         self.predicate_cache = predicate_cache
         self.result_cache = result_cache
         self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.tracer = tracer
+        self.metrics = metrics
         self._executor = Executor(database, predicate_cache)
+        self._m_queries = None
+        if metrics is not None:
+            self._register_metrics(metrics)
+
+    def _register_metrics(self, registry) -> None:
+        self._m_queries = registry.counter(
+            "repro_queries_total", "Queries executed (incl. DML statements)"
+        )
+        self._m_result_cache_hits = registry.counter(
+            "repro_result_cache_hits_total", "Queries served by the result cache"
+        )
+        self._m_query_seconds = registry.histogram(
+            "repro_query_seconds", "Per-query wall-clock latency"
+        )
+        self._m_counter_totals = {
+            name: registry.counter(
+                f"repro_query_{name}_total", f"Summed per-query {name}"
+            )
+            for name in (
+                "rows_scanned",
+                "rows_output",
+                "rows_skipped_cache",
+                "blocks_accessed",
+                "remote_fetches",
+                "bloom_probes",
+                "bloom_positives",
+            )
+        }
+        self.database.register_metrics(registry)
+        if self.predicate_cache is not None and hasattr(
+            self.predicate_cache, "register_metrics"
+        ):
+            self.predicate_cache.register_metrics(registry)
+
+    def _record_query_metrics(self, counters: QueryCounters) -> None:
+        if self._m_queries is None:
+            return
+        self._m_queries.inc()
+        self._m_query_seconds.observe(counters.wall_seconds)
+        if counters.result_cache_hit:
+            self._m_result_cache_hits.inc()
+        as_dict = counters.as_dict()
+        for name, instrument in self._m_counter_totals.items():
+            value = as_dict[name]
+            if value:
+                instrument.inc(value)
 
     # -- queries ------------------------------------------------------------------
 
@@ -92,8 +156,24 @@ class QueryEngine:
 
         SELECTs go through the result cache (when configured) keyed by
         the normalized statement text; DML returns a single-column
-        ``affected`` result.
+        ``affected`` result.  With a tracer attached the whole
+        statement runs under a ``query`` root span, returned on
+        ``result.trace``.
         """
+        tracer = self.tracer
+        if tracer is None:
+            return self._execute_statement(sql, None)
+        query_span = tracer.begin("query", sql=sql)
+        try:
+            result = self._execute_statement(sql, tracer)
+        finally:
+            tracer.end(query_span)
+        query_span.set("rows_output", result.counters.rows_output)
+        query_span.set("wall_seconds", result.counters.wall_seconds)
+        result.trace = query_span
+        return result
+
+    def _execute_statement(self, sql: str, tracer) -> QueryResult:
         from ..sql import (
             AnalyzeStatement,
             DeleteStatement,
@@ -105,9 +185,17 @@ class QueryEngine:
             plan_select,
         )
 
-        statement = parse_statement(sql)
+        if tracer is None:
+            statement = parse_statement(sql)
+        else:
+            with tracer.span("parse"):
+                statement = parse_statement(sql)
         if isinstance(statement, SelectStatement):
-            plan = plan_select(statement, self.database)
+            if tracer is None:
+                plan = plan_select(statement, self.database)
+            else:
+                with tracer.span("plan"):
+                    plan = plan_select(statement, self.database)
             return self.execute_plan(plan, cache_key=_normalize_sql(sql))
         if isinstance(statement, InsertStatement):
             table = self.database.table(statement.table)
@@ -146,6 +234,7 @@ class QueryEngine:
     def _dml_result(self, affected: int) -> QueryResult:
         counters = QueryCounters()
         counters.rows_output = 1
+        self._record_query_metrics(counters)
         return QueryResult(
             {"affected": np.array([affected])}, ["affected"], counters
         )
@@ -159,6 +248,7 @@ class QueryEngine:
         unchanged tables return the stored result without execution
         (§3.1).  SQL execution passes the statement text.
         """
+        tracer = self.tracer
         counters = QueryCounters()
         if self.result_cache is not None and cache_key is not None:
             versions = self._table_versions(plan)
@@ -167,13 +257,26 @@ class QueryEngine:
                 counters.result_cache_hit = True
                 counters.model_seconds = self.cost_model.query_overhead
                 columns, order = hit
+                if tracer is not None:
+                    with tracer.span("result-cache") as span:
+                        span.set("outcome", "hit")
+                self._record_query_metrics(counters)
                 return QueryResult(dict(columns), list(order), counters)
 
         started = time.perf_counter()
         storage_before = self.database.rms.stats.snapshot()
         txid = self.database.begin()
-        batch = self._executor.execute(plan, txid, counters)
-        order = self._output_order(plan, batch)
+        execute_span = None
+        if tracer is not None:
+            execute_span = tracer.begin("execute")
+        batch = self._executor.execute(plan, txid, counters, tracer)
+        if execute_span is not None:
+            tracer.end(execute_span)
+            with tracer.span("output") as span:
+                order = self._output_order(plan, batch)
+                span.set("rows_output", _batch_len(batch))
+        else:
+            order = self._output_order(plan, batch)
         counters.rows_output = _batch_len(batch)
         storage_delta = self.database.rms.stats.delta(storage_before)
         counters.blocks_accessed += storage_delta.blocks_accessed
@@ -186,7 +289,8 @@ class QueryEngine:
             self.result_cache.store(
                 cache_key, self._table_versions(plan), (batch, order)
             )
-        return QueryResult(batch, order, counters)
+        self._record_query_metrics(counters)
+        return QueryResult(batch, order, counters, trace=execute_span)
 
     def _output_order(self, plan: PlanNode, batch: Batch) -> List[str]:
         try:
@@ -271,6 +375,26 @@ class QueryEngine:
         if not isinstance(statement, SelectStatement):
             raise ValueError("EXPLAIN supports SELECT statements only")
         return render(plan_select(statement, self.database))
+
+    def explain_analyze(self, sql: str) -> str:
+        """Execute ``sql`` under a one-off tracer and render the span tree.
+
+        The rendering shows per-operator wall time, rows, block fetches,
+        and the cache outcome of every scan slice — the runtime twin of
+        :meth:`explain`.  Works whether or not the engine already has a
+        tracer (a temporary one is used either way so concurrent traces
+        are not mixed in).
+        """
+        from ..obs import Tracer
+        from .explain import render_analyze
+
+        saved = self.tracer
+        self.tracer = Tracer()
+        try:
+            result = self.execute(sql)
+        finally:
+            self.tracer = saved
+        return render_analyze(result.trace, result.counters)
 
     def count_rows(self, table_name: str) -> int:
         """Visible row count of a table at a fresh snapshot."""

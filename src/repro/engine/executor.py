@@ -52,11 +52,20 @@ class Executor:
         self.predicate_cache = predicate_cache
 
     def execute(
-        self, plan: PlanNode, txid: int, counters: QueryCounters
+        self,
+        plan: PlanNode,
+        txid: int,
+        counters: QueryCounters,
+        tracer=None,
     ) -> Batch:
-        """Execute ``plan`` with visibility snapshot ``txid``."""
+        """Execute ``plan`` with visibility snapshot ``txid``.
+
+        ``tracer`` (a :class:`~repro.obs.Tracer`) turns on per-operator
+        spans carrying inclusive counter deltas; ``None`` executes the
+        uninstrumented path.
+        """
         needed = self._root_needed(plan)
-        return self._execute(plan, needed, [], txid, counters)
+        return self._execute(plan, needed, [], txid, counters, tracer)
 
     def _root_needed(self, plan: PlanNode) -> Set[str]:
         try:
@@ -79,18 +88,43 @@ class Executor:
         filters: List[SemiJoinFilter],
         txid: int,
         counters: QueryCounters,
+        tracer=None,
+    ) -> Batch:
+        if tracer is None:
+            return self._dispatch(node, needed, filters, txid, counters, None)
+        # One span per operator, carrying the *inclusive* counter delta
+        # (this operator plus its subtree, EXPLAIN ANALYZE convention).
+        with tracer.span(
+            type(node).__name__.removesuffix("Node"), operator=node.describe()
+        ) as span:
+            before = counters.snapshot()
+            batch = self._dispatch(node, needed, filters, txid, counters, tracer)
+            span.set("rows_out", _batch_len(batch))
+            span.update(counters.delta(before))
+            return batch
+
+    def _dispatch(
+        self,
+        node: PlanNode,
+        needed: Set[str],
+        filters: List[SemiJoinFilter],
+        txid: int,
+        counters: QueryCounters,
+        tracer,
     ) -> Batch:
         if isinstance(node, ScanNode):
-            return self._execute_scan(node, needed, filters, txid, counters)
+            return self._execute_scan(node, needed, filters, txid, counters, tracer)
         if isinstance(node, JoinNode):
-            return self._execute_join(node, needed, filters, txid, counters)
+            return self._execute_join(node, needed, filters, txid, counters, tracer)
         if isinstance(node, AggregateNode):
-            return self._execute_aggregate(node, filters, txid, counters)
+            return self._execute_aggregate(node, filters, txid, counters, tracer)
         if isinstance(node, MapNode):
             child_needed = (needed - {a for a, _ in node.computations}) | {
                 column for _, expr in node.computations for column in expr.columns()
             }
-            child = self._execute(node.child, child_needed, filters, txid, counters)
+            child = self._execute(
+                node.child, child_needed, filters, txid, counters, tracer
+            )
             n = _batch_len(child)
             out = dict(child)
             for alias, expr in node.computations:
@@ -101,15 +135,17 @@ class Executor:
             return out
         if isinstance(node, FilterNode):
             child_needed = needed | node.predicate.columns()
-            child = self._execute(node.child, child_needed, filters, txid, counters)
+            child = self._execute(
+                node.child, child_needed, filters, txid, counters, tracer
+            )
             mask = node.predicate.evaluate(child)
             return {name: values[mask] for name, values in child.items()}
         if isinstance(node, ProjectNode):
-            return self._execute_project(node, filters, txid, counters)
+            return self._execute_project(node, filters, txid, counters, tracer)
         if isinstance(node, SortNode):
-            return self._execute_sort(node, needed, filters, txid, counters)
+            return self._execute_sort(node, needed, filters, txid, counters, tracer)
         if isinstance(node, LimitNode):
-            child = self._execute(node.child, needed, filters, txid, counters)
+            child = self._execute(node.child, needed, filters, txid, counters, tracer)
             return {name: values[: node.count] for name, values in child.items()}
         raise TypeError(f"unknown plan node {type(node).__name__}")
 
@@ -122,6 +158,7 @@ class Executor:
         filters: List[SemiJoinFilter],
         txid: int,
         counters: QueryCounters,
+        tracer=None,
     ) -> Batch:
         table = self.database.table(node.table)
         schema_columns = set(table.schema.column_names)
@@ -135,6 +172,7 @@ class Executor:
             cache=self.predicate_cache,
             semijoins=local_filters,
             current_versions=self._current_versions(local_filters),
+            tracer=tracer,
         )
         if node.columns is not None:
             columns = [c for c in node.columns if c in needed] or list(node.columns)
@@ -164,6 +202,7 @@ class Executor:
         filters: List[SemiJoinFilter],
         txid: int,
         counters: QueryCounters,
+        tracer=None,
     ) -> Batch:
         # Filters from enclosing joins go to whichever side produces
         # their probe column — Redshift pushes semi-join filters into
@@ -175,7 +214,7 @@ class Executor:
 
         build_needed = (needed | {node.build_key}) & build_columns
         build = self._execute(
-            node.build, build_needed, build_side_filters, txid, counters
+            node.build, build_needed, build_side_filters, txid, counters, tracer
         )
         build_keys = stable_int_keys(build[node.build_key])
 
@@ -200,7 +239,9 @@ class Executor:
         probe_needed = (needed | {node.probe_key}) & set(
             self._subtree_columns(node.probe)
         )
-        probe = self._execute(node.probe, probe_needed, probe_filters, txid, counters)
+        probe = self._execute(
+            node.probe, probe_needed, probe_filters, txid, counters, tracer
+        )
         probe_keys = stable_int_keys(probe[node.probe_key])
 
         counters.rows_joined += len(probe_keys)
@@ -262,11 +303,12 @@ class Executor:
         filters: List[SemiJoinFilter],
         txid: int,
         counters: QueryCounters,
+        tracer=None,
     ) -> Batch:
         needed = set(node.group_by)
         for agg in node.aggregations:
             needed |= agg.input_columns()
-        child = self._execute(node.child, needed, filters, txid, counters)
+        child = self._execute(node.child, needed, filters, txid, counters, tracer)
         return _aggregate(child, node.group_by, node.aggregations)
 
     def _execute_project(
@@ -275,11 +317,12 @@ class Executor:
         filters: List[SemiJoinFilter],
         txid: int,
         counters: QueryCounters,
+        tracer=None,
     ) -> Batch:
         needed: Set[str] = set()
         for _, expr in node.projections:
             needed |= expr.columns()
-        child = self._execute(node.child, needed, filters, txid, counters)
+        child = self._execute(node.child, needed, filters, txid, counters, tracer)
         n = _batch_len(child)
         out: Batch = {}
         for alias, expr in node.projections:
@@ -296,9 +339,12 @@ class Executor:
         filters: List[SemiJoinFilter],
         txid: int,
         counters: QueryCounters,
+        tracer=None,
     ) -> Batch:
         child_needed = needed | {col for col, _ in node.keys}
-        child = self._execute(node.child, child_needed, filters, txid, counters)
+        child = self._execute(
+            node.child, child_needed, filters, txid, counters, tracer
+        )
         if _batch_len(child) == 0:
             return child
         # lexsort's last key is primary, so feed keys reversed.

@@ -108,6 +108,7 @@ def execute_scan(
     cache: Optional[PredicateCache] = None,
     semijoins: Sequence[SemiJoinFilter] = (),
     current_versions: Optional[Mapping[str, int]] = None,
+    tracer=None,
 ) -> ScanResult:
     """Run the two-step scan over every slice of ``table``.
 
@@ -120,6 +121,10 @@ def execute_scan(
         semijoins: Bloom filters pushed down from hash joins (§4.4).
         current_versions: data versions of semi-join build tables, for
             stale-entry rejection.
+        tracer: optional :class:`~repro.obs.Tracer`; when set, the scan
+            records ``cache-lookup`` and per-slice ``scan[slice]`` spans
+            with counter and block-fetch deltas.  ``None`` keeps the
+            pre-instrumentation hot path byte-for-byte.
 
     Returns:
         Per-slice qualifying row ranges (post predicate, semi-join
@@ -156,7 +161,7 @@ def execute_scan(
     if cache is not None and not per_node:
         shared_context = _prepare_cache_context(
             cache, table, predicate, plain_key, join_key,
-            build_versions, current_versions, counters,
+            build_versions, current_versions, counters, tracer,
         )
 
     per_slice: List[RangeList] = []
@@ -172,11 +177,18 @@ def execute_scan(
             if context is None:
                 context = _prepare_cache_context(
                     node_cache, table, predicate, plain_key, join_key,
-                    build_versions, current_versions, counters,
+                    build_versions, current_versions, counters, tracer,
                 )
                 node_contexts[id(node_cache)] = context
         else:
             context = shared_context
+        slice_span = None
+        if tracer is not None:
+            slice_span = tracer.begin(
+                f"scan[slice {slice_id}]", table=table.name, slice=slice_id
+            )
+            counters_before = counters.snapshot()
+            storage_before = table.rms.stats.snapshot()
         qualifying = _scan_slice(
             table,
             data_slice,
@@ -191,6 +203,12 @@ def execute_scan(
             context.join_entry if context else None,
             context.plain_entry if context else None,
         )
+        if slice_span is not None:
+            slice_span.update(counters.delta(counters_before))
+            storage_delta = table.rms.stats.delta(storage_before)
+            slice_span.set("blocks_fetched", storage_delta.blocks_accessed)
+            slice_span.set("cache_basis", context.basis if context else "off")
+            tracer.end(slice_span)
         per_slice.append(qualifying)
         if context is not None and per_node:
             stats = node_observations.setdefault(
@@ -222,6 +240,7 @@ class _SliceCacheContext:
     entry: Optional[object]
     join_entry: Optional[object]
     plain_entry: Optional[object]
+    basis: str = "full"
 
 
 def _prepare_cache_context(
@@ -233,6 +252,7 @@ def _prepare_cache_context(
     build_versions: Dict[str, int],
     current_versions: Optional[Mapping[str, int]],
     counters: QueryCounters,
+    tracer=None,
 ) -> _SliceCacheContext:
     """Probe the cache and decide which entries this scan records."""
     cache.watch_table(table)
@@ -241,6 +261,11 @@ def _prepare_cache_context(
     if join_key is not None and cache_join:
         candidate_keys.append(join_key)
     candidate_keys.append(plain_key)
+    lookup_span = None
+    if tracer is not None:
+        lookup_span = tracer.begin(
+            "cache-lookup", table=table.name, candidates=len(candidate_keys)
+        )
     entry = cache.select_entry(candidate_keys, current_versions)
     if entry is None:
         counters.cache_misses += 1
@@ -248,6 +273,13 @@ def _prepare_cache_context(
     else:
         counters.cache_hits += 1
         basis = "join" if entry.key.is_join_key else "plain"
+    if lookup_span is not None:
+        lookup_span.set("outcome", "miss" if entry is None else "hit")
+        lookup_span.set("basis", basis)
+        if entry is not None:
+            lookup_span.set("entry_selectivity", round(entry.selectivity, 6))
+            lookup_span.set("entry_nbytes", entry.nbytes)
+        tracer.end(lookup_span)
 
     join_entry = None
     plain_entry = None
@@ -265,7 +297,7 @@ def _prepare_cache_context(
             and cache.admits(plain_key)
         ):
             plain_entry = cache.get_or_create(plain_key, table.num_slices, {})
-    return _SliceCacheContext(cache, entry, join_entry, plain_entry)
+    return _SliceCacheContext(cache, entry, join_entry, plain_entry, basis)
 
 
 def _observe_policy(
@@ -343,7 +375,10 @@ def _scan_slice(
         full_mask = plain_mask
         for sj in semijoins:
             keys = stable_int_keys(batch[sj.probe_column])
-            full_mask = full_mask & sj.bloom.may_contain(keys)
+            bloom_mask = sj.bloom.may_contain(keys)
+            counters.bloom_probes += len(keys)
+            counters.bloom_positives += int(np.count_nonzero(bloom_mask))
+            full_mask = full_mask & bloom_mask
         row_ids = candidates.to_row_ids()
         qualifying = RangeList.from_rows(row_ids[full_mask])
         q_plain = (

@@ -204,6 +204,42 @@ class LakeScanner:
             pieces[name].append(payload[name][mask])
         return True
 
+    # -- observability --------------------------------------------------------------
+
+    def register_metrics(self, registry, prefix: str = "repro_lake_cache") -> None:
+        """Expose this scanner's cache on a metrics registry.
+
+        Series are labelled with the lake table's name so several
+        scanners share one metric family; all reads are scrape-time
+        callbacks over counters the scanner keeps anyway.
+        """
+        labels = {"table": self.table.name}
+        registry.counter(
+            f"{prefix}_lookups_total", "Lake predicate-cache lookups",
+            labels=labels, fn=lambda: self.lookups,
+        )
+        registry.counter(
+            f"{prefix}_hits_total", "Lake predicate-cache hits",
+            labels=labels, fn=lambda: self.hits,
+        )
+        registry.counter(
+            f"{prefix}_invalidated_files_total",
+            "Per-file cache states dropped by commits removing files",
+            labels=labels, fn=lambda: self.invalidated_files,
+        )
+        registry.gauge(
+            f"{prefix}_entries", "Live per-predicate lake cache entries",
+            labels=labels, fn=lambda: self.num_entries,
+        )
+        registry.gauge(
+            f"{prefix}_nbytes", "Lake cache payload bytes (group bitmaps)",
+            labels=labels, fn=lambda: self.total_nbytes,
+        )
+        registry.gauge(
+            f"{prefix}_hit_rate", "Hits over lookups",
+            labels=labels, fn=lambda: self.hit_rate,
+        )
+
     # -- introspection --------------------------------------------------------------
 
     @property

@@ -1,0 +1,29 @@
+"""Observability: metrics registry, span tracer, exposition.
+
+The paper's headline claims are operational (build overhead, hit rate
+over time, bounded memory); this package is how a running engine is
+observed.  Components *register* their existing counters with a
+:class:`MetricsRegistry` (scrape-time callbacks — no hot-path cost),
+and a :class:`Tracer` attached to a :class:`~repro.engine.QueryEngine`
+records per-query span trees that power ``EXPLAIN ANALYZE`` and the
+Chrome ``trace_event`` export.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,313 @@
+"""Process-wide metrics: counters, gauges, histograms, and exposition.
+
+The registry follows the Prometheus data model scaled down to what the
+reproduction needs:
+
+* **Counter** — a monotonically increasing value (queries executed,
+  rows scanned).  Counters may be *callback-backed*: components that
+  already keep monotonic counters (``CacheStats``, ``StorageStats``,
+  the lake scanner) register a zero-cost closure instead of paying for
+  a second increment on their hot path.  That is the design that keeps
+  the observability overhead within budget: scrape-time reads, not
+  scan-time writes.
+* **Gauge** — a value that can go up and down (``total_nbytes``, live
+  entry count), set directly or callback-backed.
+* **Histogram** — fixed cumulative buckets plus sum/count (query
+  latency, rows skipped per scan).
+
+Instruments are keyed by ``(name, labels)``: registering the same pair
+twice returns the existing instrument (idempotent wiring), while the
+same name with different labels yields separate series — how per-node
+cluster caches share one metric family.
+
+``render_prometheus`` produces the text exposition format (the string a
+``/metrics`` endpoint would serve); ``as_dict`` is the JSON-friendly
+flat view tests and dashboards use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+# Latency-flavoured default buckets (seconds), Prometheus-style.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+    2.5, 5.0, 10.0,
+)
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Mapping[str, str]]) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonic value; ``fn``-backed counters read at scrape time."""
+
+    __slots__ = ("name", "labels", "_value", "_fn")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet = (),
+        fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._fn = fn
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._fn is not None:
+            raise ValueError(f"counter {self.name!r} is callback-backed")
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+
+class Gauge:
+    """A value that can move both ways; optionally callback-backed."""
+
+    __slots__ = ("name", "labels", "_value", "_fn")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet = (),
+        fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name!r} is callback-backed")
+        self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name!r} is callback-backed")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        # First bucket whose upper bound admits the value; every later
+        # (cumulative) bucket is derived at render time.
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+
+    def cumulative_counts(self) -> List[int]:
+        """Per-bucket cumulative counts (exposition form, excl. +Inf)."""
+        out: List[int] = []
+        running = 0
+        for c in self.bucket_counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class MetricsRegistry:
+    """A named collection of instruments with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelSet], object] = {}
+        self._help: Dict[str, str] = {}
+        self._type: Dict[str, str] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def _get_or_create(
+        self,
+        kind: str,
+        factory: Callable[[], object],
+        name: str,
+        help: str,
+        labels: Optional[Mapping[str, str]],
+    ):
+        if self._type.get(name, kind) != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {self._type[name]}"
+            )
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[key] = instrument
+            self._type[name] = kind
+            if help and name not in self._help:
+                self._help[name] = help
+        return instrument
+
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Counter:
+        return self._get_or_create(
+            "counter", lambda: Counter(name, _label_key(labels), fn),
+            name, help, labels,
+        )
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        return self._get_or_create(
+            "gauge", lambda: Gauge(name, _label_key(labels), fn),
+            name, help, labels,
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            "histogram", lambda: Histogram(name, _label_key(labels), buckets),
+            name, help, labels,
+        )
+
+    # -- reading -------------------------------------------------------------
+
+    def get(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Optional[object]:
+        return self._instruments.get((name, _label_key(labels)))
+
+    def names(self) -> List[str]:
+        return sorted(self._type)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat ``name{labels}`` -> value view (histograms: sum/count)."""
+        out: Dict[str, float] = {}
+        for (name, labels), instrument in sorted(self._instruments.items()):
+            series = name + _render_labels(labels)
+            if isinstance(instrument, Histogram):
+                out[series + "_sum"] = instrument.sum
+                out[series + "_count"] = float(instrument.count)
+            else:
+                out[series] = float(instrument.value)
+        return out
+
+    # -- exposition ----------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """The text exposition a ``/metrics`` endpoint would serve."""
+        by_name: Dict[str, List[Tuple[LabelSet, object]]] = {}
+        for (name, labels), instrument in self._instruments.items():
+            by_name.setdefault(name, []).append((labels, instrument))
+
+        lines: List[str] = []
+        for name in sorted(by_name):
+            help_text = self._help.get(name, "")
+            if help_text:
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {name} {self._type[name]}")
+            for labels, instrument in sorted(by_name[name]):
+                if isinstance(instrument, Histogram):
+                    lines.extend(_render_histogram(name, labels, instrument))
+                else:
+                    lines.append(
+                        f"{name}{_render_labels(labels)} "
+                        f"{_format_value(instrument.value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _render_histogram(
+    name: str, labels: LabelSet, histogram: Histogram
+) -> List[str]:
+    lines: List[str] = []
+    cumulative = histogram.cumulative_counts()
+    for bound, count in zip(histogram.buckets, cumulative):
+        bucket_labels = labels + (("le", _format_value(bound)),)
+        lines.append(f"{name}_bucket{_render_labels(bucket_labels)} {count}")
+    inf_labels = labels + (("le", "+Inf"),)
+    lines.append(f"{name}_bucket{_render_labels(inf_labels)} {histogram.count}")
+    lines.append(f"{name}_sum{_render_labels(labels)} "
+                 f"{_format_value(histogram.sum)}")
+    lines.append(f"{name}_count{_render_labels(labels)} {histogram.count}")
+    return lines
+
+
+def _render_labels(labels: LabelSet) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    as_float = float(value)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(as_float)

@@ -96,6 +96,20 @@ class ColumnStore:
         """Compressed size of all sealed blocks."""
         return sum(b.nbytes for b in self.blocks)
 
+    def metrics_snapshot(self) -> dict:
+        """Current storage shape of this column (observability rollup).
+
+        :meth:`Database.register_metrics` sums these per table at scrape
+        time; keeping the raw numbers here means the storage layer owns
+        its own accounting and the registry never reaches into internals.
+        """
+        return {
+            "blocks_sealed": len(self.blocks),
+            "rows_sealed": self.num_sealed_rows,
+            "rows_tail": len(self._tail),
+            "compressed_nbytes": self.compressed_nbytes,
+        }
+
     # -- writes ---------------------------------------------------------------
 
     def append(self, values: Sequence[object], rms: Optional[ManagedStorage]) -> None:
