@@ -32,6 +32,15 @@ from .core import (
     SemiJoinDescriptor,
 )
 from .engine import CostModel, QueryCounters, QueryEngine, QueryResult
+from .faults import (
+    CircuitBreaker,
+    CorruptedBlockError,
+    FaultInjector,
+    RetryBudgetExceeded,
+    RetryPolicy,
+    StorageFault,
+    TransientStorageError,
+)
 from .obs import MetricsRegistry, Span, Tracer
 from .predicates import normalize, parse_predicate
 from .storage import ColumnSpec, Database, DataType, Table, TableSchema
@@ -41,12 +50,15 @@ __version__ = "1.0.0"
 __all__ = [
     "AlwaysAdmit",
     "CacheStats",
+    "CircuitBreaker",
     "ClusterCaches",
+    "CorruptedBlockError",
     "CostBasedPolicy",
     "ColumnSpec",
     "CostModel",
     "Database",
     "DataType",
+    "FaultInjector",
     "MetricsRegistry",
     "PredicateCache",
     "PredicateCacheConfig",
@@ -54,11 +66,15 @@ __all__ = [
     "QueryEngine",
     "QueryResult",
     "RangeList",
+    "RetryBudgetExceeded",
+    "RetryPolicy",
     "RowRange",
     "ScanKey",
     "SemiJoinDescriptor",
     "Span",
+    "StorageFault",
     "Table",
+    "TransientStorageError",
     "TableSchema",
     "Tracer",
     "normalize",

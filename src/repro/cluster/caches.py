@@ -34,13 +34,16 @@ class ClusterCaches:
             raise ValueError("num_nodes must be >= 1")
         self.num_nodes = num_nodes
         self.config = config if config is not None else PredicateCacheConfig()
+        self.policy_factory = policy_factory
         self._nodes: List[PredicateCache] = [
-            PredicateCache(
-                self.config,
-                policy=policy_factory() if policy_factory is not None else None,
-            )
-            for _ in range(num_nodes)
+            self._new_node() for _ in range(num_nodes)
         ]
+
+    def _new_node(self) -> PredicateCache:
+        return PredicateCache(
+            self.config,
+            policy=self.policy_factory() if self.policy_factory is not None else None,
+        )
 
     # -- routing (the scan-path interface) -------------------------------------
 
@@ -57,9 +60,12 @@ class ClusterCaches:
 
         A new compute node downloads its data slices from managed
         storage (§4.2.1) but has no cache state; only its share of each
-        entry must be relearned — the other nodes keep theirs.
+        entry must be relearned — the other nodes keep theirs.  The
+        replacement is built exactly like the original node, including a
+        fresh policy from ``policy_factory`` (a failure must not
+        silently downgrade a cost-based cluster to default admission).
         """
-        replacement = PredicateCache(self.config)
+        replacement = self._new_node()
         self._nodes[node_id] = replacement
         return replacement
 

@@ -50,6 +50,11 @@ class PredicateCache:
         self._entries: "OrderedDict[ScanKey, CacheEntry]" = OrderedDict()
         self.stats = CacheStats()
         self._watched: set[str] = set()
+        # Per-table invalidation generation: bumped whenever a table's
+        # entries are dropped wholesale (vacuum/layout change).  Entries
+        # are stamped at creation; installs with a stale stamp are
+        # refused (see record_slice_scan).
+        self._generations: Dict[str, int] = {}
 
     # -- wiring ------------------------------------------------------------------
 
@@ -153,11 +158,20 @@ class PredicateCache:
             return entry
         if key.is_join_key and not self.config.cache_join_keys:
             raise ValueError("join-index keys are disabled by configuration")
-        entry = CacheEntry(key, num_slices, dict(build_versions or {}))
+        entry = CacheEntry(
+            key,
+            num_slices,
+            dict(build_versions or {}),
+            generation=self._generations.get(key.table, 0),
+        )
         self._entries[key] = entry
         self.stats.inserts += 1
         self._evict_if_needed()
         return entry
+
+    def generation_of(self, table_name: str) -> int:
+        """Current invalidation generation of a table's entries."""
+        return self._generations.get(table_name, 0)
 
     def record_slice_scan(
         self,
@@ -170,7 +184,20 @@ class PredicateCache:
 
         First call per slice creates the state; later calls extend the
         uncached tail (appends since the entry was built, §4.3.1).
+
+        Stale installs are refused: if the entry was invalidated or
+        evicted after the scan picked it up (a vacuum between lookup and
+        install), or its generation stamp no longer matches the table's,
+        the ranges describe row numbering that no longer exists and must
+        not be (re)installed — the scan's results are still correct, only
+        the cache write is dropped.
         """
+        if (
+            self._entries.get(entry.key) is not entry
+            or entry.generation != self._generations.get(entry.key.table, 0)
+        ):
+            self.stats.stale_installs += 1
+            return
         state = entry.slice_states[slice_id]
         if state is None:
             entry.slice_states[slice_id] = self._new_state(qualifying, scanned_upto)
@@ -191,6 +218,7 @@ class PredicateCache:
 
     def invalidate_table(self, table_name: str) -> int:
         """Drop every entry scanning ``table_name`` (layout changed)."""
+        self._generations[table_name] = self._generations.get(table_name, 0) + 1
         stale = [k for k in self._entries if k.table == table_name]
         for key in stale:
             self._drop(key)
@@ -216,10 +244,27 @@ class PredicateCache:
         observation state.
         """
         stale = list(self._entries)
+        for table_name in {key.table for key in stale}:
+            self._generations[table_name] = self._generations.get(table_name, 0) + 1
         for key in stale:
             self._drop(key)
         self.stats.invalidations += len(stale)
         return len(stale)
+
+    def drop_stale(self, key: ScanKey) -> bool:
+        """Drop one entry detected inconsistent at scan time.
+
+        The degraded-scan path calls this when a cached state disagrees
+        with the slice it describes (e.g. its watermark exceeds the
+        slice's row count after a missed invalidation).  Routes through
+        :meth:`_drop` so the admission policy forgets the key and the
+        invalidation shows up in metrics.
+        """
+        if key in self._entries:
+            self._drop(key)
+            self.stats.invalidations += 1
+            return True
+        return False
 
     def admits(self, key: ScanKey) -> bool:
         """True if an entry exists or the admission policy allows one."""

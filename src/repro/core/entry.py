@@ -161,18 +161,26 @@ class CacheEntry:
         "key",
         "slice_states",
         "build_versions",
+        "generation",
         "hits",
         "rows_qualifying",
         "rows_considered",
     )
 
-    def __init__(self, key, num_slices: int, build_versions: dict) -> None:
+    def __init__(
+        self, key, num_slices: int, build_versions: dict, generation: int = 0
+    ) -> None:
         self.key = key
         self.slice_states: List[Optional[SliceState]] = [None] * num_slices
         # data_version of each build-side table at entry creation; a
         # mismatch at lookup time means the semi-join filter contents
         # may have changed and the entry is stale (§4.4).
         self.build_versions = dict(build_versions)
+        # The cache's per-table invalidation generation when this entry
+        # was created.  A scan that prepared against an older generation
+        # (a vacuum fired mid-flight) must not install its row ranges:
+        # the numbering they describe no longer exists.
+        self.generation = generation
         self.hits = 0
         self.rows_qualifying = 0
         self.rows_considered = 0

@@ -22,6 +22,7 @@ class CacheStats:
     invalidations: int = 0
     evictions: int = 0
     stale_rejections: int = 0
+    stale_installs: int = 0
 
     @property
     def hit_rate(self) -> float:

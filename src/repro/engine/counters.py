@@ -31,6 +31,13 @@ class QueryCounters:
     cache_misses: int = 0
     bloom_probes: int = 0
     bloom_positives: int = 0
+    # Resilience counters (zero unless fault injection is armed).
+    storage_faults: int = 0
+    corrupt_blocks: int = 0
+    storage_retries: int = 0
+    retry_giveups: int = 0
+    degraded_scans: int = 0
+    backoff_seconds: float = 0.0
     result_cache_hit: bool = False
     wall_seconds: float = 0.0
     model_seconds: float = 0.0
@@ -59,6 +66,12 @@ class QueryCounters:
         self.cache_misses += other.cache_misses
         self.bloom_probes += other.bloom_probes
         self.bloom_positives += other.bloom_positives
+        self.storage_faults += other.storage_faults
+        self.corrupt_blocks += other.corrupt_blocks
+        self.storage_retries += other.storage_retries
+        self.retry_giveups += other.retry_giveups
+        self.degraded_scans += other.degraded_scans
+        self.backoff_seconds += other.backoff_seconds
         self.result_cache_hit = self.result_cache_hit or other.result_cache_hit
         self.wall_seconds += other.wall_seconds
         self.model_seconds += other.model_seconds

@@ -128,6 +128,7 @@ class QueryEngine:
                 "remote_fetches",
                 "bloom_probes",
                 "bloom_positives",
+                "degraded_scans",
             )
         }
         self.database.register_metrics(registry)
@@ -264,7 +265,10 @@ class QueryEngine:
                 return QueryResult(dict(columns), list(order), counters)
 
         started = time.perf_counter()
-        storage_before = self.database.rms.stats.snapshot()
+        rms = self.database.rms
+        if rms.fault_injector is not None:
+            rms.reset_retry_budget()
+        storage_before = rms.stats.snapshot()
         txid = self.database.begin()
         execute_span = None
         if tracer is not None:
@@ -282,8 +286,17 @@ class QueryEngine:
         counters.blocks_accessed += storage_delta.blocks_accessed
         counters.remote_fetches += storage_delta.remote_fetches
         counters.bytes_fetched += storage_delta.bytes_fetched
+        counters.storage_faults += storage_delta.transient_errors
+        counters.corrupt_blocks += storage_delta.corrupt_blocks
+        counters.storage_retries += storage_delta.retries
+        counters.retry_giveups += storage_delta.retry_giveups
+        counters.backoff_seconds += storage_delta.backoff_model_seconds
         counters.wall_seconds = time.perf_counter() - started
-        counters.model_seconds = self.cost_model.runtime(counters)
+        # Retry backoff and injected latency are model time the query
+        # actually waited out; fold them into the modeled runtime.
+        counters.model_seconds = (
+            self.cost_model.runtime(counters) + counters.backoff_seconds
+        )
 
         if self.result_cache is not None and cache_key is not None:
             self.result_cache.store(
@@ -317,6 +330,8 @@ class QueryEngine:
     def delete_where(self, table_name: str, predicate: Predicate) -> int:
         """MVCC-delete every visible row matching ``predicate``."""
         table = self.database.table(table_name)
+        if self.database.rms.fault_injector is not None:
+            self.database.rms.reset_retry_budget()
         read_txid = self.database.begin()
         counters = QueryCounters()
         # Deletes bypass the predicate cache: reusing a cached entry here
@@ -343,6 +358,8 @@ class QueryEngine:
         unknown = set(assignments) - set(table.schema.column_names)
         if unknown:
             raise ValueError(f"unknown columns in UPDATE: {sorted(unknown)}")
+        if self.database.rms.fault_injector is not None:
+            self.database.rms.reset_retry_budget()
         read_txid = self.database.begin()
         counters = QueryCounters()
         result = execute_scan(table, predicate, read_txid, counters, cache=None)

@@ -182,6 +182,17 @@ def execute_scan(
                 node_contexts[id(node_cache)] = context
         else:
             context = shared_context
+        if context is not None and context.entry is not None:
+            state = context.entry.slice_states[slice_id]
+            if state is not None and state.last_cached_row > data_slice.num_rows:
+                # Degradation ladder, rung 2: the cached state claims a
+                # row numbering this slice no longer has (an invalidation
+                # was missed).  Drop the entry — through _drop, so
+                # metrics fire — and fall back to full scans for the
+                # rest of this table scan.
+                context.cache.drop_stale(context.entry.key)
+                counters.degraded_scans += 1
+                context.entry = None
         slice_span = None
         if tracer is not None:
             slice_span = tracer.begin(

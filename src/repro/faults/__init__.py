@@ -1,0 +1,34 @@
+"""Fault injection and resilience primitives.
+
+The paper's safety argument (§4.2.1, §4.5) is that predicate caching is
+*safe to be wrong*: a lost, cold, or stale cache costs performance,
+never correctness.  This package is how the reproduction exercises that
+margin: a seeded :class:`FaultInjector` makes storage reads flake,
+corrupt, and lag deterministically; a :class:`RetryPolicy` bounds how
+hard the read paths fight back (backoff is model time, never a sleep);
+a :class:`CircuitBreaker` routes around persistently failing lake
+files.  The chaos differential oracle (``tests/test_chaos.py``) runs
+full workloads under injection and asserts bit-identical results
+against a fault-free twin.
+"""
+
+from .breaker import CircuitBreaker
+from .errors import (
+    CorruptedBlockError,
+    RetryBudgetExceeded,
+    StorageFault,
+    TransientStorageError,
+)
+from .injector import FaultDecision, FaultInjector
+from .retry import RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "CorruptedBlockError",
+    "FaultDecision",
+    "FaultInjector",
+    "RetryBudgetExceeded",
+    "RetryPolicy",
+    "StorageFault",
+    "TransientStorageError",
+]

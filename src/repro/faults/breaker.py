@@ -1,0 +1,129 @@
+"""Per-key circuit breaker with a model-time (tick) clock.
+
+After ``failure_threshold`` consecutive failures on one key, the
+breaker *opens*: :meth:`allow` returns False for the next
+``cooldown_ticks`` calls, routing the caller around the suspect path
+(the lake scanner bypasses its cached bits for that file).  After the
+cool-down, the breaker goes *half-open*: the next operation is allowed
+through; a success closes the circuit, a failure re-opens it.
+
+The clock is the call count itself — no wall-clock, no sleeps — so
+behaviour is deterministic under replay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+__all__ = ["CircuitBreaker"]
+
+_CLOSED, _OPEN, _HALF_OPEN = "closed", "open", "half-open"
+
+
+class _Circuit:
+    __slots__ = ("state", "consecutive_failures", "cooldown_left")
+
+    def __init__(self) -> None:
+        self.state = _CLOSED
+        self.consecutive_failures = 0
+        self.cooldown_left = 0
+
+
+class CircuitBreaker:
+    """Keyed circuit breakers (one circuit per lake file, table, ...)."""
+
+    def __init__(self, failure_threshold: int = 3, cooldown_ticks: int = 5) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_ticks < 1:
+            raise ValueError("cooldown_ticks must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_ticks = cooldown_ticks
+        self._circuits: Dict[Hashable, _Circuit] = {}
+        # Monotonic counters (scrape-time metrics read these directly).
+        self.trips = 0
+        self.short_circuits = 0
+        self.recoveries = 0
+
+    def _circuit(self, key: Hashable) -> _Circuit:
+        circuit = self._circuits.get(key)
+        if circuit is None:
+            circuit = _Circuit()
+            self._circuits[key] = circuit
+        return circuit
+
+    # -- the caller protocol ---------------------------------------------------
+
+    def allow(self, key: Hashable) -> bool:
+        """May the protected path be used for ``key`` right now?
+
+        Each call while open advances the cool-down clock by one tick.
+        """
+        circuit = self._circuits.get(key)
+        if circuit is None or circuit.state == _CLOSED:
+            return True
+        if circuit.state == _OPEN:
+            circuit.cooldown_left -= 1
+            if circuit.cooldown_left > 0:
+                self.short_circuits += 1
+                return False
+            circuit.state = _HALF_OPEN
+            return True
+        return True  # half-open: probe allowed
+
+    def record_success(self, key: Hashable) -> None:
+        circuit = self._circuits.get(key)
+        if circuit is None:
+            return
+        if circuit.state == _HALF_OPEN:
+            self.recoveries += 1
+        circuit.state = _CLOSED
+        circuit.consecutive_failures = 0
+        circuit.cooldown_left = 0
+
+    def record_failure(self, key: Hashable) -> None:
+        circuit = self._circuit(key)
+        circuit.consecutive_failures += 1
+        if (
+            circuit.state == _HALF_OPEN
+            or circuit.consecutive_failures >= self.failure_threshold
+        ):
+            if circuit.state != _OPEN:
+                self.trips += 1
+            circuit.state = _OPEN
+            # +1 because the next allow() call consumes the first tick.
+            circuit.cooldown_left = self.cooldown_ticks + 1
+
+    # -- introspection ---------------------------------------------------------
+
+    def state_of(self, key: Hashable) -> str:
+        circuit = self._circuits.get(key)
+        return circuit.state if circuit is not None else _CLOSED
+
+    def is_open(self, key: Hashable) -> bool:
+        return self.state_of(key) == _OPEN
+
+    def forget(self, key: Hashable) -> None:
+        """Drop a key's circuit (its file was deleted/replaced)."""
+        self._circuits.pop(key, None)
+
+    def register_metrics(self, registry, prefix: str = "repro_breaker") -> None:
+        registry.counter(
+            f"{prefix}_trips_total", "Circuits opened by consecutive failures",
+            fn=lambda: self.trips,
+        )
+        registry.counter(
+            f"{prefix}_short_circuits_total",
+            "Operations routed around an open circuit",
+            fn=lambda: self.short_circuits,
+        )
+        registry.counter(
+            f"{prefix}_recoveries_total", "Circuits closed after a probe success",
+            fn=lambda: self.recoveries,
+        )
+        registry.gauge(
+            f"{prefix}_open_circuits", "Circuits currently open",
+            fn=lambda: sum(
+                1 for c in self._circuits.values() if c.state == _OPEN
+            ),
+        )

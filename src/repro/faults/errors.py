@@ -1,0 +1,40 @@
+"""Fault taxonomy for the resilience layer.
+
+Three failure classes, mirroring what cloud object storage actually
+throws at a warehouse:
+
+* :class:`TransientStorageError` — a fetch failed outright (connection
+  reset, 500/503, throttling).  Retryable by definition.
+* :class:`CorruptedBlockError` — a fetch *returned*, but the payload
+  fails its checksum (bit flip in transit, truncated body).  Also
+  retryable: the authoritative copy on managed storage is intact.
+* :class:`RetryBudgetExceeded` — the retry policy gave up.  This is the
+  only storage fault a query is ever allowed to surface: the bottom
+  rung of the degradation ladder (cached scan -> full scan -> error
+  only on exhausted budget).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "StorageFault",
+    "TransientStorageError",
+    "CorruptedBlockError",
+    "RetryBudgetExceeded",
+]
+
+
+class StorageFault(Exception):
+    """Base class for injected or detected storage-layer faults."""
+
+
+class TransientStorageError(StorageFault):
+    """A remote read failed; the operation is safe to retry."""
+
+
+class CorruptedBlockError(StorageFault):
+    """A fetched block failed checksum verification."""
+
+
+class RetryBudgetExceeded(StorageFault):
+    """Retries were exhausted; the read cannot be served."""

@@ -1,0 +1,202 @@
+"""Seeded, deterministic fault injection for storage reads.
+
+A :class:`FaultInjector` is attached to a read path (managed storage,
+the lake scanner) and consulted once per remote fetch.  Every decision
+comes from one seeded ``random.Random`` stream, so a workload replayed
+with the same seed sees byte-identical faults — the property the chaos
+differential oracle depends on.
+
+Two planning modes:
+
+* **probability-driven** (the default): each fetch independently fails
+  with ``error_rate``, returns corrupted bytes with ``corruption_rate``,
+  and suffers extra latency with ``latency_rate``.
+* **schedule-driven**: an explicit ``{read_index: kind}`` mapping pins
+  faults to specific fetches (unit tests, regression reproductions).
+  Kinds are ``"error"``, ``"corrupt"``, and ``"latency"``.
+
+Injected latency is *model time*: it is accumulated into counters the
+cost model folds into ``model_seconds`` — there are no real sleeps
+anywhere in the layer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+__all__ = ["FaultDecision", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """The injector's verdict for one fetch attempt."""
+
+    fail: bool = False
+    corrupt: bool = False
+    latency_seconds: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return not self.fail and not self.corrupt
+
+
+_CLEAN = FaultDecision()
+
+
+class FaultInjector:
+    """Deterministic fault plan for storage fetches.
+
+    Args:
+        seed: seeds the decision stream (and corruption shapes).
+        error_rate: per-fetch probability of a transient I/O error.
+        corruption_rate: per-fetch probability the payload is corrupted
+            (bit flip or truncation, chosen by the stream).
+        latency_rate: per-fetch probability of added latency.
+        latency_seconds: model-time latency added when drawn.
+        schedule: explicit ``{read_index: kind}`` plan; when given, the
+            probabilistic rates are ignored and only listed fetches
+            fault.  Read indices count every :meth:`draw` call.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        error_rate: float = 0.0,
+        corruption_rate: float = 0.0,
+        latency_rate: float = 0.0,
+        latency_seconds: float = 0.05,
+        schedule: Optional[Mapping[int, str]] = None,
+    ) -> None:
+        for name, rate in (
+            ("error_rate", error_rate),
+            ("corruption_rate", corruption_rate),
+            ("latency_rate", latency_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self.seed = seed
+        self.error_rate = error_rate
+        self.corruption_rate = corruption_rate
+        self.latency_rate = latency_rate
+        self.latency_seconds = latency_seconds
+        self.schedule = dict(schedule) if schedule is not None else None
+        self._rng = random.Random(seed)
+        # Monotonic counters (scrape-time metrics read these directly).
+        self.reads_seen = 0
+        self.errors_injected = 0
+        self.corruptions_injected = 0
+        self.latency_injected_seconds = 0.0
+
+    @property
+    def can_fault(self) -> bool:
+        """True if any fetch could ever fault under this plan.
+
+        Read paths use this to keep the fast path when an injector is
+        attached but configured with zero rates and no schedule — "no
+        faults configured" must cost nothing on the scan path.
+        """
+        if self.schedule is not None:
+            return bool(self.schedule)
+        return (
+            self.error_rate > 0.0
+            or self.corruption_rate > 0.0
+            or self.latency_rate > 0.0
+        )
+
+    # -- decisions -------------------------------------------------------------
+
+    def draw(self) -> FaultDecision:
+        """The fault verdict for the next fetch attempt."""
+        index = self.reads_seen
+        self.reads_seen += 1
+        if self.schedule is not None:
+            kind = self.schedule.get(index)
+            if kind is None:
+                return _CLEAN
+            decision = self._scheduled(kind)
+        else:
+            fail = self.error_rate > 0.0 and self._rng.random() < self.error_rate
+            corrupt = (
+                not fail
+                and self.corruption_rate > 0.0
+                and self._rng.random() < self.corruption_rate
+            )
+            latency = 0.0
+            if self.latency_rate > 0.0 and self._rng.random() < self.latency_rate:
+                latency = self.latency_seconds
+            decision = (
+                FaultDecision(fail, corrupt, latency)
+                if (fail or corrupt or latency)
+                else _CLEAN
+            )
+        if decision.fail:
+            self.errors_injected += 1
+        if decision.corrupt:
+            self.corruptions_injected += 1
+        if decision.latency_seconds:
+            self.latency_injected_seconds += decision.latency_seconds
+        return decision
+
+    def _scheduled(self, kind: str) -> FaultDecision:
+        if kind == "error":
+            return FaultDecision(fail=True)
+        if kind == "corrupt":
+            return FaultDecision(corrupt=True)
+        if kind == "latency":
+            return FaultDecision(latency_seconds=self.latency_seconds)
+        raise ValueError(f"unknown scheduled fault kind {kind!r}")
+
+    def uniform(self) -> float:
+        """A draw from the injector's stream (retry-jitter source)."""
+        return self._rng.random()
+
+    # -- corruption ------------------------------------------------------------
+
+    def corrupt_array(self, values: np.ndarray) -> np.ndarray:
+        """A corrupted *copy* of ``values`` (the original is never touched).
+
+        Two shapes, chosen by the stream: truncation (a short read drops
+        the tail) and a bit flip in one element.  Either is guaranteed
+        to fail checksum verification against the clean payload.
+        """
+        if len(values) == 0:
+            # Nothing to flip; model an impossible phantom row instead.
+            return np.array(["\x00phantom"], dtype=object)
+        if len(values) > 1 and self._rng.random() < 0.5:
+            cut = self._rng.randrange(1, len(values))
+            return values[:cut].copy()
+        out = values.copy()
+        index = self._rng.randrange(len(out))
+        if out.dtype == object:
+            out[index] = str(out[index]) + "\x00"
+        else:
+            flat = out.view(np.uint8)
+            byte = self._rng.randrange(len(flat))
+            flat[byte] ^= np.uint8(1 << self._rng.randrange(8))
+        return out
+
+    # -- observability ---------------------------------------------------------
+
+    def register_metrics(self, registry, prefix: str = "repro_faults") -> None:
+        """Expose the injector's counters on a metrics registry."""
+        registry.counter(
+            f"{prefix}_reads_seen_total", "Fetch attempts the injector judged",
+            fn=lambda: self.reads_seen,
+        )
+        registry.counter(
+            f"{prefix}_errors_injected_total", "Transient errors injected",
+            fn=lambda: self.errors_injected,
+        )
+        registry.counter(
+            f"{prefix}_corruptions_injected_total", "Corrupted payloads injected",
+            fn=lambda: self.corruptions_injected,
+        )
+        registry.counter(
+            f"{prefix}_latency_injected_seconds_total",
+            "Model-time latency injected",
+            fn=lambda: self.latency_injected_seconds,
+        )

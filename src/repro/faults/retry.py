@@ -1,0 +1,60 @@
+"""Retry policy: bounded attempts, exponential backoff, model-time cost.
+
+Backoff is *model time*: the computed delay is added to a counter the
+cost model folds into ``model_seconds`` — never a real sleep.  Jitter
+is drawn from the fault injector's seeded stream, so a replayed
+workload backs off identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Tuning knobs for storage-read retries.
+
+    Attributes:
+        max_attempts: total tries per read (first attempt included).
+        base_backoff_seconds: model-time delay before the first retry.
+        backoff_multiplier: exponential growth factor per retry.
+        max_backoff_seconds: cap on a single delay.
+        jitter: fraction of each delay randomized (0 = deterministic,
+            1 = fully random in ``(0, delay]``); the randomness comes
+            from the injector's seeded stream.
+        retry_budget: total retries one query may spend across all its
+            reads (None = unlimited).  Exhausting the budget raises
+            :class:`~repro.faults.RetryBudgetExceeded` — the only way a
+            storage fault ever surfaces to a query.
+    """
+
+    max_attempts: int = 4
+    base_backoff_seconds: float = 0.002
+    backoff_multiplier: float = 2.0
+    max_backoff_seconds: float = 0.1
+    jitter: float = 0.5
+    retry_budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0 or None")
+
+    def backoff_seconds(self, retry_index: int, u: float) -> float:
+        """Model-time delay before retry ``retry_index`` (0-based).
+
+        ``u`` is a uniform draw in ``[0, 1)`` from the caller's seeded
+        stream (deterministic jitter).
+        """
+        delay = min(
+            self.base_backoff_seconds * self.backoff_multiplier**retry_index,
+            self.max_backoff_seconds,
+        )
+        return delay * (1.0 - self.jitter + self.jitter * u)

@@ -12,6 +12,16 @@ requirements hold by construction:
 Appended files are simply absent from an entry's per-file map: the next
 scan reads them in full (with statistics pruning), then folds their
 bitmap in — the lake equivalent of the insert-buffer extension (§4.3.1).
+
+Resilience (the fault-injection layer): with a
+:class:`~repro.faults.FaultInjector` attached, every chunk fetch is
+checksum-verified and retried under the scanner's
+:class:`~repro.faults.RetryPolicy`.  If a cached-bits-guided scan of a
+file still fails, the file's cached state is dropped (the invalidation
+counter fires) and the file is transparently rescanned in full; a
+per-file :class:`~repro.faults.CircuitBreaker` trips after consecutive
+degradations and routes around the cache until a cool-down expires.
+Without an injector, the scan path is byte-for-byte the fault-free one.
 """
 
 from __future__ import annotations
@@ -21,8 +31,16 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..faults import (
+    CircuitBreaker,
+    FaultInjector,
+    RetryPolicy,
+    StorageFault,
+    TransientStorageError,
+)
 from ..predicates.ast import Predicate
-from .format import LakeFile, RowGroup
+from ..storage.compression import array_checksum
+from .format import ColumnChunk, LakeFile, RowGroup
 from .table import LakeSnapshot, LakeTable
 
 __all__ = ["LakeScanner", "LakeScanStats"]
@@ -41,6 +59,13 @@ class LakeScanStats:
     rows_qualifying: int = 0
     chunk_bytes_read: int = 0
     cache_hit: bool = False
+    # Resilience counters (zero unless fault injection is armed).
+    transient_errors: int = 0
+    corrupt_chunks: int = 0
+    retries: int = 0
+    degraded_files: int = 0
+    files_short_circuited: int = 0
+    backoff_model_seconds: float = 0.0
 
 
 class _LakeEntry:
@@ -59,13 +84,42 @@ class _LakeEntry:
 class LakeScanner:
     """Scans one lake table, caching qualifying row groups per predicate."""
 
-    def __init__(self, table: LakeTable) -> None:
+    def __init__(
+        self,
+        table: LakeTable,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
         self.table = table
         self._entries: Dict[str, _LakeEntry] = {}
         self.lookups = 0
         self.hits = 0
         self.invalidated_files = 0
+        # Resilience wiring: all optional, all zero-cost when unarmed.
+        self._injector = fault_injector
+        self._armed = fault_injector is not None and fault_injector.can_fault
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.transient_errors = 0
+        self.corrupt_chunks = 0
+        self.retries = 0
+        self.retry_giveups = 0
+        self.degraded_scans = 0
+        self.short_circuited_files = 0
+        self.backoff_model_seconds = 0.0
         table.on_commit(self._on_commit)
+
+    def attach_faults(
+        self,
+        injector: Optional[FaultInjector],
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        """Arm (or, with None, disarm) fault injection on chunk reads."""
+        self._injector = injector
+        self._armed = injector is not None and injector.can_fault
+        if retry_policy is not None:
+            self.retry_policy = retry_policy
 
     # -- invalidation ---------------------------------------------------------
 
@@ -77,6 +131,8 @@ class LakeScanner:
             for file_id in removed:
                 if entry.group_bits.pop(file_id, None) is not None:
                     self.invalidated_files += 1
+        for file_id in removed:
+            self.breaker.forget(file_id)
 
     # -- scanning ----------------------------------------------------------------
 
@@ -138,7 +194,85 @@ class LakeScanner:
     ) -> None:
         stats.files_visited += 1
         stats.row_groups_total += file.num_row_groups
+        if not self._armed:
+            cached_bits = entry.group_bits.get(file.file_id) if entry else None
+            self._scan_file_groups(
+                file, cached_bits, predicate, predicate_columns, columns,
+                entry, pieces, stats,
+            )
+            return
+        self._scan_file_resilient(
+            file, predicate, predicate_columns, columns, entry, pieces, stats
+        )
+
+    def _scan_file_resilient(
+        self,
+        file: LakeFile,
+        predicate: Predicate,
+        predicate_columns: List[str],
+        columns: Sequence[str],
+        entry: Optional[_LakeEntry],
+        pieces: Dict[str, List[np.ndarray]],
+        stats: LakeScanStats,
+    ) -> None:
+        """One file's scan under fault injection (degradation ladder).
+
+        Rung 1 is the normal cached-bits-guided scan; if it fails even
+        after per-chunk retries, rung 2 drops the file's cached state
+        and rescans the file in full.  A full scan that fails is rung
+        3: the fault propagates (retry budget exhausted).  The per-file
+        circuit breaker counts consecutive degradations and, once open,
+        routes around the cache entirely for a cool-down.
+        """
         cached_bits = entry.group_bits.get(file.file_id) if entry else None
+        use_cache = cached_bits is not None
+        if use_cache and not self.breaker.allow(file.file_id):
+            stats.files_short_circuited += 1
+            self.short_circuited_files += 1
+            cached_bits = None
+            use_cache = False
+            entry = None  # route around the cache: no reads, no writes
+
+        marks = {name: len(parts) for name, parts in pieces.items()}
+        shape = _scan_shape_snapshot(stats)
+        try:
+            self._scan_file_groups(
+                file, cached_bits, predicate, predicate_columns, columns,
+                entry, pieces, stats,
+            )
+        except StorageFault:
+            if not use_cache:
+                raise
+            # Rung 2: drop the suspect cached state (invalidation
+            # counters fire), roll back this file's partial output, and
+            # rescan the file in full.
+            self.breaker.record_failure(file.file_id)
+            if entry is not None and entry.group_bits.pop(file.file_id, None) is not None:
+                self.invalidated_files += 1
+            stats.degraded_files += 1
+            self.degraded_scans += 1
+            for name, mark in marks.items():
+                del pieces[name][mark:]
+            _scan_shape_restore(stats, shape)
+            self._scan_file_groups(
+                file, None, predicate, predicate_columns, columns,
+                entry, pieces, stats,
+            )
+        else:
+            if use_cache:
+                self.breaker.record_success(file.file_id)
+
+    def _scan_file_groups(
+        self,
+        file: LakeFile,
+        cached_bits: Optional[np.ndarray],
+        predicate: Predicate,
+        predicate_columns: List[str],
+        columns: Sequence[str],
+        entry: Optional[_LakeEntry],
+        pieces: Dict[str, List[np.ndarray]],
+        stats: LakeScanStats,
+    ) -> None:
         new_bits = np.zeros(file.num_row_groups, dtype=bool)
 
         if cached_bits is None:
@@ -185,7 +319,7 @@ class LakeScanner:
     ) -> bool:
         stats.row_groups_read += 1
         stats.rows_scanned += group.num_rows
-        batch = group.read_columns(predicate_columns)
+        batch = self._read_columns(group, predicate_columns, stats)
         stats.chunk_bytes_read += sum(
             group.chunks[name].nbytes for name in predicate_columns
         )
@@ -196,13 +330,60 @@ class LakeScanner:
         stats.rows_qualifying += count
         if count == 0:
             return False
-        payload = group.read_columns([c for c in columns])
+        payload = self._read_columns(group, list(columns), stats)
         stats.chunk_bytes_read += sum(
             group.chunks[name].nbytes for name in columns if name not in predicate_columns
         )
         for name in columns:
             pieces[name].append(payload[name][mask])
         return True
+
+    # -- resilient chunk reads -------------------------------------------------
+
+    def _read_columns(
+        self, group: RowGroup, names: Sequence[str], stats: LakeScanStats
+    ) -> Dict[str, np.ndarray]:
+        if not self._armed:
+            return group.read_columns(names)
+        return {name: self._read_chunk(group.chunks[name], stats) for name in names}
+
+    def _read_chunk(self, chunk: ColumnChunk, stats: LakeScanStats) -> np.ndarray:
+        """One chunk fetch under injection: verify, retry, give up.
+
+        Corrupted payloads are caught by the chunk's block checksum and
+        retried like transient errors; a query never sees them.
+        """
+        injector = self._injector
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            decision = injector.draw()
+            if decision.latency_seconds:
+                stats.backoff_model_seconds += decision.latency_seconds
+                self.backoff_model_seconds += decision.latency_seconds
+            if decision.fail:
+                stats.transient_errors += 1
+                self.transient_errors += 1
+            else:
+                values = chunk.read()
+                if decision.corrupt:
+                    values = injector.corrupt_array(values)
+                checksum = chunk.encoded.checksum
+                if checksum is None or array_checksum(values) == checksum:
+                    return values
+                stats.corrupt_chunks += 1
+                self.corrupt_chunks += 1
+            attempt += 1
+            if attempt >= policy.max_attempts:
+                self.retry_giveups += 1
+                raise TransientStorageError(
+                    f"chunk {chunk.column!r} unreadable after {attempt} attempts"
+                )
+            stats.retries += 1
+            self.retries += 1
+            backoff = policy.backoff_seconds(attempt - 1, injector.uniform())
+            stats.backoff_model_seconds += backoff
+            self.backoff_model_seconds += backoff
 
     # -- observability --------------------------------------------------------------
 
@@ -239,6 +420,31 @@ class LakeScanner:
             f"{prefix}_hit_rate", "Hits over lookups",
             labels=labels, fn=lambda: self.hit_rate,
         )
+        registry.counter(
+            f"{prefix}_transient_errors_total",
+            "Injected transient chunk-fetch errors encountered",
+            labels=labels, fn=lambda: self.transient_errors,
+        )
+        registry.counter(
+            f"{prefix}_corrupt_chunks_total",
+            "Fetched chunks that failed checksum verification",
+            labels=labels, fn=lambda: self.corrupt_chunks,
+        )
+        registry.counter(
+            f"{prefix}_retries_total",
+            "Chunk fetches re-attempted after a fault",
+            labels=labels, fn=lambda: self.retries,
+        )
+        registry.counter(
+            f"{prefix}_degraded_scans_total",
+            "File scans that fell back from cached bits to a full scan",
+            labels=labels, fn=lambda: self.degraded_scans,
+        )
+        registry.counter(
+            f"{prefix}_short_circuited_files_total",
+            "File scans routed around the cache by an open circuit",
+            labels=labels, fn=lambda: self.short_circuited_files,
+        )
 
     # -- introspection --------------------------------------------------------------
 
@@ -255,3 +461,27 @@ class LakeScanner:
         if self.lookups == 0:
             return 0.0
         return self.hits / self.lookups
+
+
+_SHAPE_FIELDS = (
+    "row_groups_read",
+    "row_groups_skipped_cache",
+    "row_groups_skipped_stats",
+    "rows_scanned",
+    "rows_qualifying",
+    "chunk_bytes_read",
+)
+
+
+def _scan_shape_snapshot(stats: LakeScanStats) -> Tuple[int, ...]:
+    return tuple(getattr(stats, name) for name in _SHAPE_FIELDS)
+
+
+def _scan_shape_restore(stats: LakeScanStats, shape: Tuple[int, ...]) -> None:
+    """Roll back the scan-shape counters of an abandoned file attempt.
+
+    Resilience counters (retries, faults, backoff) are deliberately
+    *not* rolled back — the work happened and must stay visible.
+    """
+    for name, value in zip(_SHAPE_FIELDS, shape):
+        setattr(stats, name, value)

@@ -18,7 +18,8 @@ paper observes for predicate sorting (§5.6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 import numpy as np
@@ -32,6 +33,7 @@ __all__ = [
     "DictionaryCodec",
     "choose_codec",
     "CODECS",
+    "array_checksum",
 ]
 
 
@@ -41,12 +43,30 @@ class EncodedBlock:
 
     ``payload`` holds codec-specific arrays; ``nbytes`` is the simulated
     compressed size (what the block occupies on managed storage).
+    ``checksum`` covers the *decoded* values (length included, so a
+    truncated read is caught); blocks built outside :func:`choose_codec`
+    carry None and skip verification.
     """
 
     codec_name: str
     num_values: int
     payload: Tuple[np.ndarray, ...]
     nbytes: int
+    checksum: Optional[int] = None
+
+
+def array_checksum(values: np.ndarray) -> int:
+    """CRC32 over a value array, prefixed with its length.
+
+    The length prefix makes truncation detectable even when the kept
+    prefix's bytes are unchanged.
+    """
+    state = zlib.crc32(len(values).to_bytes(8, "little"))
+    if values.dtype == object:
+        for value in values:
+            state = zlib.crc32(str(value).encode("utf-8", "surrogatepass"), state)
+        return state
+    return zlib.crc32(np.ascontiguousarray(values).tobytes(), state)
 
 
 class Codec:
@@ -198,17 +218,22 @@ def choose_codec(values: np.ndarray) -> EncodedBlock:
     """
     if values.dtype == object:
         encoded = CODECS["dict"].encode(values)
-        if encoded is not None:
-            return encoded
-        # High-cardinality string block: account average string bytes.
-        nbytes = sum(len(str(v)) for v in values)
-        return EncodedBlock("plain", len(values), (values.copy(),), int(nbytes))
+        if encoded is None:
+            # High-cardinality string block: account average string bytes.
+            nbytes = sum(len(str(v)) for v in values)
+            encoded = EncodedBlock(
+                "plain", len(values), (values.copy(),), int(nbytes)
+            )
+        return replace(encoded, checksum=array_checksum(values))
     best = CODECS["plain"].encode(values)
     for name in ("rle", "for", "dict"):
         candidate = CODECS[name].encode(values)
         if candidate is not None and candidate.nbytes < best.nbytes:
             best = candidate
-    return best
+    # Checksum the *decoded* form so verification after a fetch compares
+    # byte-identical data even for codecs that widen dtypes (FOR decodes
+    # to int64 whatever width came in).
+    return replace(best, checksum=array_checksum(decode_block(best)))
 
 
 def decode_block(block: EncodedBlock) -> np.ndarray:

@@ -98,6 +98,17 @@ class Database:
     def table_names(self) -> List[str]:
         return sorted(self.tables)
 
+    # -- resilience -----------------------------------------------------------
+
+    def attach_faults(self, injector, retry_policy=None) -> None:
+        """Arm fault injection on this database's managed storage.
+
+        ``injector`` is a :class:`~repro.faults.FaultInjector` (or None
+        to disarm); ``retry_policy`` optionally replaces the storage
+        layer's :class:`~repro.faults.RetryPolicy`.
+        """
+        self.rms.attach_faults(injector, retry_policy)
+
     def analyze(
         self,
         tables: Optional[Iterable[str]] = None,
@@ -155,6 +166,31 @@ class Database:
             f"{prefix}_blocks_invalidated_total",
             "Cached blocks dropped by vacuum/reseal",
             fn=lambda: stats.blocks_invalidated,
+        )
+        registry.counter(
+            f"{prefix}_transient_errors_total",
+            "Injected transient fetch errors encountered",
+            fn=lambda: stats.transient_errors,
+        )
+        registry.counter(
+            f"{prefix}_corrupt_blocks_total",
+            "Fetched blocks that failed checksum verification",
+            fn=lambda: stats.corrupt_blocks,
+        )
+        registry.counter(
+            f"{prefix}_retries_total",
+            "Block fetches re-attempted after a fault",
+            fn=lambda: stats.retries,
+        )
+        registry.counter(
+            f"{prefix}_retry_giveups_total",
+            "Block fetches abandoned after exhausting attempts/budget",
+            fn=lambda: stats.retry_giveups,
+        )
+        registry.counter(
+            f"{prefix}_backoff_model_seconds_total",
+            "Model-time spent in retry backoff and injected latency",
+            fn=lambda: stats.backoff_model_seconds,
         )
         registry.gauge(
             f"{prefix}_cached_blocks",

@@ -20,7 +20,13 @@ from typing import Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
-from .compression import EncodedBlock, decode_block
+from ..faults import (
+    FaultInjector,
+    RetryBudgetExceeded,
+    RetryPolicy,
+    TransientStorageError,
+)
+from .compression import EncodedBlock, array_checksum, decode_block
 
 __all__ = ["BlockKey", "ManagedStorage", "StorageStats"]
 
@@ -30,7 +36,7 @@ BlockKey = Tuple[str, int, str, int]
 
 @dataclass
 class StorageStats:
-    """Monotonic counters of storage traffic.
+    """Monotonic counters of storage traffic and read resilience.
 
     Snapshot-and-subtract via :meth:`delta` to measure one query.
     """
@@ -39,6 +45,12 @@ class StorageStats:
     local_hits: int = 0
     bytes_fetched: int = 0
     blocks_invalidated: int = 0
+    # Resilience counters: all zero unless a FaultInjector is attached.
+    transient_errors: int = 0
+    corrupt_blocks: int = 0
+    retries: int = 0
+    retry_giveups: int = 0
+    backoff_model_seconds: float = 0.0
 
     @property
     def blocks_accessed(self) -> int:
@@ -46,20 +58,12 @@ class StorageStats:
         return self.remote_fetches + self.local_hits
 
     def snapshot(self) -> "StorageStats":
-        return StorageStats(
-            remote_fetches=self.remote_fetches,
-            local_hits=self.local_hits,
-            bytes_fetched=self.bytes_fetched,
-            blocks_invalidated=self.blocks_invalidated,
-        )
+        return StorageStats(**vars(self))
 
     def delta(self, before: "StorageStats") -> "StorageStats":
         """Counters accumulated since ``before`` was snapshotted."""
         return StorageStats(
-            remote_fetches=self.remote_fetches - before.remote_fetches,
-            local_hits=self.local_hits - before.local_hits,
-            bytes_fetched=self.bytes_fetched - before.bytes_fetched,
-            blocks_invalidated=self.blocks_invalidated - before.blocks_invalidated,
+            **{k: v - getattr(before, k) for k, v in vars(self).items()}
         )
 
 
@@ -76,6 +80,30 @@ class ManagedStorage:
         self._cache: "OrderedDict[BlockKey, np.ndarray]" = OrderedDict()
         self.cache_capacity = cache_capacity
         self.stats = StorageStats()
+        self.fault_injector: Optional[FaultInjector] = None
+        self.retry_policy = RetryPolicy()
+        self._retry_budget_left: Optional[int] = None
+        # Resolved once at attach time so the per-fetch check is a
+        # single attribute load ("no faults configured" costs nothing).
+        self._faults_armed = False
+
+    # -- fault wiring ----------------------------------------------------------
+
+    def attach_faults(
+        self,
+        injector: Optional[FaultInjector],
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        """Arm (or, with None, disarm) fault injection on remote fetches."""
+        self.fault_injector = injector
+        if retry_policy is not None:
+            self.retry_policy = retry_policy
+        self._faults_armed = injector is not None and injector.can_fault
+        self.reset_retry_budget()
+
+    def reset_retry_budget(self) -> None:
+        """Start a fresh per-query retry budget (no-op when unlimited)."""
+        self._retry_budget_left = self.retry_policy.retry_budget
 
     def read_block(self, key: BlockKey, block: EncodedBlock) -> np.ndarray:
         """Read a block's decoded values, counting the access."""
@@ -84,13 +112,60 @@ class ManagedStorage:
             self._cache.move_to_end(key)
             self.stats.local_hits += 1
             return cached
-        values = decode_block(block)
+        if not self._faults_armed:
+            values = decode_block(block)
+        else:
+            values = self._fetch_resilient(key, block)
         self.stats.remote_fetches += 1
         self.stats.bytes_fetched += block.nbytes
         self._cache[key] = values
         if self.cache_capacity is not None and len(self._cache) > self.cache_capacity:
             self._cache.popitem(last=False)
         return values
+
+    def _fetch_resilient(self, key: BlockKey, block: EncodedBlock) -> np.ndarray:
+        """Fetch under fault injection: verify, retry with backoff, give up.
+
+        Every attempt consults the injector; returned payloads are
+        checksum-verified, so a corrupted fetch is *never* handed to a
+        scan — it is retried like a transient error.  Exhausting
+        ``max_attempts`` or the per-query retry budget raises (the last
+        rung of the degradation ladder).
+        """
+        injector = self.fault_injector
+        policy = self.retry_policy
+        stats = self.stats
+        attempt = 0
+        while True:
+            decision = injector.draw()
+            if decision.latency_seconds:
+                stats.backoff_model_seconds += decision.latency_seconds
+            if decision.fail:
+                stats.transient_errors += 1
+            else:
+                values = decode_block(block)
+                if decision.corrupt:
+                    values = injector.corrupt_array(values)
+                if block.checksum is None or array_checksum(values) == block.checksum:
+                    return values
+                stats.corrupt_blocks += 1
+            attempt += 1
+            if attempt >= policy.max_attempts:
+                stats.retry_giveups += 1
+                raise TransientStorageError(
+                    f"block {key} unreadable after {attempt} attempts"
+                )
+            if self._retry_budget_left is not None:
+                if self._retry_budget_left <= 0:
+                    stats.retry_giveups += 1
+                    raise RetryBudgetExceeded(
+                        f"query retry budget exhausted fetching block {key}"
+                    )
+                self._retry_budget_left -= 1
+            stats.retries += 1
+            stats.backoff_model_seconds += policy.backoff_seconds(
+                attempt - 1, injector.uniform()
+            )
 
     def invalidate_table(self, table_name: str) -> None:
         """Drop all cached blocks of one table (vacuum / reseal)."""

@@ -1,0 +1,33 @@
+"""Shared pytest wiring: the ``--chaos-seed`` option.
+
+The chaos differential suite (tests/test_chaos.py) always runs at its
+fixed seeds; passing ``--chaos-seed=<int>`` additionally runs the
+randomized-seed chaos test at that seed, and ``--chaos-seed=random``
+draws a fresh seed and echoes it to the log so a CI failure can be
+replayed bit-for-bit with ``--chaos-seed=<echoed value>``.
+"""
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--chaos-seed",
+        action="store",
+        default=None,
+        help="run the randomized chaos oracle: an integer seed, or "
+        "'random' to draw one (the chosen seed is printed for replay)",
+    )
+
+
+@pytest.fixture
+def chaos_seed(request):
+    raw = request.config.getoption("--chaos-seed")
+    if raw is None:
+        pytest.skip("needs --chaos-seed=<int|random>")
+    seed = int.from_bytes(os.urandom(4), "little") if raw == "random" else int(raw)
+    # Echoed so a failing CI run is replayable at the same seed.
+    print(f"\n[chaos] seed = {seed}")
+    return seed

@@ -1,0 +1,136 @@
+"""Chaos differential oracle: faults on the cached twin only.
+
+Extends the twin-engine oracle of ``test_differential``: the cached
+engine runs with a multi-node cluster cache, a seeded fault injector on
+its managed storage (transient errors, corrupted payloads, injected
+latency), mid-workload node failures, and a bounded block cache so
+vacuums and evictions keep forcing remote refetches.  The uncached twin
+runs fault-free.  After every step the two must agree bit-for-bit.
+
+The acceptance bar (ISSUE PR 3): at error rate >= 5% and corruption
+rate >= 1%, a 200-step workload surfaces *zero* query errors, returns
+identical rows, and the resilience counters prove faults actually
+happened and were absorbed (injected > 0, retried > 0, given up == 0).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ClusterCaches,
+    Database,
+    FaultInjector,
+    PredicateCacheConfig,
+    QueryEngine,
+    RetryPolicy,
+)
+from repro.storage import ColumnSpec, DataType, TableSchema
+
+from tests.test_differential import (
+    COLUMNS,
+    SEED_ROWS,
+    apply_step,
+    generate_steps,
+)
+
+ERROR_RATE = 0.05
+CORRUPTION_RATE = 0.01
+LATENCY_RATE = 0.02
+# 8 attempts: at a ~6% per-attempt fault rate the chance of one fetch
+# exhausting its retries is ~1e-10 — "zero surfaced errors" holds even
+# at --chaos-seed=random.
+CHAOS_RETRIES = RetryPolicy(max_attempts=8)
+
+
+def build_chaos_twins(variant, seed, num_nodes=2):
+    """Cached twin under fault injection, uncached twin fault-free."""
+
+    def populate(engine):
+        rng = np.random.default_rng(7)
+        engine.insert(
+            "t",
+            {c: rng.integers(0, 100, SEED_ROWS) for c in COLUMNS},
+        )
+
+    schema = TableSchema("t", tuple(ColumnSpec(c, DataType.INT64) for c in COLUMNS))
+
+    # A bounded block cache keeps remote refetches (and therefore fault
+    # draws) coming for the whole workload, not just after vacuums.
+    chaos_db = Database(num_slices=2, rows_per_block=64, cache_capacity=48)
+    chaos_db.create_table(schema)
+    caches = ClusterCaches(
+        num_nodes=num_nodes, config=PredicateCacheConfig(variant=variant)
+    )
+    cached = QueryEngine(chaos_db, predicate_cache=caches)
+    populate(cached)
+    injector = FaultInjector(
+        seed=seed,
+        error_rate=ERROR_RATE,
+        corruption_rate=CORRUPTION_RATE,
+        latency_rate=LATENCY_RATE,
+        latency_seconds=0.005,
+    )
+    chaos_db.attach_faults(injector, CHAOS_RETRIES)
+
+    plain_db = Database(num_slices=2, rows_per_block=64)
+    plain_db.create_table(schema)
+    plain = QueryEngine(plain_db)
+    populate(plain)
+    return cached, plain, caches, injector
+
+
+def run_chaos_workload(variant, seed, steps=200, fail_node_every=25):
+    cached, plain, caches, injector = build_chaos_twins(variant, seed)
+    workload = generate_steps(np.random.default_rng(seed), steps)
+    assert len(workload) >= steps
+    for step_no, step in enumerate(workload):
+        # Mid-workload node failures: the replacement relearns its
+        # slice share; the oracle keeps checking every step.
+        if step_no and step_no % fail_node_every == 0:
+            caches.fail_node((step_no // fail_node_every) % caches.num_nodes)
+        apply_step(cached, plain, step, step_no)
+    return cached, caches, injector
+
+
+@pytest.mark.parametrize("variant,seed", [("range", 301), ("bitmap", 404)])
+def test_chaos_workload_bit_identical(variant, seed):
+    """The acceptance run: 200 steps under faults, zero divergence."""
+    cached, caches, injector = run_chaos_workload(variant, seed)
+    stats = cached.database.rms.stats
+
+    # Faults genuinely happened ...
+    assert injector.errors_injected > 0
+    assert injector.corruptions_injected > 0
+    assert stats.transient_errors > 0
+    assert stats.corrupt_blocks > 0, "no corruption reached a checksum check"
+
+    # ... were absorbed by retries, never surfaced ...
+    assert stats.retries > 0
+    assert stats.retry_giveups == 0
+    assert stats.backoff_model_seconds > 0.0
+
+    # ... and the cache was actually exercised while it happened.
+    assert caches.aggregate_stats().hits > 0
+
+
+def test_chaos_workload_randomized_seed(chaos_seed):
+    """Opt-in randomized run (--chaos-seed=N or =random; seed echoed)."""
+    for variant in ("range", "bitmap"):
+        cached, caches, injector = run_chaos_workload(variant, chaos_seed)
+        stats = cached.database.rms.stats
+        assert injector.errors_injected > 0
+        assert stats.retries > 0
+        assert stats.retry_giveups == 0
+        assert caches.aggregate_stats().hits > 0
+
+
+def test_chaos_latency_accumulates_into_model_time():
+    """Injected latency and backoff show up in model_seconds, not sleeps."""
+    cached, plain, _, _ = build_chaos_twins("range", seed=99)
+    sql = "select count(*) as c, sum(v) as s from t where k < 70"
+    chaos_model = cached.execute(sql).counters.model_seconds
+    clean_model = plain.execute(sql).counters.model_seconds
+    backoff = cached.database.rms.stats.backoff_model_seconds
+    assert backoff > 0.0
+    assert chaos_model >= backoff
+    assert chaos_model > clean_model

@@ -137,6 +137,82 @@ class TestNodeFailure:
         assert engine.execute(sql).scalar() == base
 
 
+class TestNodeFailureRegressions:
+    def test_fail_node_preserves_policy_factory(self):
+        """Regression: the replacement node must get a fresh policy from
+        ``policy_factory``, not silently fall back to AlwaysAdmit."""
+        caches = ClusterCaches(
+            num_nodes=2,
+            policy_factory=lambda: CostBasedPolicy(min_sightings=2),
+        )
+        original_policy = caches.node(1).policy
+        replacement = caches.fail_node(1)
+        assert isinstance(replacement.policy, CostBasedPolicy)
+        assert replacement.policy is not original_policy
+        assert replacement.policy is not caches.node(0).policy
+
+    def test_failed_node_relearns_admission_from_scratch(self):
+        db = Database(num_slices=2, rows_per_block=100)
+        db.create_table(TableSchema("t", (ColumnSpec("x", DataType.INT64),)))
+        caches = ClusterCaches(
+            num_nodes=2,
+            policy_factory=lambda: CostBasedPolicy(min_sightings=2),
+        )
+        engine = QueryEngine(db, predicate_cache=caches)
+        engine.insert("t", {"x": np.arange(10_000)})
+        sql = "select count(*) as c from t where x < 10"
+        engine.execute(sql)
+        engine.execute(sql)
+        assert len(caches) == 1  # both nodes admitted after 2 sightings
+        caches.fail_node(0)
+        # The replacement's fresh policy needs its own two sightings.
+        engine.execute(sql)
+        assert len(caches.node(0)) == 0
+        engine.execute(sql)
+        assert len(caches.node(0)) == 1
+
+    def test_metrics_follow_replacement_node(self):
+        """Gauges are read through the router, so after fail_node they
+        report the successor — per node and in the cluster rollups."""
+        from repro.obs import MetricsRegistry
+
+        engine, caches = make_cluster(num_slices=8, num_nodes=4)
+        registry = MetricsRegistry()
+        caches.register_metrics(registry)
+        engine.execute("select count(*) as c from t where x < 50")
+
+        def series(text, name, node=None):
+            label = f'{{node="{node}"}}' if node is not None else ""
+            for line in text.splitlines():
+                if line.startswith(f"{name}{label} "):
+                    return float(line.rsplit(" ", 1)[1])
+            raise AssertionError(f"{name}{label} not found")
+
+        before = registry.render_prometheus()
+        assert series(before, "repro_predicate_cache_nbytes", node=2) > 0
+        assert series(before, "repro_predicate_cache_lookups_total", node=2) == 1
+        cluster_before = series(before, "repro_predicate_cache_cluster_nbytes")
+        assert cluster_before == sum(caches.per_node_nbytes())
+
+        caches.fail_node(2)
+        after = registry.render_prometheus()
+        # The dead node's series drop to the cold replacement ...
+        assert series(after, "repro_predicate_cache_nbytes", node=2) == 0
+        assert series(after, "repro_predicate_cache_lookups_total", node=2) == 0
+        assert series(after, "repro_predicate_cache_entries", node=2) == 0
+        # ... survivors are untouched, and the rollup re-aggregates.
+        assert series(after, "repro_predicate_cache_nbytes", node=1) > 0
+        assert series(after, "repro_predicate_cache_cluster_nbytes") == sum(
+            caches.per_node_nbytes()
+        )
+        assert series(after, "repro_predicate_cache_cluster_nbytes") < cluster_before
+
+        # After the replacement relearns its share, its gauges recover.
+        engine.execute("select count(*) as c from t where x < 50")
+        recovered = registry.render_prometheus()
+        assert series(recovered, "repro_predicate_cache_nbytes", node=2) > 0
+
+
 class TestPolicyFactory:
     def test_per_node_policies_are_independent(self):
         db = Database(num_slices=4, rows_per_block=100)
