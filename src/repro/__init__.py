@@ -42,6 +42,7 @@ from .faults import (
     TransientStorageError,
 )
 from .obs import MetricsRegistry, Span, Tracer
+from .persist import CacheStore
 from .predicates import normalize, parse_predicate
 from .storage import ColumnSpec, Database, DataType, Table, TableSchema
 
@@ -50,6 +51,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AlwaysAdmit",
     "CacheStats",
+    "CacheStore",
     "CircuitBreaker",
     "ClusterCaches",
     "CorruptedBlockError",

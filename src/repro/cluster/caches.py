@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..core.cache import PredicateCache
 from ..core.config import PredicateCacheConfig
@@ -21,7 +21,13 @@ class ClusterCaches:
 
     The object exposes ``cache_for_slice``, which the scan path detects
     and uses for routing; everything else (aggregate stats, memory,
-    failure injection) is operator convenience.
+    failure injection, persistence) is operator convenience.
+
+    With a :class:`~repro.persist.CacheStore` attached, every node
+    writes its cache events through to the store, initial nodes and the
+    replacements created by :meth:`fail_node` / :meth:`resize` hydrate
+    their slice shares from it (warm start), and restored entries are
+    revalidated against the store's bound catalog first.
     """
 
     def __init__(
@@ -29,20 +35,35 @@ class ClusterCaches:
         num_nodes: int,
         config: Optional[PredicateCacheConfig] = None,
         policy_factory=None,
+        store=None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("num_nodes must be >= 1")
         self.num_nodes = num_nodes
         self.config = config if config is not None else PredicateCacheConfig()
         self.policy_factory = policy_factory
+        self._store = store
+        self._registrations: List[tuple] = []
         self._nodes: List[PredicateCache] = [
             self._new_node() for _ in range(num_nodes)
         ]
+        if store is not None:
+            for node_id, cache in enumerate(self._nodes):
+                self._hydrate_node(node_id, cache)
 
     def _new_node(self) -> PredicateCache:
         return PredicateCache(
             self.config,
             policy=self.policy_factory() if self.policy_factory is not None else None,
+        )
+
+    def _hydrate_node(self, node_id: int, cache: PredicateCache) -> int:
+        """Warm-start one node from the store: restore only the slice
+        states this node owns under the *current* shard layout, then
+        enable write-through."""
+        num_nodes = self.num_nodes
+        return self._store.attach(
+            cache, owned=lambda slice_id: slice_id % num_nodes == node_id
         )
 
     # -- routing (the scan-path interface) -------------------------------------
@@ -55,19 +76,94 @@ class ClusterCaches:
     def node(self, node_id: int) -> PredicateCache:
         return self._nodes[node_id]
 
+    def nodes(self) -> List[PredicateCache]:
+        """The live per-node caches (persistence snapshots read these)."""
+        return list(self._nodes)
+
+    @property
+    def store(self):
+        return self._store
+
     def fail_node(self, node_id: int) -> PredicateCache:
-        """Simulate a node failure: the replacement starts cold.
+        """Simulate a node failure.
 
         A new compute node downloads its data slices from managed
-        storage (§4.2.1) but has no cache state; only its share of each
-        entry must be relearned — the other nodes keep theirs.  The
-        replacement is built exactly like the original node, including a
-        fresh policy from ``policy_factory`` (a failure must not
+        storage (§4.2.1).  Without a store its cache starts cold and
+        only its share of each entry must be relearned — the other
+        nodes keep theirs.  With a store attached, the replacement
+        hydrates its slice share from the last snapshot + journal
+        (revalidated against the catalog) and continues warm.  The
+        replacement is built exactly like the original node, including
+        a fresh policy from ``policy_factory`` (a failure must not
         silently downgrade a cost-based cluster to default admission).
         """
         replacement = self._new_node()
         self._nodes[node_id] = replacement
+        if self._store is not None:
+            self._hydrate_node(node_id, replacement)
         return replacement
+
+    def resize(self, num_nodes: int) -> "ClusterCaches":
+        """Re-shard the cluster to ``num_nodes`` compute nodes.
+
+        Slice ownership is recomputed (``slice % num_nodes``), so every
+        entry's per-slice states move to their new owning node.  With a
+        store attached the new nodes hydrate from it (snapshot first,
+        so nothing learned since the last rotation is lost); without
+        one, states are re-sharded in memory from the old nodes.  Table
+        subscriptions move too — a vacuum right after the resize still
+        invalidates.  Metrics registered through
+        :meth:`register_metrics` are re-registered so new node labels
+        appear and the cluster rollups stay consistent.
+        """
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if num_nodes == self.num_nodes:
+            return self
+        from ..persist.records import collect_records
+
+        old_nodes = self._nodes
+        records = None
+        if self._store is not None:
+            self._store.snapshot(self)
+        else:
+            records = collect_records(old_nodes)
+        self.num_nodes = num_nodes
+        self._nodes = [self._new_node() for _ in range(num_nodes)]
+        watched = {
+            table.name: table
+            for cache in old_nodes
+            for table in cache.watched_tables()
+        }
+        for node_id, cache in enumerate(self._nodes):
+            if self._store is not None:
+                self._hydrate_node(node_id, cache)
+            else:
+                self._install_shard(cache, node_id, records)
+            for table in watched.values():
+                cache.watch_table(table)
+        for registry, prefix in self._registrations:
+            self._register(registry, prefix)
+        return self
+
+    def _install_shard(self, cache: PredicateCache, node_id: int, records) -> None:
+        """In-memory re-shard: install this node's slice share."""
+        for record in records.values():
+            states = {
+                slice_id: state_record.to_state()
+                for slice_id, state_record in record.states.items()
+                if slice_id % self.num_nodes == node_id
+            }
+            if not states:
+                continue
+            cache.install_restored(
+                record.key,
+                record.num_slices,
+                record.build_versions,
+                states,
+                stats=(record.hits, record.rows_qualifying, record.rows_considered),
+                table_layout=record.table_layout,
+            )
 
     def clear(self) -> None:
         for cache in self._nodes:
@@ -81,9 +177,16 @@ class ClusterCaches:
         Each node gets the standard per-cache series labelled with its
         node id, read *through the router* at scrape time so a node
         replaced by :meth:`fail_node` reports its successor, not the
-        dead cache.  The cluster adds aggregate gauges so dashboards do
-        not need to sum label sets client-side.
+        dead cache.  After :meth:`resize`, removed node ids report zero
+        and new node ids are registered automatically.  The cluster
+        adds aggregate gauges so dashboards do not need to sum label
+        sets client-side.
         """
+        if (registry, prefix) not in self._registrations:
+            self._registrations.append((registry, prefix))
+        self._register(registry, prefix)
+
+    def _register(self, registry, prefix: str) -> None:
         for node_id in range(self.num_nodes):
             labels = {"node": str(node_id)}
             for field_name in vars(CacheStats()):
@@ -91,27 +194,29 @@ class ClusterCaches:
                     f"{prefix}_{field_name}_total",
                     f"Predicate cache {field_name.replace('_', ' ')}",
                     labels=labels,
-                    fn=lambda n=node_id, f=field_name: getattr(
-                        self._nodes[n].stats, f
-                    ),
+                    fn=lambda n=node_id, f=field_name: self._node_stat(n, f),
                 )
             registry.gauge(
                 f"{prefix}_entries",
                 "Live predicate-cache entries",
                 labels=labels,
-                fn=lambda n=node_id: len(self._nodes[n]),
+                fn=lambda n=node_id: self._node_value(n, len, 0),
             )
             registry.gauge(
                 f"{prefix}_nbytes",
                 "Total payload bytes across entries (Table 3 metric)",
                 labels=labels,
-                fn=lambda n=node_id: self._nodes[n].total_nbytes,
+                fn=lambda n=node_id: self._node_value(
+                    n, lambda c: c.total_nbytes, 0
+                ),
             )
             registry.gauge(
                 f"{prefix}_hit_rate",
                 "Hits over lookups (Fig. 13 metric)",
                 labels=labels,
-                fn=lambda n=node_id: self._nodes[n].stats.hit_rate,
+                fn=lambda n=node_id: self._node_value(
+                    n, lambda c: c.stats.hit_rate, 0.0
+                ),
             )
         registry.gauge(
             f"{prefix}_cluster_nbytes",
@@ -128,6 +233,18 @@ class ClusterCaches:
             "Compute nodes in the cluster",
             fn=lambda: self.num_nodes,
         )
+
+    def _node_stat(self, node_id: int, field: str):
+        """Scrape helper: node ids removed by a resize report zero
+        instead of dangling into the shrunk node list."""
+        if node_id >= len(self._nodes):
+            return 0
+        return getattr(self._nodes[node_id].stats, field)
+
+    def _node_value(self, node_id: int, fn, default):
+        if node_id >= len(self._nodes):
+            return default
+        return fn(self._nodes[node_id])
 
     # -- aggregation -----------------------------------------------------------------
 

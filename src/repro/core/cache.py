@@ -49,12 +49,19 @@ class PredicateCache:
         self.policy = policy if policy is not None else AlwaysAdmit()
         self._entries: "OrderedDict[ScanKey, CacheEntry]" = OrderedDict()
         self.stats = CacheStats()
-        self._watched: set[str] = set()
+        self._watched: Dict[str, object] = {}
         # Per-table invalidation generation: bumped whenever a table's
         # entries are dropped wholesale (vacuum/layout change).  Entries
         # are stamped at creation; installs with a stale stamp are
         # refused (see record_slice_scan).
         self._generations: Dict[str, int] = {}
+        # Last observed layout_version (vacuum epoch) per watched table.
+        # Persisted with every entry so recovery can tell whether row
+        # numbering survived the restart (DESIGN.md §9).
+        self._table_layouts: Dict[str, int] = {}
+        # Optional durable store; when attached, install/extend/drop
+        # events are written through (see repro/persist/).
+        self._store = None
 
     # -- wiring ------------------------------------------------------------------
 
@@ -62,14 +69,72 @@ class PredicateCache:
         """Subscribe to a table's change events (idempotent)."""
         if table.name in self._watched:
             return
-        self._watched.add(table.name)
+        self._watched[table.name] = table
+        self._table_layouts[table.name] = table.layout_version
         table.on_change(self._on_table_event)
+
+    def watched_tables(self) -> List:
+        """The table objects this cache subscribed to (resize transfer)."""
+        return list(self._watched.values())
+
+    def table_layout_of(self, table_name: str) -> int:
+        """Last observed layout_version (vacuum epoch) of a table."""
+        return self._table_layouts.get(table_name, 0)
 
     def _on_table_event(self, table, event: str) -> None:
         if event == "layout":
+            self._table_layouts[table.name] = table.layout_version
             self.invalidate_table(table.name)
         elif event == "data":
             self.invalidate_build_side(table.name)
+
+    # -- persistence ---------------------------------------------------------------
+
+    def attach_store(self, store) -> None:
+        """Enable write-through to a durable cache store.
+
+        Every install/extend journals the new slice state; every
+        invalidation/eviction journals the drop — the store stays a
+        faithful mirror that a replacement node can hydrate from.
+        """
+        self._store = store
+
+    def detach_store(self) -> None:
+        self._store = None
+
+    def install_restored(
+        self,
+        key: ScanKey,
+        num_slices: int,
+        build_versions: Mapping[str, int],
+        slice_states: Mapping[int, SliceState],
+        stats: tuple = (0, 0, 0),
+        table_layout: Optional[int] = None,
+    ) -> CacheEntry:
+        """Install a warm-start entry recovered from a store.
+
+        The entry is stamped with *this* cache's current generation for
+        its table (revalidation already proved the row numbering is
+        live), so subsequent scans may extend it like any other entry.
+        Does not write through — hydration must not re-journal what the
+        store just replayed.
+        """
+        entry = CacheEntry(
+            key,
+            num_slices,
+            dict(build_versions),
+            generation=self._generations.get(key.table, 0),
+        )
+        for slice_id, state in slice_states.items():
+            entry.slice_states[slice_id] = state
+        entry.hits, entry.rows_qualifying, entry.rows_considered = (
+            int(stats[0]), int(stats[1]), int(stats[2]),
+        )
+        self._entries[key] = entry
+        if table_layout is not None:
+            self._table_layouts.setdefault(key.table, int(table_layout))
+        self._evict_if_needed()
+        return entry
 
     # -- lookups -------------------------------------------------------------------
 
@@ -204,6 +269,13 @@ class PredicateCache:
         else:
             state.extend(qualifying, scanned_upto)
             self.stats.extensions += 1
+        if self._store is not None:
+            self._store.log_state(
+                entry,
+                slice_id,
+                entry.slice_states[slice_id],
+                self._table_layouts.get(entry.key.table, 0),
+            )
 
     def _new_state(self, qualifying: RangeList, scanned_upto: int) -> SliceState:
         if self.config.variant == "range":
@@ -273,15 +345,31 @@ class PredicateCache:
         return self.policy.should_admit(key)
 
     def _drop(self, key: ScanKey) -> None:
-        self._entries.pop(key, None)
+        entry = self._entries.pop(key, None)
         self.policy.forget(key)
+        self._log_drop(entry)
+
+    def _log_drop(self, entry: Optional[CacheEntry]) -> None:
+        """Write a drop through to the store: only this cache's
+        installed slice states (a cluster node must not erase its
+        peers' shares of the same entry)."""
+        if entry is None or self._store is None:
+            return
+        slices = [
+            slice_id
+            for slice_id, state in enumerate(entry.slice_states)
+            if state is not None
+        ]
+        if slices:
+            self._store.log_drop(entry.key, slices)
 
     # -- capacity ----------------------------------------------------------------
 
     def _evict_if_needed(self) -> None:
         limit = self.config.max_entries
         while limit is not None and len(self._entries) > limit:
-            self._entries.popitem(last=False)
+            _, evicted = self._entries.popitem(last=False)
+            self._log_drop(evicted)
             self.stats.evictions += 1
         max_bytes = self.config.max_bytes
         if max_bytes is None:
@@ -292,6 +380,7 @@ class PredicateCache:
         while len(self._entries) > 1 and total > max_bytes:
             _, evicted = self._entries.popitem(last=False)
             total -= evicted.nbytes
+            self._log_drop(evicted)
             self.stats.evictions += 1
 
     # -- observability -------------------------------------------------------------

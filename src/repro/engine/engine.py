@@ -106,6 +106,14 @@ class QueryEngine:
         if metrics is not None:
             self._register_metrics(metrics)
 
+    def set_predicate_cache(self, predicate_cache) -> None:
+        """Swap the predicate cache (or :class:`ClusterCaches` router)
+        mid-workload — e.g. after a cluster restart hydrated a fresh
+        cache from a :class:`~repro.persist.CacheStore`.  The executor
+        holds its own reference, so both must move together."""
+        self.predicate_cache = predicate_cache
+        self._executor.predicate_cache = predicate_cache
+
     def _register_metrics(self, registry) -> None:
         self._m_queries = registry.counter(
             "repro_queries_total", "Queries executed (incl. DML statements)"

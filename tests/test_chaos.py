@@ -124,6 +124,105 @@ def test_chaos_workload_randomized_seed(chaos_seed):
         assert caches.aggregate_stats().hits > 0
 
 
+class TestPersistenceChaos:
+    """Crash points on the persistence write path (ISSUE PR 4).
+
+    The cached twin journals through a :class:`CacheStore` whose writes
+    run under their own fault injector (torn snapshot writes, torn
+    journal appends, bit flips).  Every ``restart_every`` steps the
+    whole cluster "restarts": a fresh ``ClusterCaches`` hydrates from
+    the (possibly damaged) store and is swapped into the engine.  The
+    differential oracle keeps asserting bit-identical results at every
+    step — persistence faults may cost warmth, never correctness.
+    """
+
+    STORE_ERROR_RATE = 0.05
+    STORE_CORRUPTION_RATE = 0.02
+
+    def run_workload(self, variant, seed, directory, steps=150, restart_every=30):
+        from repro import CacheStore
+
+        cached, plain, caches, injector = build_chaos_twins(variant, seed)
+        store_injector = FaultInjector(
+            seed=seed + 1,
+            error_rate=self.STORE_ERROR_RATE,
+            corruption_rate=self.STORE_CORRUPTION_RATE,
+        )
+
+        def new_store():
+            return CacheStore(
+                directory,
+                catalog=cached.database,
+                injector=store_injector,
+                min_compact_bytes=4096,
+            )
+
+        totals = {"torn": 0, "corrupt": 0, "warm": 0, "stale": 0, "sections": 0}
+
+        def retire(store):
+            totals["torn"] += store.torn_writes
+            totals["corrupt"] += store.corrupt_writes
+            totals["warm"] += store.warm_restores
+            totals["stale"] += store.stale_dropped
+            totals["sections"] += store.corrupt_sections
+
+        config = PredicateCacheConfig(variant=variant)
+        caches = ClusterCaches(num_nodes=2, config=config, store=new_store())
+        cached.set_predicate_cache(caches)
+
+        workload = generate_steps(np.random.default_rng(seed), steps)
+        restarts = 0
+        for step_no, step in enumerate(workload):
+            if step_no and step_no % restart_every == 0:
+                caches.store.snapshot(caches)  # may tear — that's the point
+                retire(caches.store)
+                caches = ClusterCaches(num_nodes=2, config=config, store=new_store())
+                cached.set_predicate_cache(caches)
+                restarts += 1
+            apply_step(cached, plain, step, step_no)
+        retire(caches.store)
+        return caches, store_injector, totals, restarts
+
+    @pytest.mark.parametrize("variant,seed", [("range", 515), ("bitmap", 616)])
+    def test_store_faults_never_change_results(self, variant, seed, tmp_path):
+        caches, store_injector, totals, restarts = self.run_workload(
+            variant, seed, tmp_path
+        )
+        # Persistence faults genuinely happened ...
+        assert store_injector.errors_injected > 0
+        assert store_injector.corruptions_injected > 0
+        assert totals["torn"] > 0
+        # ... recovery found and dropped the damage or staleness ...
+        assert totals["stale"] + totals["sections"] > 0
+        # ... and warm starts still delivered restored entries.
+        assert restarts >= 4
+        assert totals["warm"] > 0
+        assert caches.aggregate_stats().lookups > 0
+
+    def test_clean_store_restart_is_fully_warm(self, tmp_path):
+        """Fault-free control: restarts restore state and the twin
+        oracle holds — isolates warm-start correctness from damage."""
+        from repro import CacheStore
+
+        cached, plain, caches, _ = build_chaos_twins("range", seed=77)
+        config = PredicateCacheConfig(variant="range")
+        store = CacheStore(tmp_path, catalog=cached.database)
+        caches = ClusterCaches(num_nodes=2, config=config, store=store)
+        cached.set_predicate_cache(caches)
+        workload = generate_steps(np.random.default_rng(77), 60)
+        for step_no, step in enumerate(workload):
+            if step_no == 30:
+                store.snapshot(caches)
+                caches = ClusterCaches(
+                    num_nodes=2,
+                    config=config,
+                    store=CacheStore(tmp_path, catalog=cached.database),
+                )
+                cached.set_predicate_cache(caches)
+                assert caches.store.warm_restores > 0
+            apply_step(cached, plain, step, step_no)
+
+
 def test_chaos_latency_accumulates_into_model_time():
     """Injected latency and backoff show up in model_seconds, not sleeps."""
     cached, plain, _, _ = build_chaos_twins("range", seed=99)

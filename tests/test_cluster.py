@@ -213,6 +213,112 @@ class TestNodeFailureRegressions:
         assert series(recovered, "repro_predicate_cache_nbytes", node=2) > 0
 
 
+class TestResize:
+    def test_resize_reshards_by_slice_routing(self):
+        engine, caches = make_cluster(num_slices=8, num_nodes=4)
+        sql = "select count(*) as c from t where x < 50"
+        expected = engine.execute(sql).scalar()
+
+        caches.resize(3)
+        assert caches.num_nodes == 3
+        # Every state moved to its new owner: slice s lives on node s % 3.
+        for node_id in range(3):
+            for entry in caches.node(node_id).entries():
+                for slice_id, state in enumerate(entry.slice_states):
+                    if state is not None:
+                        assert slice_id % 3 == node_id
+        assert caches.cache_for_slice(5) is caches.node(2)
+
+        # Nothing was lost in the re-shard: first post-resize execution
+        # is all hits and the answer is unchanged.
+        result = engine.execute(sql)
+        assert result.scalar() == expected
+        assert result.counters.cache_hits > 0
+        assert result.counters.cache_misses == 0
+
+    def test_resize_shrink_and_grow_round_trip(self):
+        engine, caches = make_cluster(num_slices=8, num_nodes=4)
+        sql = "select count(*) as c from t where x < 50"
+        expected = engine.execute(sql).scalar()
+        for n in (1, 4, 2):
+            caches.resize(n)
+            result = engine.execute(sql)
+            assert result.scalar() == expected, n
+            assert result.counters.cache_misses == 0, n
+        assert len(caches) == 1
+
+    def test_resize_transfers_table_watches(self):
+        """A vacuum right after a resize must still invalidate — the new
+        nodes subscribe to every table the old nodes watched."""
+        engine, caches = make_cluster()
+        sql = "select count(*) as c from t where x < 50"
+        base = engine.execute(sql).scalar()
+        caches.resize(2)
+        engine.delete_where("t", __import__("repro").parse_predicate("x < 10"))
+        assert engine.vacuum(["t"]) == ["t"]
+        assert len(caches) == 0  # invalidated through the new nodes
+        assert engine.execute(sql).scalar() < base
+
+    def test_resize_noop_and_validation(self):
+        caches = ClusterCaches(num_nodes=2)
+        nodes_before = caches.nodes()
+        assert caches.resize(2) is caches
+        assert caches.nodes() == nodes_before  # same-size resize is a no-op
+        with pytest.raises(ValueError):
+            caches.resize(0)
+
+    def test_resize_preserves_policy_factory(self):
+        caches = ClusterCaches(
+            num_nodes=2,
+            policy_factory=lambda: CostBasedPolicy(min_sightings=2),
+        )
+        caches.resize(3)
+        policies = [caches.node(i).policy for i in range(3)]
+        assert all(isinstance(p, CostBasedPolicy) for p in policies)
+        assert len({id(p) for p in policies}) == 3
+
+    def test_gauges_consistent_after_resize(self):
+        """Satellite regression (ISSUE PR 4): after resize, new node
+        labels appear, removed node ids report zero, and the cluster
+        rollups equal the per-node sums."""
+        from repro.obs import MetricsRegistry
+
+        engine, caches = make_cluster(num_slices=8, num_nodes=4)
+        registry = MetricsRegistry()
+        caches.register_metrics(registry)
+        engine.execute("select count(*) as c from t where x < 50")
+
+        def series(text, name, node=None):
+            label = f'{{node="{node}"}}' if node is not None else ""
+            for line in text.splitlines():
+                if line.startswith(f"{name}{label} "):
+                    return float(line.rsplit(" ", 1)[1])
+            raise AssertionError(f"{name}{label} not found")
+
+        caches.resize(2)
+        shrunk = registry.render_prometheus()
+        assert series(shrunk, "repro_predicate_cache_cluster_nodes") == 2
+        # Stale node ids are still rendered but report empty caches.
+        assert series(shrunk, "repro_predicate_cache_nbytes", node=3) == 0
+        assert series(shrunk, "repro_predicate_cache_entries", node=3) == 0
+        assert series(shrunk, "repro_predicate_cache_cluster_nbytes") == sum(
+            caches.per_node_nbytes()
+        )
+        assert series(shrunk, "repro_predicate_cache_nbytes", node=0) > 0
+
+        caches.resize(6)
+        grown = registry.render_prometheus()
+        assert series(grown, "repro_predicate_cache_cluster_nodes") == 6
+        # Growth re-registers: the new node ids have live series.
+        for node_id in range(6):
+            assert series(
+                grown, "repro_predicate_cache_entries", node=node_id
+            ) == len(caches.node(node_id))
+        assert series(grown, "repro_predicate_cache_cluster_nbytes") == sum(
+            caches.per_node_nbytes()
+        )
+
+
 class TestPolicyFactory:
     def test_per_node_policies_are_independent(self):
         db = Database(num_slices=4, rows_per_block=100)

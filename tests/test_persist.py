@@ -1,0 +1,511 @@
+"""Persistent cache store & warm start (DESIGN.md §9).
+
+Covers the snapshot round trip, journal write-through and replay,
+recovery revalidation against the catalog, crash/corruption injection
+on the persistence write path, compaction, warm-started clusters
+(construction, ``fail_node`` replacement, ``resize``), and the store's
+metrics surface.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CacheStore,
+    ClusterCaches,
+    Database,
+    FaultInjector,
+    PredicateCache,
+    PredicateCacheConfig,
+    QueryEngine,
+)
+from repro.obs import MetricsRegistry, Tracer
+from repro.persist import collect_records, key_digest
+from repro.persist.format import (
+    decode_snapshot,
+    encode_snapshot,
+)
+from repro.persist.records import EntryRecord, StateRecord
+from repro.storage import ColumnSpec, DataType, TableSchema
+
+COLUMNS = ("x", "v")
+
+# An OR predicate has unbounded zone-map bounds, so block skipping can
+# only come from the predicate cache — the cleanest warm-vs-cold signal.
+OR_SQL = "select count(*) as c from t where x < 500 or x > 49500"
+
+
+def make_engine(variant="range", num_nodes=2, store=None, db=None):
+    if db is None:
+        db = Database(num_slices=4, rows_per_block=256)
+        db.create_table(
+            TableSchema("t", tuple(ColumnSpec(c, DataType.INT64) for c in COLUMNS))
+        )
+    caches = ClusterCaches(
+        num_nodes=num_nodes,
+        config=PredicateCacheConfig(variant=variant, bitmap_block_rows=256),
+        store=store,
+    )
+    engine = QueryEngine(db, predicate_cache=caches)
+    return engine, caches
+
+
+def populate(engine, rows=50_000):
+    engine.insert("t", {"x": np.arange(rows), "v": np.arange(rows) % 97})
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("variant", ["range", "bitmap"])
+    def test_records_survive_encode_decode_bit_identical(self, variant):
+        engine, caches = make_engine(variant)
+        populate(engine)
+        engine.execute(OR_SQL)
+        engine.execute("select count(*) as c from t where x < 123")
+        records = collect_records(caches.nodes())
+        assert records
+
+        decoded, meta, issues = decode_snapshot(
+            encode_snapshot(records, {"tables": {}})
+        )
+        assert issues.clean
+        assert meta["entries"] == len(records)
+        assert set(decoded) == set(records)
+        for digest, record in records.items():
+            assert decoded[digest].equals(record), digest
+
+    def test_snapshot_then_load_restores_into_fresh_cache(self, tmp_path):
+        engine, caches = make_engine()
+        populate(engine)
+        engine.execute(OR_SQL)
+        original = collect_records(caches.nodes())
+
+        store = CacheStore(tmp_path, catalog=engine.database)
+        assert store.snapshot(caches)
+        assert store.snapshot_bytes > 0
+
+        fresh = PredicateCache(PredicateCacheConfig())
+        restored = CacheStore(tmp_path, catalog=engine.database).hydrate(fresh)
+        assert restored == len(original)
+        roundtrip = collect_records([fresh])
+        for digest, record in original.items():
+            assert roundtrip[digest].equals(record)
+
+    def test_snapshot_load_reports_catalog_meta(self, tmp_path):
+        engine, caches = make_engine()
+        populate(engine)
+        engine.execute(OR_SQL)
+        CacheStore(tmp_path, catalog=engine.database).snapshot(caches)
+        data = (tmp_path / "cache.snapshot").read_bytes()
+        _, meta, issues = decode_snapshot(data)
+        assert issues.clean
+        assert meta["tables"]["t"]["slices"] == 4
+        assert meta["tables"]["t"]["layout"] == engine.database.tables["t"].layout_version
+
+
+class TestJournal:
+    def test_write_through_journals_without_snapshot(self, tmp_path):
+        db = Database(num_slices=4, rows_per_block=256)
+        db.create_table(
+            TableSchema("t", tuple(ColumnSpec(c, DataType.INT64) for c in COLUMNS))
+        )
+        store = CacheStore(tmp_path, catalog=db)
+        engine, caches = make_engine(store=store, db=db)
+        populate(engine)
+        engine.execute(OR_SQL)
+        assert store.journal_records > 0
+        assert store.journal_bytes > 0
+        assert store.snapshot_bytes == 0  # never explicitly rotated
+
+        result = CacheStore(tmp_path, catalog=db).load()
+        assert result.journal_records > 0
+        assert len(result.records) == 1
+
+    def test_drop_events_remove_only_dropped_slices(self, tmp_path):
+        db = Database(num_slices=4, rows_per_block=256)
+        db.create_table(
+            TableSchema("t", tuple(ColumnSpec(c, DataType.INT64) for c in COLUMNS))
+        )
+        store = CacheStore(tmp_path, catalog=db)
+        engine, caches = make_engine(store=store, db=db)
+        populate(engine)
+        engine.execute(OR_SQL)
+        digest = key_digest(caches.node(0).entries()[0].key)
+        before = CacheStore(tmp_path, catalog=db).load(revalidate=False)
+        assert set(before.records[digest].states) == {0, 1, 2, 3}
+
+        # Node 0 evicts its share (slices 0 and 2); node 1's survive.
+        caches.node(0).clear()
+        after = CacheStore(tmp_path, catalog=db).load(revalidate=False)
+        assert set(after.records[digest].states) == {1, 3}
+
+        caches.node(1).clear()
+        empty = CacheStore(tmp_path, catalog=db).load(revalidate=False)
+        assert digest not in empty.records
+
+    def test_replay_is_idempotent(self, tmp_path):
+        db = Database(num_slices=4, rows_per_block=256)
+        db.create_table(
+            TableSchema("t", tuple(ColumnSpec(c, DataType.INT64) for c in COLUMNS))
+        )
+        store = CacheStore(tmp_path, catalog=db)
+        engine, caches = make_engine(store=store, db=db)
+        populate(engine)
+        engine.execute(OR_SQL)
+        journal = (tmp_path / "cache.journal").read_bytes()
+        (tmp_path / "cache.journal").write_bytes(journal + journal)
+        once = CacheStore(tmp_path, catalog=db).load(revalidate=False)
+        twice_records = once.records
+        engineless = CacheStore(tmp_path, catalog=db).load(revalidate=False)
+        assert set(engineless.records) == set(twice_records)
+        for digest in twice_records:
+            assert engineless.records[digest].equals(twice_records[digest])
+
+
+class TestRevalidation:
+    def test_vacuum_after_snapshot_drops_stale_entries(self, tmp_path):
+        engine, caches = make_engine()
+        populate(engine)
+        engine.execute(OR_SQL)
+        store = CacheStore(tmp_path, catalog=engine.database)
+        store.snapshot(caches)
+
+        engine.delete_where("t", __import__("repro").parse_predicate("x < 100"))
+        assert engine.vacuum(["t"]) == ["t"]
+
+        recovery = CacheStore(tmp_path, catalog=engine.database)
+        result = recovery.load()
+        assert result.records == {}
+        assert result.stale_dropped > 0
+        assert recovery.stale_dropped > 0
+
+        # A warm start over the stale snapshot is just a cold start —
+        # and still answers correctly.
+        warm_engine, warm = make_engine(store=recovery, db=engine.database)
+        assert warm.store.warm_restores == 0
+        plain = QueryEngine(engine.database)
+        assert warm_engine.execute(OR_SQL).scalar() == plain.execute(OR_SQL).scalar()
+
+    def test_missing_table_drops_entries(self, tmp_path):
+        engine, caches = make_engine()
+        populate(engine)
+        engine.execute(OR_SQL)
+        store = CacheStore(tmp_path, catalog=engine.database)
+        store.snapshot(caches)
+
+        fresh_db = Database(num_slices=4, rows_per_block=256)  # no table "t"
+        result = CacheStore(tmp_path, catalog=fresh_db).load()
+        assert result.records == {}
+        assert result.stale_dropped > 0
+
+    def test_build_side_dml_invalidates_join_entries(self, tmp_path):
+        from repro.engine.expr import Col
+        from repro.engine.plan import AggregateNode, Aggregation, JoinNode, ScanNode
+        from repro.predicates import parse_predicate
+
+        db = Database(num_slices=2, rows_per_block=256)
+        db.create_table(
+            TableSchema(
+                "fact",
+                (ColumnSpec("fk", DataType.INT64), ColumnSpec("amount", DataType.INT64)),
+            )
+        )
+        db.create_table(TableSchema("dim", (ColumnSpec("pk", DataType.INT64),)))
+        caches = ClusterCaches(num_nodes=2)
+        engine = QueryEngine(db, predicate_cache=caches)
+        rng = np.random.default_rng(5)
+        engine.insert(
+            "fact",
+            {"fk": rng.integers(0, 500, 20_000), "amount": rng.integers(0, 100, 20_000)},
+        )
+        engine.insert("dim", {"pk": np.arange(0, 40)})
+        plan = AggregateNode(
+            JoinNode(
+                ScanNode("fact"),
+                ScanNode("dim", parse_predicate("pk < 20")),
+                "fk",
+                "pk",
+            ),
+            [],
+            [Aggregation("count", None, "c")],
+        )
+        engine.execute_plan(plan)
+        records = collect_records(caches.nodes())
+        join_records = [r for r in records.values() if r.build_versions]
+        assert join_records, "expected a join-index entry with build versions"
+
+        store = CacheStore(tmp_path, catalog=db)
+        store.snapshot(caches)
+        baseline = CacheStore(tmp_path, catalog=db).load()
+        assert any(r.build_versions for r in baseline.records.values())
+
+        # DML on the build side bumps its data_version: join entries die,
+        # the plain fact entry survives (vacuum epoch unchanged).
+        engine.insert("dim", {"pk": [999]})
+        result = CacheStore(tmp_path, catalog=db).load()
+        assert result.stale_dropped > 0
+        assert all(not r.build_versions for r in result.records.values())
+
+    def test_watermark_beyond_slice_rows_is_dropped(self, tmp_path):
+        engine, caches = make_engine()
+        populate(engine)
+        engine.execute(OR_SQL)
+        records = collect_records(caches.nodes())
+        record = next(iter(records.values()))
+        state = next(iter(record.states.values()))
+        state.last_cached_row = 10**9  # claims rows the slice never had
+        store = CacheStore(tmp_path, catalog=engine.database)
+        assert store.snapshot_records(records)
+        result = CacheStore(tmp_path, catalog=engine.database).load()
+        assert result.stale_dropped > 0
+
+
+class TestCrashSafety:
+    def test_torn_snapshot_keeps_previous_snapshot(self, tmp_path):
+        engine, caches = make_engine()
+        populate(engine)
+        engine.execute(OR_SQL)
+        store = CacheStore(tmp_path, catalog=engine.database)
+        assert store.snapshot(caches)
+        good_bytes = (tmp_path / "cache.snapshot").read_bytes()
+
+        engine.execute("select count(*) as c from t where x < 777")
+        torn = CacheStore(
+            tmp_path,
+            catalog=engine.database,
+            injector=FaultInjector(schedule={0: "error"}),
+        )
+        assert not torn.snapshot(caches)
+        assert torn.torn_writes == 1
+        assert (tmp_path / "cache.snapshot").read_bytes() == good_bytes
+
+        result = CacheStore(tmp_path, catalog=engine.database).load()
+        assert len(result.records) == 1  # the pre-crash snapshot
+
+    def test_corrupt_snapshot_degrades_to_cold_start(self, tmp_path):
+        engine, caches = make_engine()
+        populate(engine)
+        engine.execute(OR_SQL)
+        corrupting = CacheStore(
+            tmp_path,
+            catalog=engine.database,
+            injector=FaultInjector(seed=11, schedule={0: "corrupt"}),
+        )
+        assert corrupting.snapshot(caches)
+        assert corrupting.corrupt_writes == 1
+
+        recovery = CacheStore(tmp_path, catalog=engine.database)
+        result = recovery.load()  # must not raise
+        assert result.corrupt_sections > 0 or result.records == {}
+        warm_engine, warm = make_engine(store=recovery, db=engine.database)
+        plain = QueryEngine(engine.database)
+        assert warm_engine.execute(OR_SQL).scalar() == plain.execute(OR_SQL).scalar()
+
+    def test_torn_journal_append_wedges_until_snapshot(self, tmp_path):
+        db = Database(num_slices=4, rows_per_block=256)
+        db.create_table(
+            TableSchema("t", tuple(ColumnSpec(c, DataType.INT64) for c in COLUMNS))
+        )
+        store = CacheStore(
+            tmp_path, catalog=db, injector=FaultInjector(schedule={2: "error"})
+        )
+        engine, caches = make_engine(store=store, db=db)
+        populate(engine)
+        engine.execute(OR_SQL)  # 4 slice installs; the third append tears
+        assert store.torn_writes == 1
+        assert store.journal_dropped > 0
+
+        # Replay never raises and recovers exactly the pre-tear prefix.
+        result = CacheStore(tmp_path, catalog=db).load(revalidate=False)
+        assert result.journal_records == 2
+        states = next(iter(result.records.values())).states
+        assert len(states) == 2
+
+        # A snapshot rotation resets the log and unwedges the store.
+        assert store.snapshot(caches)
+        engine.execute("select count(*) as c from t where x < 55")
+        assert store.journal_records > 2
+
+    def test_truncated_snapshot_never_raises(self, tmp_path):
+        engine, caches = make_engine()
+        populate(engine)
+        engine.execute(OR_SQL)
+        CacheStore(tmp_path, catalog=engine.database).snapshot(caches)
+        data = (tmp_path / "cache.snapshot").read_bytes()
+        for cut in (0, 1, 7, len(data) // 2, len(data) - 1):
+            (tmp_path / "cache.snapshot").write_bytes(data[:cut])
+            result = CacheStore(tmp_path, catalog=engine.database).load()
+            assert result.records == {} or all(
+                rec.digest in result.records for rec in result.records.values()
+            )
+
+    def test_future_format_version_refused_wholesale(self, tmp_path):
+        engine, caches = make_engine()
+        populate(engine)
+        engine.execute(OR_SQL)
+        CacheStore(tmp_path, catalog=engine.database).snapshot(caches)
+        data = bytearray((tmp_path / "cache.snapshot").read_bytes())
+        data[8] = 99  # format version u16 little-endian low byte
+        (tmp_path / "cache.snapshot").write_bytes(bytes(data))
+        result = CacheStore(tmp_path, catalog=engine.database).load()
+        assert result.unsupported_version
+        assert result.records == {}
+
+
+class TestCompaction:
+    def test_journal_folds_into_snapshot(self, tmp_path):
+        db = Database(num_slices=4, rows_per_block=256)
+        db.create_table(
+            TableSchema("t", tuple(ColumnSpec(c, DataType.INT64) for c in COLUMNS))
+        )
+        store = CacheStore(tmp_path, catalog=db, min_compact_bytes=256, compact_factor=1.0)
+        engine, caches = make_engine(store=store, db=db)
+        populate(engine)
+        for hi in range(100, 2000, 100):
+            engine.execute(f"select count(*) as c from t where x < {hi}")
+        assert store.compactions > 0
+        assert store.snapshot_bytes > 0
+        assert store.journal_bytes <= store.compact_factor * store.snapshot_bytes
+
+        result = CacheStore(tmp_path, catalog=db).load()
+        live = collect_records(caches.nodes())
+        assert set(result.records) == set(live)
+        # Journaled scan stats lag the live entry by one scan (the event
+        # is written before record_scan_stats runs), so compare the
+        # payload that matters: the slice states themselves.
+        for digest in live:
+            persisted = result.records[digest]
+            assert set(persisted.states) == set(live[digest].states)
+            for sid in live[digest].states:
+                assert persisted.states[sid].equals(live[digest].states[sid])
+
+
+class TestWarmStart:
+    def test_warm_cluster_hits_on_first_execution(self, tmp_path):
+        engine, caches = make_engine()
+        populate(engine)
+        for _ in range(2):
+            expected = engine.execute(OR_SQL).scalar()
+        CacheStore(tmp_path, catalog=engine.database).snapshot(caches)
+
+        warm_store = CacheStore(tmp_path, catalog=engine.database)
+        warm_engine, warm = make_engine(store=warm_store, db=engine.database)
+        assert warm_store.warm_restores > 0
+
+        cold_engine, _ = make_engine(db=engine.database)
+        cold = cold_engine.execute(OR_SQL)
+        first = warm_engine.execute(OR_SQL)
+        assert first.scalar() == expected == cold.scalar()
+        assert first.counters.cache_hits > 0
+        assert first.counters.rows_skipped_cache > 0
+        assert first.counters.blocks_accessed < cold.counters.blocks_accessed
+
+    def test_fail_node_replacement_hydrates_from_store(self, tmp_path):
+        engine, caches = make_engine()
+        populate(engine)
+        expected = engine.execute(OR_SQL).scalar()
+        store = CacheStore(tmp_path, catalog=engine.database)
+        store.snapshot(caches)
+        warm_engine, warm = make_engine(
+            store=CacheStore(tmp_path, catalog=engine.database), db=engine.database
+        )
+        replacement = warm.fail_node(0)
+        assert len(replacement) == 1  # hydrated, not cold
+        first = warm_engine.execute(OR_SQL)
+        assert first.scalar() == expected
+        assert first.counters.cache_hits > 0
+        assert first.counters.cache_misses == 0
+
+    def test_store_backed_resize_keeps_serving_hits(self, tmp_path):
+        engine, caches = make_engine()
+        populate(engine)
+        expected = engine.execute(OR_SQL).scalar()
+        store = CacheStore(tmp_path, catalog=engine.database)
+        store.snapshot(caches)
+        warm_engine, warm = make_engine(
+            store=CacheStore(tmp_path, catalog=engine.database), db=engine.database
+        )
+        for n in (3, 1, 2):
+            warm.resize(n)
+            result = warm_engine.execute(OR_SQL)
+            assert result.scalar() == expected, n
+            assert result.counters.cache_hits > 0, n
+            assert result.counters.cache_misses == 0, n
+            # Re-shard is clean: every node holds exactly its share.
+            for node_id in range(n):
+                for entry in warm.node(node_id).entries():
+                    for sid, state in enumerate(entry.slice_states):
+                        if state is not None:
+                            assert sid % n == node_id
+
+    def test_resize_after_vacuum_does_not_resurrect_stale_state(self, tmp_path):
+        engine, caches = make_engine()
+        populate(engine)
+        engine.execute(OR_SQL)
+        store = CacheStore(tmp_path, catalog=engine.database)
+        store.snapshot(caches)
+        warm_engine, warm = make_engine(
+            store=CacheStore(tmp_path, catalog=engine.database), db=engine.database
+        )
+        engine.delete_where("t", __import__("repro").parse_predicate("x < 100"))
+        assert engine.vacuum(["t"]) == ["t"]
+        warm.resize(3)
+        plain = QueryEngine(engine.database)
+        assert warm_engine.execute(OR_SQL).scalar() == plain.execute(OR_SQL).scalar()
+
+    def test_set_predicate_cache_swaps_executor_reference(self, tmp_path):
+        engine, caches = make_engine()
+        populate(engine)
+        expected = engine.execute(OR_SQL).scalar()
+        CacheStore(tmp_path, catalog=engine.database).snapshot(caches)
+        warm = ClusterCaches(
+            2,
+            config=PredicateCacheConfig(),
+            store=CacheStore(tmp_path, catalog=engine.database),
+        )
+        engine.set_predicate_cache(warm)
+        result = engine.execute(OR_SQL)
+        assert result.scalar() == expected
+        assert result.counters.cache_hits > 0
+        assert engine.predicate_cache is warm
+        assert engine._executor.predicate_cache is warm
+
+
+class TestObservability:
+    def test_store_metrics_and_spans(self, tmp_path):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        db = Database(num_slices=4, rows_per_block=256)
+        db.create_table(
+            TableSchema("t", tuple(ColumnSpec(c, DataType.INT64) for c in COLUMNS))
+        )
+        store = CacheStore(tmp_path, catalog=db, tracer=tracer)
+        store.register_metrics(registry)
+        engine, caches = make_engine(store=store, db=db)
+        populate(engine)
+        engine.execute(OR_SQL)
+        store.snapshot(caches)
+        CacheStore(tmp_path, catalog=db, tracer=tracer).load()
+
+        text = registry.render_prometheus()
+        assert "repro_persist_snapshot_bytes" in text
+        assert "repro_persist_journal_records_total" in text
+        names = [span.name for root in tracer.roots for span in root.walk()]
+        assert "persist.snapshot" in names
+        assert "persist.load" in names
+
+    def test_warm_restore_counters(self, tmp_path):
+        engine, caches = make_engine()
+        populate(engine)
+        engine.execute(OR_SQL)
+        CacheStore(tmp_path, catalog=engine.database).snapshot(caches)
+        registry = MetricsRegistry()
+        store = CacheStore(tmp_path, catalog=engine.database)
+        store.register_metrics(registry)
+        make_engine(store=store, db=engine.database)
+        flat = {
+            line.split(" ")[0]: float(line.rsplit(" ", 1)[1])
+            for line in registry.render_prometheus().splitlines()
+            if line and not line.startswith("#")
+        }
+        assert flat["repro_persist_warm_restores_total"] > 0
+        assert flat["repro_persist_recoveries_total"] >= 1
