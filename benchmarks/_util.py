@@ -8,7 +8,6 @@ paper-vs-measured record in EXPERIMENTS.md can be regenerated.
 from __future__ import annotations
 
 import os
-from typing import Dict, List
 
 from repro import Database, PredicateCache, PredicateCacheConfig, QueryEngine
 

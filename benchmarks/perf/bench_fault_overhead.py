@@ -34,7 +34,6 @@ from __future__ import annotations
 
 import json
 import os
-import statistics
 import sys
 import time
 

@@ -55,12 +55,11 @@ def legacy_hot_path():
     """
     import repro.core.cache as cache_mod
     import repro.core.entry as entry_mod
-    import repro.engine.engine as engine_mod
     import repro.engine.scan as scan_mod
     import repro.storage.column as column_mod
     import repro.storage.slice as slice_mod
 
-    modules = [cache_mod, entry_mod, engine_mod, scan_mod, column_mod, slice_mod]
+    modules = [cache_mod, entry_mod, scan_mod, column_mod, slice_mod]
     saved = [(m, m.RangeList) for m in modules]
     saved_read = ColumnStore.read_ranges
     saved_prunable = ColumnStore.prunable_block_ranges

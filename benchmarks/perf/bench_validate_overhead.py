@@ -1,0 +1,182 @@
+"""Microbenchmark: invariant-validator overhead with REPRO_VALIDATE unset.
+
+Every validator hook site (repro/invariants.py) compiles down to one
+module-attribute read and a branch when validation is off::
+
+    if _inv.ACTIVE:
+        _inv.check_...(...)
+
+This bench verifies the "zero-cost when off" claim two ways:
+
+1. **Analytic gate** (deterministic, CI-stable): count how many guard
+   branches one warm cached-repeat query executes, measure the cost of
+   a single ``_inv.ACTIVE`` read in a tight loop, and bound the
+   disabled-validator overhead as ``guards x guard_cost / query_time``.
+   The gate requires that bound to stay under OVERHEAD_GATE (0.5%).
+   Raw off-vs-off wall-clock deltas would be pure noise at this scale;
+   the analytic bound is conservative (it charges the full attribute
+   read even where the branch predictor hides it) and reproducible.
+
+2. **Enabled-mode reference** (reported, not gated): interleaved rounds
+   with validation on show what ``REPRO_VALIDATE=1`` actually costs —
+   the debug/CI mode is allowed to be slower.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_validate_overhead.py          # full
+    PYTHONPATH=src python benchmarks/perf/bench_validate_overhead.py --smoke  # CI smoke
+
+Writes ``benchmarks/results/BENCH_validate_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import time
+import timeit
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_scan_repeat import QUERY, build_database  # noqa: E402
+
+from repro import (  # noqa: E402
+    PredicateCache,
+    PredicateCacheConfig,
+    QueryEngine,
+    invariants,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+OVERHEAD_GATE = 0.005  # disabled validator must cost < 0.5% of a warm query
+
+
+def make_engine(db) -> QueryEngine:
+    cache = PredicateCache(PredicateCacheConfig(variant="range"))
+    return QueryEngine(db, predicate_cache=cache)
+
+
+def time_round(engine, repeats: int, validate: bool) -> float:
+    """Median cached-repeat wall time with validation on or off."""
+    (invariants.enable if validate else invariants.disable)()
+    try:
+        cold = engine.execute(QUERY)
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            warm = engine.execute(QUERY)
+            times.append(time.perf_counter() - t0)
+        assert warm.counters.cache_hits > 0, "repeat missed the predicate cache"
+        assert warm.column("c")[0] == cold.column("c")[0]
+        return statistics.median(times)
+    finally:
+        invariants.disable()
+
+
+def count_guards(engine) -> int:
+    """Guard branches one warm query executes, counted by substituting
+    no-op checks and enabling validation for a single execution."""
+    originals = (
+        invariants.check_bounds,
+        invariants.check_slice_state,
+        invariants.check_cache,
+        invariants.check_snapshot_roundtrip,
+    )
+    hits = {"n": 0}
+
+    def tick(*args, **kwargs):
+        hits["n"] += 1
+
+    invariants.check_bounds = tick
+    invariants.check_slice_state = tick
+    invariants.check_cache = tick
+    invariants.check_snapshot_roundtrip = tick
+    invariants.enable()
+    try:
+        engine.execute(QUERY)
+    finally:
+        invariants.disable()
+        (
+            invariants.check_bounds,
+            invariants.check_slice_state,
+            invariants.check_cache,
+            invariants.check_snapshot_roundtrip,
+        ) = originals
+    return hits["n"]
+
+
+def guard_cost_seconds() -> float:
+    """One disabled-hook guard: a module-attribute read (the branch is
+    never taken), measured over a million iterations."""
+    iterations = 1_000_000
+    total = timeit.timeit(
+        "inv.ACTIVE", globals={"inv": invariants}, number=iterations
+    )
+    return total / iterations
+
+
+def main() -> int:
+    smoke = "--smoke" in sys.argv
+    num_rows = 40_000 if smoke else 240_000
+    rounds = 3 if smoke else 7
+    repeats = 3 if smoke else 7
+    print(
+        f"BENCH_validate_overhead: {num_rows} rows, {rounds} rounds x "
+        f"{repeats} repeats ({'smoke' if smoke else 'full'} mode)"
+    )
+
+    db = build_database(num_rows)
+
+    # Interleave off/on rounds so machine drift hits both alike.
+    best = {"off": float("inf"), "on": float("inf")}
+    for _ in range(rounds):
+        best["off"] = min(best["off"], time_round(make_engine(db), repeats, False))
+        best["on"] = min(best["on"], time_round(make_engine(db), repeats, True))
+
+    guards = count_guards(make_engine(db))
+    guard_s = guard_cost_seconds()
+    off_overhead = guards * guard_s / best["off"]
+    on_overhead = best["on"] / best["off"] - 1.0
+    gate_pass = off_overhead <= OVERHEAD_GATE
+
+    print(f"  validation off  cached repeat: {best['off'] * 1e3:8.3f} ms")
+    print(f"  validation on   cached repeat: {best['on'] * 1e3:8.3f} ms")
+    print(
+        f"  {guards} guards/query x {guard_s * 1e9:.1f} ns "
+        f"-> disabled overhead {off_overhead * 100:.4f}%"
+    )
+    print(f"  enabled (REPRO_VALIDATE=1) overhead {on_overhead * 100:+.2f}%")
+    print(
+        f"gate disabled <= {OVERHEAD_GATE * 100:.1f}% -> "
+        f"{'PASS' if gate_pass else 'FAIL'}"
+    )
+
+    report = {
+        "benchmark": "validate_overhead",
+        "mode": "smoke" if smoke else "full",
+        "query": QUERY,
+        "num_rows": num_rows,
+        "rounds": rounds,
+        "repeats": repeats,
+        "repeat_s_best": best,
+        "guards_per_query": guards,
+        "guard_cost_ns": guard_s * 1e9,
+        "disabled_overhead_fraction": off_overhead,
+        "enabled_overhead_fraction": on_overhead,
+        "gate": {
+            "max_disabled_overhead": OVERHEAD_GATE,
+            "pass": gate_pass,
+            "gating": True,
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out = os.path.join(RESULTS_DIR, "BENCH_validate_overhead.json")
+    with open(out, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"[saved to {out}]")
+    return 0 if gate_pass else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro import Database, PredicateCache, PredicateCacheConfig, QueryEngine
 from repro.bench import format_table
-from repro.workloads import tpch, tpcds_lite
+from repro.workloads import tpcds_lite, tpch
 
 from _util import save_report
 

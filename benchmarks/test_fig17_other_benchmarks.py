@@ -7,7 +7,7 @@ uniform data limits block elimination.
 
 import numpy as np
 
-from repro import Database, QueryEngine
+from repro import Database
 from repro.bench import Variant, format_table, geomean, run_query_set
 from repro.core.config import PredicateCacheConfig
 from repro.workloads import ssb, tpcds_lite

@@ -5,15 +5,13 @@ grouping so that one view answers every literal choice; rewritten
 queries scan the (much smaller) view.
 """
 
-import numpy as np
 
 from repro import Database, QueryEngine
 from repro.baselines.automv import AutoMVManager
 from repro.bench import format_table
-from repro.storage.dtypes import date_to_days
 from repro.workloads import tpch
 
-from _util import ratio, save_report
+from _util import save_report
 
 
 def test_fig8_automv_q6(benchmark):

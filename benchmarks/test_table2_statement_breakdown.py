@@ -4,7 +4,6 @@ Paper: select 42.3 %, insert 17.8 %, copy 6.9 %, delete 6.3 %,
 update 3.6 %, other 23.3 %.
 """
 
-import numpy as np
 
 from repro.bench import format_table
 from repro.workloads.fleet import STATEMENT_KINDS

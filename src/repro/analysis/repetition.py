@@ -10,9 +10,9 @@ only scans with a filter condition.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
-from ..workloads.fleet import Statement, TABLE_SIZE_BUCKETS
+from ..workloads.fleet import TABLE_SIZE_BUCKETS, Statement
 
 __all__ = [
     "query_repetition_rate",

@@ -18,10 +18,9 @@ matching statements, staleness tracking, and refresh on use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
 
 from ..engine.expr import Col, Expr
 from ..engine.plan import (
@@ -32,7 +31,7 @@ from ..engine.plan import (
     ScanNode,
 )
 from ..predicates.ast import conjunction_of
-from ..predicates.lexer import Token, TokenKind, tokenize
+from ..predicates.lexer import TokenKind, tokenize
 from ..sql.ast import SelectStatement
 from ..sql.parser import parse_statement
 from ..storage.dtypes import DataType
@@ -127,7 +126,10 @@ class AutoMVManager:
         """
         try:
             statement = parse_statement(sql)
-        except Exception:
+        except ValueError:
+            # SQLParseError and LexError both derive from ValueError;
+            # anything else (a genuine bug) should surface, not be
+            # silently treated as "statement not eligible".
             return None
         if not isinstance(statement, SelectStatement):
             return None

@@ -19,14 +19,20 @@ the design's headline property (§4.3).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Tuple
 
+from .. import invariants as _inv
 from .config import PredicateCacheConfig
 from .entry import BitmapSliceState, CacheEntry, RangeSliceState, SliceState
 from .keys import ScanKey
 from .policy import AdmissionPolicy, AlwaysAdmit
 from .rowrange import RangeList
 from .stats import CacheStats
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
+    from ..persist.store import CacheStore
+    from ..storage.table import Table
 
 __all__ = ["PredicateCache"]
 
@@ -61,11 +67,11 @@ class PredicateCache:
         self._table_layouts: Dict[str, int] = {}
         # Optional durable store; when attached, install/extend/drop
         # events are written through (see repro/persist/).
-        self._store = None
+        self._store: Optional["CacheStore"] = None
 
     # -- wiring ------------------------------------------------------------------
 
-    def watch_table(self, table) -> None:
+    def watch_table(self, table: "Table") -> None:
         """Subscribe to a table's change events (idempotent)."""
         if table.name in self._watched:
             return
@@ -73,7 +79,7 @@ class PredicateCache:
         self._table_layouts[table.name] = table.layout_version
         table.on_change(self._on_table_event)
 
-    def watched_tables(self) -> List:
+    def watched_tables(self) -> List["Table"]:
         """The table objects this cache subscribed to (resize transfer)."""
         return list(self._watched.values())
 
@@ -81,7 +87,7 @@ class PredicateCache:
         """Last observed layout_version (vacuum epoch) of a table."""
         return self._table_layouts.get(table_name, 0)
 
-    def _on_table_event(self, table, event: str) -> None:
+    def _on_table_event(self, table: "Table", event: str) -> None:
         if event == "layout":
             self._table_layouts[table.name] = table.layout_version
             self.invalidate_table(table.name)
@@ -90,7 +96,7 @@ class PredicateCache:
 
     # -- persistence ---------------------------------------------------------------
 
-    def attach_store(self, store) -> None:
+    def attach_store(self, store: "CacheStore") -> None:
         """Enable write-through to a durable cache store.
 
         Every install/extend journals the new slice state; every
@@ -108,7 +114,7 @@ class PredicateCache:
         num_slices: int,
         build_versions: Mapping[str, int],
         slice_states: Mapping[int, SliceState],
-        stats: tuple = (0, 0, 0),
+        stats: Tuple[int, int, int] = (0, 0, 0),
         table_layout: Optional[int] = None,
     ) -> CacheEntry:
         """Install a warm-start entry recovered from a store.
@@ -134,6 +140,10 @@ class PredicateCache:
         if table_layout is not None:
             self._table_layouts.setdefault(key.table, int(table_layout))
         self._evict_if_needed()
+        if _inv.ACTIVE:
+            for state in slice_states.values():
+                _inv.check_slice_state(state)
+            _inv.check_cache(self)
         return entry
 
     # -- lookups -------------------------------------------------------------------
@@ -276,6 +286,14 @@ class PredicateCache:
                 entry.slice_states[slice_id],
                 self._table_layouts.get(entry.key.table, 0),
             )
+        # Recording state grows the entry's payload; re-enforce the byte
+        # budget here, not just on insert (after the write-through, so a
+        # resulting eviction's drop event lands after the state event).
+        self._evict_if_needed()
+        if _inv.ACTIVE:
+            _inv.check_slice_state(
+                entry.slice_states[slice_id], slice_rows=scanned_upto
+            )
 
     def _new_state(self, qualifying: RangeList, scanned_upto: int) -> SliceState:
         if self.config.variant == "range":
@@ -372,22 +390,23 @@ class PredicateCache:
             self._log_drop(evicted)
             self.stats.evictions += 1
         max_bytes = self.config.max_bytes
-        if max_bytes is None:
-            return
-        # Compute the payload total once and decrement per eviction —
-        # re-summing every entry per loop iteration is quadratic.
-        total = self.total_nbytes
-        while len(self._entries) > 1 and total > max_bytes:
-            _, evicted = self._entries.popitem(last=False)
-            total -= evicted.nbytes
-            self._log_drop(evicted)
-            self.stats.evictions += 1
+        if max_bytes is not None:
+            # Compute the payload total once and decrement per eviction —
+            # re-summing every entry per loop iteration is quadratic.
+            total = self.total_nbytes
+            while len(self._entries) > 1 and total > max_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                total -= evicted.nbytes
+                self._log_drop(evicted)
+                self.stats.evictions += 1
+        if _inv.ACTIVE:
+            _inv.check_cache(self)
 
     # -- observability -------------------------------------------------------------
 
     def register_metrics(
         self,
-        registry,
+        registry: "MetricsRegistry",
         labels: Optional[Mapping[str, str]] = None,
         prefix: str = "repro_predicate_cache",
     ) -> None:

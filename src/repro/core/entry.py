@@ -20,7 +20,6 @@ paper's settings (Table 3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

@@ -13,8 +13,8 @@ Keys are plain frozen dataclasses so they hash cheaply and can be logged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
 
 __all__ = ["SemiJoinDescriptor", "ScanKey"]
 

@@ -20,8 +20,8 @@ exploration queries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from dataclasses import dataclass
+from typing import Dict
 
 from .keys import ScanKey
 

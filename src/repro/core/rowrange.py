@@ -37,6 +37,8 @@ from typing import Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
+from .. import invariants as _inv
+
 __all__ = ["RowRange", "RangeList"]
 
 _EMPTY_BOUNDS = np.empty((0, 2), dtype=np.int64)
@@ -127,6 +129,8 @@ class RangeList:
     @classmethod
     def _wrap(cls, bounds: np.ndarray, num_rows: int | None = None) -> "RangeList":
         """Trusted constructor: ``bounds`` must already be normalized."""
+        if _inv.ACTIVE:
+            _inv.check_bounds(bounds)
         out = cls.__new__(cls)
         bounds.setflags(write=False)
         out._bounds = bounds

@@ -10,7 +10,6 @@ a packed numpy array.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 import numpy as np
 

@@ -9,14 +9,12 @@ predicate cache's join-index extension records (§4.4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..core.cache import PredicateCache
 from ..core.keys import SemiJoinDescriptor
-from ..predicates.ast import Predicate, TruePredicate
 from ..storage.database import Database
 from .bloom import BloomFilter
 from .counters import QueryCounters
@@ -34,6 +32,9 @@ from .plan import (
     SortNode,
 )
 from .scan import SemiJoinFilter, execute_scan
+
+if TYPE_CHECKING:
+    from ..obs.trace import Tracer
 
 __all__ = ["Executor", "Batch"]
 
@@ -56,7 +57,7 @@ class Executor:
         plan: PlanNode,
         txid: int,
         counters: QueryCounters,
-        tracer=None,
+        tracer: Optional[Tracer] = None,
     ) -> Batch:
         """Execute ``plan`` with visibility snapshot ``txid``.
 
@@ -88,7 +89,7 @@ class Executor:
         filters: List[SemiJoinFilter],
         txid: int,
         counters: QueryCounters,
-        tracer=None,
+        tracer: Optional[Tracer] = None,
     ) -> Batch:
         if tracer is None:
             return self._dispatch(node, needed, filters, txid, counters, None)
@@ -110,7 +111,7 @@ class Executor:
         filters: List[SemiJoinFilter],
         txid: int,
         counters: QueryCounters,
-        tracer,
+        tracer: Optional[Tracer],
     ) -> Batch:
         if isinstance(node, ScanNode):
             return self._execute_scan(node, needed, filters, txid, counters, tracer)
@@ -158,7 +159,7 @@ class Executor:
         filters: List[SemiJoinFilter],
         txid: int,
         counters: QueryCounters,
-        tracer=None,
+        tracer: Optional[Tracer] = None,
     ) -> Batch:
         table = self.database.table(node.table)
         schema_columns = set(table.schema.column_names)
@@ -202,7 +203,7 @@ class Executor:
         filters: List[SemiJoinFilter],
         txid: int,
         counters: QueryCounters,
-        tracer=None,
+        tracer: Optional[Tracer] = None,
     ) -> Batch:
         # Filters from enclosing joins go to whichever side produces
         # their probe column — Redshift pushes semi-join filters into
@@ -303,7 +304,7 @@ class Executor:
         filters: List[SemiJoinFilter],
         txid: int,
         counters: QueryCounters,
-        tracer=None,
+        tracer: Optional[Tracer] = None,
     ) -> Batch:
         needed = set(node.group_by)
         for agg in node.aggregations:
@@ -317,7 +318,7 @@ class Executor:
         filters: List[SemiJoinFilter],
         txid: int,
         counters: QueryCounters,
-        tracer=None,
+        tracer: Optional[Tracer] = None,
     ) -> Batch:
         needed: Set[str] = set()
         for _, expr in node.projections:
@@ -339,7 +340,7 @@ class Executor:
         filters: List[SemiJoinFilter],
         txid: int,
         counters: QueryCounters,
-        tracer=None,
+        tracer: Optional[Tracer] = None,
     ) -> Batch:
         child_needed = needed | {col for col, _ in node.keys}
         child = self._execute(

@@ -33,16 +33,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from .counters import QueryCounters
-from .plan import (
-    AggregateNode,
-    FilterNode,
-    JoinNode,
-    LimitNode,
-    PlanNode,
-    ProjectNode,
-    ScanNode,
-    SortNode,
-)
+from .plan import JoinNode, PlanNode
 
 __all__ = ["explain", "render_analyze"]
 

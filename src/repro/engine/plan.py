@@ -10,10 +10,10 @@ grouped aggregation, sorting, limiting, and projection.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from ..predicates.ast import Predicate, TruePredicate
-from .expr import Col, Expr
+from .expr import Expr
 
 __all__ = [
     "PlanNode",

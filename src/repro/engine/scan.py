@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -34,7 +34,6 @@ from ..core.cache import PredicateCache
 from ..core.keys import ScanKey, SemiJoinDescriptor
 from ..core.rowrange import RangeList
 from ..predicates.ast import Predicate, TruePredicate
-from ..storage.rms import ManagedStorage
 from ..storage.slice import DataSlice
 from ..storage.table import Table
 from .bloom import BloomFilter

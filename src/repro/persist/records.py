@@ -23,7 +23,7 @@ the shape a snapshot stores and a re-shard redistributes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, Mapping
 
 import numpy as np
 

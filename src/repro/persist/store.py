@@ -34,17 +34,17 @@ journal into a fresh snapshot and truncates the log.
 from __future__ import annotations
 
 import os
-import struct
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Optional
 
+from .. import invariants as _inv
 from .format import (
     DecodeIssues,
+    decode_snapshot,
     encode_drop_event,
     encode_snapshot,
     encode_state_event,
-    decode_snapshot,
     frame_record,
     replay_journal,
 )
@@ -193,6 +193,10 @@ class CacheStore:
 
     def _write_snapshot(self, records: Dict[int, EntryRecord]) -> bool:
         data = encode_snapshot(records, self._catalog_meta())
+        if _inv.ACTIVE:
+            # Round-trip self-check on the pristine bytes, before any
+            # injected fault gets a chance to touch them.
+            _inv.check_snapshot_roundtrip(records, data)
         temp_path = self._snapshot_path + ".tmp"
         decision = self._draw()
         if decision is not None and decision.fail:

@@ -19,8 +19,8 @@ deduplicated in workload analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 

@@ -32,7 +32,6 @@ from .ast import (
     ColumnRef,
     Comparison,
     FalsePredicate,
-    InList,
     IsNull,
     Like,
     Literal,

@@ -36,7 +36,7 @@ from .ast import (
     Predicate,
     Value,
 )
-from .lexer import LexError, Token, TokenKind, tokenize
+from .lexer import Token, TokenKind, tokenize
 
 __all__ = ["parse_predicate", "PredicateParseError", "PredicateParser"]
 

@@ -10,16 +10,14 @@ predicate parser, extended with:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-import numpy as np
 
 from ..engine.expr import BinOp, Col, Const, Expr, Func
 from ..engine.expr import _SCALAR_FUNCS
-from ..predicates.ast import And, ColumnRef, Not, Or, Predicate, TruePredicate
-from ..predicates.lexer import Token, TokenKind, tokenize
-from ..predicates.parser import PredicateParseError, PredicateParser
+from ..predicates.ast import Predicate
+from ..predicates.lexer import TokenKind, tokenize
+from ..predicates.parser import PredicateParser
 from .ast import (
     AnalyzeStatement,
     DeleteStatement,

@@ -13,16 +13,16 @@ Planning steps:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
-from ..engine.expr import Col, Expr
+from ..engine.expr import Col
 from ..engine.plan import (
     AggregateNode,
     Aggregation,
     FilterNode,
     JoinNode,
-    MapNode,
     LimitNode,
+    MapNode,
     PlanNode,
     ProjectNode,
     ScanNode,
@@ -30,7 +30,7 @@ from ..engine.plan import (
 )
 from ..predicates.ast import ColumnComparison, Or, Predicate, conjunction_of
 from ..storage.database import Database
-from .ast import JoinCondition, SelectItem, SelectStatement
+from .ast import JoinCondition, SelectStatement
 
 __all__ = ["PlannerError", "plan_select"]
 

@@ -13,7 +13,7 @@ inclusion-exclusion correction, NOT complements.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

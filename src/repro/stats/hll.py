@@ -9,7 +9,6 @@ maximum number of leading zeros (+1) of the remaining bits.
 from __future__ import annotations
 
 import math
-from typing import Union
 
 import numpy as np
 
@@ -22,7 +21,13 @@ _MIX2 = np.uint64(0xC4CEB9FE1A85EC53)
 def _hash64(values: np.ndarray) -> np.ndarray:
     """A 64-bit avalanche mix (splitmix-style) over int64 inputs."""
     if values.dtype == object:
-        values = np.array([hash(v) for v in values], dtype=np.int64)
+        # Stable FNV-1a over the string form: builtin hash() is salted
+        # per process for str, which would make sketch contents (and the
+        # estimates derived from them) irreproducible across runs.
+        # Imported lazily: repro.engine pulls in the whole engine stack.
+        from ..engine.hashing import fnv1a_hash
+
+        values = fnv1a_hash(values.astype("U"))
     x = values.astype(np.int64, copy=False).view(np.uint64).copy()
     with np.errstate(over="ignore"):
         x ^= x >> np.uint64(33)

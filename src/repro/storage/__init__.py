@@ -13,7 +13,7 @@ A laptop-scale analogue of Redshift's storage architecture (§4.2.1):
 """
 
 from .dtypes import DataType, date_to_days, days_to_date
-from .table import Table, TableSchema, ColumnSpec
+from .table import ColumnSpec, Table, TableSchema
 from .database import Database
 from .rms import ManagedStorage, StorageStats
 

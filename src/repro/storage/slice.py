@@ -9,7 +9,7 @@ predicate-cache entries valid under inserts (§4.3.1).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 

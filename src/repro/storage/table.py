@@ -17,8 +17,8 @@ with event in ``{"data", "layout"}``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -225,7 +225,13 @@ class Table:
         if self.schema.dist_key is not None:
             key = arrays[self.schema.dist_key]
             if key.dtype == object:
-                hashes = np.array([hash(v) for v in key], dtype=np.int64)
+                # Stable FNV-1a: builtin hash() is PYTHONHASHSEED-salted
+                # for str, so string dist keys would land on different
+                # slices from run to run.  Lazy import — repro.engine
+                # imports this module's package at startup.
+                from ..engine.hashing import fnv1a_hash
+
+                hashes = fnv1a_hash(key)
             else:
                 # Cheap integer mix; stable across runs (unlike str hash).
                 hashes = key.astype(np.int64) * np.int64(2654435761)

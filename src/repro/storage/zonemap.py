@@ -9,7 +9,7 @@ predicate's implied value interval with each block's interval.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

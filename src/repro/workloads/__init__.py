@@ -10,6 +10,6 @@
   Workloads A and B (hit-rate and scan-repetition experiments).
 """
 
-from . import customer, fleet, ssb, tpch, tpcds_lite
+from . import customer, fleet, ssb, tpcds_lite, tpch
 
 __all__ = ["customer", "fleet", "ssb", "tpch", "tpcds_lite"]

@@ -19,10 +19,11 @@ engine database for end-to-end hit-rate measurement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List
 
 import numpy as np
 
+from ..engine.hashing import fnv1a_hash
 from .tpch import zipf_choice
 
 __all__ = [
@@ -147,8 +148,11 @@ def workload_b(seed: int = 0) -> List[ScanEvent]:
     stream: List[str] = []
     for scan_id, count in enumerate(counts):
         stream.extend([f"scanB_{scan_id}"] * count)
+    # Stable FNV-1a key→table assignment: builtin hash() would shuffle
+    # the table layout of the generated workload on every fresh process.
+    digests = fnv1a_hash(np.array(stream, dtype=object))
+    tables = [f"tbl_{int(d) % 11}" for d in digests]
     order = rng.permutation(len(stream))
     for position, index in enumerate(order):
-        key = stream[int(index)]
-        events.append(ScanEvent(position, key, f"tbl_{hash(key) % 11}"))
+        events.append(ScanEvent(position, stream[int(index)], tables[int(index)]))
     return events

@@ -21,7 +21,7 @@ analysis pipeline in :mod:`repro.analysis` is the real deliverable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np

@@ -20,7 +20,7 @@ cache's concern); every simplification is listed in ``SIMPLIFICATIONS``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -14,7 +14,6 @@ from repro.bench import (
 )
 from repro.bench.report import format_bytes
 from repro.core.config import PredicateCacheConfig
-from repro.engine.engine import QueryEngine
 from repro.predicates import parse_predicate
 from repro.storage import ColumnSpec, DataType, TableSchema
 

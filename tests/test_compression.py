@@ -1,7 +1,6 @@
 """Block compression codecs: roundtrips and size accounting."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,7 +6,6 @@ import pytest
 from repro import Database, PredicateCache, QueryEngine
 from repro.engine.expr import Func, column
 from repro.predicates import Like, col, parse_predicate
-from repro.predicates.ast import Bounds
 from repro.storage import ColumnSpec, DataType, TableSchema
 from repro.storage.dtypes import date_to_days
 

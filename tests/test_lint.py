@@ -1,0 +1,228 @@
+"""The project linter (tools/lint): one passing and one failing fixture
+per rule, exercised through the library API, plus an end-to-end check
+that the real tree is clean."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tools.lint import (
+    FormatConstants,
+    check_counters,
+    extract_format_constants,
+    lint_paths,
+    lint_source,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# -- RP001: raw hash() ---------------------------------------------------------
+
+
+def test_rp001_flags_raw_hash():
+    src = "def digest(key):\n    return hash(key) % 11\n"
+    found = lint_source(src, "repro/core/keys.py")
+    assert codes(found) == ["RP001"]
+    assert "hashing" in found[0].message
+
+
+def test_rp001_allows_hashing_module_and_dunder():
+    # The hashing module itself may call hash(); so may __hash__
+    # definitions (in-process semantics by construction).
+    assert lint_source("x = hash('a')\n", "repro/engine/hashing.py") == []
+    src = (
+        "class Key:\n"
+        "    def __hash__(self):\n"
+        "        return hash((self.a, self.b))\n"
+    )
+    assert lint_source(src, "repro/core/keys.py") == []
+
+
+# -- RP002: nondeterminism in deterministic packages ---------------------------
+
+
+def test_rp002_flags_wall_clock_and_random():
+    src = "import time\nimport random\nt = time.time()\nr = random.random()\n"
+    found = lint_source(src, "repro/persist/store.py")
+    assert codes(found) == ["RP002", "RP002"]
+
+
+def test_rp002_allows_perf_counter_and_seeded_rng():
+    src = (
+        "import random\nimport time\n"
+        "t = time.perf_counter()\n"
+        "rng = random.Random(42)\n"
+    )
+    assert lint_source(src, "repro/engine/engine.py") == []
+    # Outside the deterministic packages the rule does not apply.
+    assert lint_source("import time\nt = time.time()\n", "repro/obs/trace.py") == []
+
+
+# -- RP003: swallowed exceptions on the read path ------------------------------
+
+
+def test_rp003_flags_bare_and_swallowing_except():
+    bare = "try:\n    f()\nexcept:\n    pass\n"
+    swallow = "try:\n    f()\nexcept Exception:\n    pass\n"
+    assert codes(lint_source(bare, "repro/storage/rms.py")) == ["RP003"]
+    assert codes(lint_source(swallow, "repro/engine/scan.py")) == ["RP003"]
+
+
+def test_rp003_allows_handled_exceptions():
+    handled = (
+        "try:\n    f()\nexcept Exception:\n    counters.faults += 1\n    raise\n"
+    )
+    narrow = "try:\n    f()\nexcept OSError:\n    pass\n"
+    assert lint_source(handled, "repro/storage/rms.py") == []
+    assert lint_source(narrow, "repro/storage/rms.py") == []
+
+
+# -- RP004: QueryCounters completeness -----------------------------------------
+
+COUNTERS_OK = """
+from dataclasses import dataclass
+
+@dataclass
+class QueryCounters:
+    rows_scanned: int = 0
+    cache_hits: int = 0
+
+    def merge(self, other):
+        self.rows_scanned += other.rows_scanned
+        self.cache_hits += other.cache_hits
+
+    def reset(self):
+        self.rows_scanned = 0
+        self.cache_hits = 0
+"""
+
+ENGINE_OK = """
+METRICS = ("rows_scanned", "cache_hits")
+"""
+
+COUNTERS_DRIFTED = """
+from dataclasses import dataclass
+
+@dataclass
+class QueryCounters:
+    rows_scanned: int = 0
+    cache_hits: int = 0
+    bloom_probes: int = 0
+
+    def merge(self, other):
+        self.rows_scanned += other.rows_scanned
+        self.cache_hits += other.cache_hits
+
+    def reset(self):
+        self.rows_scanned = 0
+        self.cache_hits = 0
+"""
+
+
+def test_rp004_passes_when_fields_covered():
+    assert check_counters(COUNTERS_OK, ENGINE_OK) == []
+
+
+def test_rp004_flags_field_missing_from_merge_reset_and_metrics():
+    found = check_counters(COUNTERS_DRIFTED, ENGINE_OK)
+    assert codes(found) == ["RP004", "RP004", "RP004"]
+    assert all("bloom_probes" in f.message for f in found)
+    reasons = " ".join(f.message for f in found)
+    assert "merge" in reasons and "reset" in reasons and "metric" in reasons
+
+
+# -- RP005: persisted-format literals ------------------------------------------
+
+CONSTANTS = FormatConstants(magic=b"RPPCSNAP", ints=(1, 2, 255))
+
+
+def test_rp005_flags_magic_and_section_literals():
+    src = 'header = b"RPPCSNAP"\n'
+    found = lint_source(src, "repro/persist/store.py", format_constants=CONSTANTS)
+    assert codes(found) == ["RP005"]
+    src = "if section_id == 255:\n    pass\n"
+    found = lint_source(src, "repro/persist/store.py", format_constants=CONSTANTS)
+    assert codes(found) == ["RP005"]
+
+
+def test_rp005_allows_named_constants_and_unrelated_ints():
+    src = (
+        "from .format import SECTION_END\n"
+        "if section_id == SECTION_END:\n    pass\n"
+        "retries = 2\n"
+        "if count == 255:\n    pass\n"  # not a format-ish name
+    )
+    found = lint_source(src, "repro/persist/store.py", format_constants=CONSTANTS)
+    assert found == []
+    # The defining module itself is exempt.
+    assert (
+        lint_source(
+            'SNAPSHOT_MAGIC = b"RPPCSNAP"\n',
+            "repro/persist/format.py",
+            format_constants=CONSTANTS,
+        )
+        == []
+    )
+
+
+def test_format_constants_extracted_from_real_module():
+    source = (REPO / "src" / "repro" / "persist" / "format.py").read_text()
+    constants = extract_format_constants(source)
+    assert constants.magic == b"RPPCSNAP"
+    assert len(constants.ints) >= 5
+
+
+# -- the real tree -------------------------------------------------------------
+
+
+def test_src_tree_is_clean():
+    assert lint_paths([str(REPO / "src")]) == []
+
+
+def test_cli_exit_codes(tmp_path):
+    (tmp_path / "repro").mkdir()
+    bad = tmp_path / "repro" / "core.py"
+    bad.write_text("x = hash('k')\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.lint", str(tmp_path)],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert proc.returncode == 1
+    assert "RP001" in proc.stdout
+    clean = subprocess.run(
+        [sys.executable, "-m", "tools.lint", "src"],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert clean.returncode == 0
+
+
+def test_list_rules():
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.lint", "--list-rules"],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0
+    for code in ("RP001", "RP002", "RP003", "RP004", "RP005"):
+        assert code in proc.stdout
+
+
+@pytest.mark.skipif(
+    not (REPO / "pyproject.toml").exists(), reason="needs repo checkout"
+)
+def test_ruff_and_mypy_pinned_in_dev_extra():
+    text = (REPO / "pyproject.toml").read_text()
+    assert "ruff==" in text
+    assert "mypy==" in text

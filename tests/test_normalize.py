@@ -1,7 +1,6 @@
 """Predicate normalization (§4.1.2 extension)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

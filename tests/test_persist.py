@@ -25,7 +25,6 @@ from repro.persist.format import (
     decode_snapshot,
     encode_snapshot,
 )
-from repro.persist.records import EntryRecord, StateRecord
 from repro.storage import ColumnSpec, DataType, TableSchema
 
 COLUMNS = ("x", "v")

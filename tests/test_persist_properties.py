@@ -20,12 +20,12 @@ from hypothesis import strategies as st
 from repro.core.keys import ScanKey, SemiJoinDescriptor
 from repro.persist import CacheStore
 from repro.persist.format import (
+    DecodeIssues,
     decode_snapshot,
     encode_drop_event,
     encode_snapshot,
     encode_state_event,
     frame_record,
-    DecodeIssues,
     replay_journal,
 )
 from repro.persist.records import (

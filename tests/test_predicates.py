@@ -20,7 +20,6 @@ from repro.predicates import (
     lit,
     parse_predicate,
 )
-from repro.predicates.ast import ColumnRef, Literal
 from repro.predicates.parser import PredicateParseError
 
 

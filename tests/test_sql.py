@@ -9,15 +9,14 @@ from repro.engine.plan import (
     FilterNode,
     JoinNode,
     LimitNode,
-    ProjectNode,
     ScanNode,
     SortNode,
 )
 from repro.sql import (
     DeleteStatement,
     InsertStatement,
-    SQLParseError,
     SelectStatement,
+    SQLParseError,
     UpdateStatement,
     VacuumStatement,
     parse_statement,

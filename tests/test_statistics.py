@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro import Database, QueryEngine
 from repro.predicates import parse_predicate
 from repro.predicates.ast import Bounds
-from repro.stats import EquiDepthHistogram, HyperLogLog, analyze_table
+from repro.stats import EquiDepthHistogram, HyperLogLog
 from repro.storage import ColumnSpec, DataType, TableSchema
 
 

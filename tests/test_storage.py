@@ -1,11 +1,9 @@
 """Storage engine: zone maps, column stores, managed storage."""
 
 import numpy as np
-import pytest
 
 from repro.core.rowrange import RangeList
 from repro.storage.column import ColumnStore, GrowableArray
-from repro.storage.compression import EncodedBlock
 from repro.storage.dtypes import DataType, date_to_days, days_to_date
 from repro.storage.rms import ManagedStorage
 from repro.predicates.ast import Bounds

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.rowrange import RangeList
-from repro.storage import ColumnSpec, Database, DataType, Table, TableSchema
+from repro.storage import ColumnSpec, Database, DataType, TableSchema
 
 
 def make_db(num_slices=2, rows_per_block=10):

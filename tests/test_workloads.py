@@ -5,7 +5,7 @@ import pytest
 
 from repro import Database, PredicateCache, QueryEngine
 from repro.storage.dtypes import date_to_days
-from repro.workloads import ssb, tpch, tpcds_lite
+from repro.workloads import ssb, tpcds_lite, tpch
 
 
 class TestTpchGenerator:

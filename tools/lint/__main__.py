@@ -1,0 +1,8 @@
+"""``python -m tools.lint src/`` — run the project linter from the CLI."""
+
+import sys
+
+from . import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,547 @@
+"""Rule implementations for the project linter.
+
+Per-file rules (RP001/RP002/RP003/RP005) run as one AST walk per file;
+module applicability is decided from the file's path relative to the
+source root (``repro/engine/scan.py`` etc.), so fixture tests can run
+any rule by handing :func:`lint_source` a virtual path.  RP004 is a
+cross-file rule over ``engine/counters.py`` and ``engine/engine.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Finding",
+    "FormatConstants",
+    "RULES",
+    "check_counters",
+    "extract_format_constants",
+    "lint_paths",
+    "lint_source",
+]
+
+RULES: Dict[str, str] = {
+    "RP001": "raw hash() outside repro/engine/hashing.py "
+             "(PYTHONHASHSEED-dependent; use stable FNV-1a hashing)",
+    "RP002": "ambient time/randomness in core/, engine/, or persist/ "
+             "(breaks the differential and chaos oracles; inject seeds/clocks)",
+    "RP003": "bare or swallowing except on the read path "
+             "(would hide StorageFault and break the degradation ladder)",
+    "RP004": "QueryCounters field missing from merge/reset or without a "
+             "registered metric (counter drift)",
+    "RP005": "persisted-format constant spelled as a literal outside "
+             "repro/persist/format.py (format drift)",
+}
+
+#: The only module allowed to call builtin ``hash()`` (RP001).
+HASHING_MODULE = "repro/engine/hashing.py"
+
+#: Packages where ambient time/randomness is banned (RP002).
+DETERMINISTIC_PACKAGES = ("repro/core/", "repro/engine/", "repro/persist/")
+
+#: Read-path packages where swallowing excepts are banned (RP003).
+READ_PATH_PACKAGES = (
+    "repro/core/",
+    "repro/engine/",
+    "repro/storage/",
+    "repro/lake/",
+    "repro/persist/",
+)
+
+#: The single source of truth for persisted-format constants (RP005).
+FORMAT_MODULE = "repro/persist/format.py"
+
+#: Module-level names extracted from the format module for RP005.
+FORMAT_CONSTANT_NAMES = (
+    "SNAPSHOT_MAGIC",
+    "FORMAT_VERSION",
+    "SECTION_META",
+    "SECTION_ENTRY",
+    "SECTION_END",
+    "OP_STATE",
+    "OP_DROP",
+)
+
+#: Identifier fragments that mark an int literal as format-flavoured in
+#: a comparison (RP005): ``kind == 2``, ``version > 1``, ``op != 255``.
+_FORMAT_NAME_HINTS = ("kind", "section", "version", "magic", "op")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter finding, stable enough to assert on in tests."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class FormatConstants:
+    """Persisted-format constant values RP005 hunts for as literals."""
+
+    magic: bytes = b""
+    ints: Tuple[int, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return not self.magic and not self.ints
+
+
+def extract_format_constants(source: str) -> FormatConstants:
+    """Pull the format constants out of ``repro/persist/format.py``.
+
+    Only plain module-level ``NAME = <constant>`` assignments to the
+    known constant names are read, so the extraction keeps working as
+    the module grows.
+    """
+    tree = ast.parse(source)
+    magic = b""
+    ints: List[int] = []
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if target.id not in FORMAT_CONSTANT_NAMES:
+            continue
+        if not isinstance(node.value, ast.Constant):
+            continue
+        value = node.value.value
+        if isinstance(value, bytes):
+            magic = value
+        elif isinstance(value, int):
+            ints.append(value)
+    return FormatConstants(magic=magic, ints=tuple(ints))
+
+
+def _normalize_path(path: str) -> str:
+    """Posix-ish path relative to the source root (``repro/...``)."""
+    norm = path.replace(os.sep, "/")
+    marker = "repro/"
+    idx = norm.find("src/" + marker)
+    if idx >= 0:
+        return norm[idx + 4 :]
+    idx = norm.find(marker)
+    if idx >= 0:
+        return norm[idx:]
+    return norm
+
+
+def _attr_chain(node: ast.AST) -> str:
+    """Dotted-name text of a Name/Attribute chain (``"time.time"``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _terminal_name(node: ast.AST) -> str:
+    """The last identifier of a Name/Attribute chain, lowercased."""
+    if isinstance(node, ast.Attribute):
+        return node.attr.lower()
+    if isinstance(node, ast.Name):
+        return node.id.lower()
+    return ""
+
+
+class _FileChecker(ast.NodeVisitor):
+    """One pass applying every per-file rule that covers this module."""
+
+    def __init__(
+        self,
+        path: str,
+        module: str,
+        format_constants: Optional[FormatConstants],
+    ) -> None:
+        self.path = path
+        self.module = module
+        self.findings: List[Finding] = []
+        self._func_stack: List[str] = []
+        self.check_hash = module != HASHING_MODULE
+        self.check_determinism = module.startswith(DETERMINISTIC_PACKAGES)
+        self.check_excepts = module.startswith(READ_PATH_PACKAGES)
+        self.format_constants = (
+            format_constants
+            if format_constants is not None and module != FORMAT_MODULE
+            else None
+        )
+
+    def _emit(self, code: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                code,
+                self.path,
+                getattr(node, "lineno", 0),
+                getattr(node, "col_offset", 0),
+                message,
+            )
+        )
+
+    # -- function stack (RP001's __hash__ exemption) ---------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    # -- RP001 / RP002 calls ---------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self.check_hash
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "hash"
+            and "__hash__" not in self._func_stack
+        ):
+            self._emit(
+                "RP001",
+                node,
+                "raw hash() is PYTHONHASHSEED-dependent for str; use "
+                "repro.engine.hashing (stable FNV-1a) instead",
+            )
+        if self.check_determinism:
+            chain = _attr_chain(node.func)
+            self._check_ambient_call(node, chain)
+        self.generic_visit(node)
+
+    _BANNED_CALLS = {
+        "time.time": "time.time() is ambient wall-clock",
+        "time.time_ns": "time.time_ns() is ambient wall-clock",
+        "datetime.now": "datetime.now() is ambient wall-clock",
+        "datetime.utcnow": "datetime.utcnow() is ambient wall-clock",
+        "datetime.today": "datetime.today() is ambient wall-clock",
+        "datetime.datetime.now": "datetime.datetime.now() is ambient wall-clock",
+        "datetime.datetime.utcnow": "datetime.datetime.utcnow() is ambient "
+                                    "wall-clock",
+        "date.today": "date.today() is ambient wall-clock",
+    }
+
+    def _check_ambient_call(self, node: ast.Call, chain: str) -> None:
+        reason = self._BANNED_CALLS.get(chain)
+        if reason is None and chain.startswith("random.") and chain != "random.Random":
+            reason = (
+                f"{chain}() draws from the process-global random stream"
+            )
+        if reason is not None:
+            self._emit(
+                "RP002",
+                node,
+                f"{reason}; thread a seeded stream/clock through instead "
+                "(protects the differential and chaos oracles)",
+            )
+
+    # -- RP002 imports ----------------------------------------------------
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.check_determinism and node.level == 0:
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name in ("time", "time_ns"):
+                        self._emit(
+                            "RP002",
+                            node,
+                            f"importing {alias.name} from time smuggles in "
+                            "ambient wall-clock",
+                        )
+            elif node.module == "random":
+                for alias in node.names:
+                    if alias.name != "Random":
+                        self._emit(
+                            "RP002",
+                            node,
+                            f"importing {alias.name} from random smuggles in "
+                            "the process-global random stream",
+                        )
+        self.generic_visit(node)
+
+    # -- RP003 -------------------------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self.check_excepts:
+            if node.type is None:
+                self._emit(
+                    "RP003",
+                    node,
+                    "bare except on the read path swallows StorageFault "
+                    "(breaks the retry/degradation ladder); name the "
+                    "exception types",
+                )
+            elif self._catches_everything(node.type) and self._swallows(node.body):
+                self._emit(
+                    "RP003",
+                    node,
+                    "except Exception: pass on the read path silently "
+                    "swallows StorageFault; handle or count the failure",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _catches_everything(node: ast.expr) -> bool:
+        names: Iterable[ast.expr]
+        names = node.elts if isinstance(node, ast.Tuple) else (node,)
+        for name in names:
+            if isinstance(name, ast.Name) and name.id in (
+                "Exception",
+                "BaseException",
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _swallows(body: Sequence[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            ):
+                continue
+            return False
+        return True
+
+    # -- RP005 -------------------------------------------------------------
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        fc = self.format_constants
+        if (
+            fc is not None
+            and fc.magic
+            and isinstance(node.value, bytes)
+            and node.value == fc.magic
+        ):
+            self._emit(
+                "RP005",
+                node,
+                f"snapshot magic {fc.magic!r} spelled as a literal; import "
+                "SNAPSHOT_MAGIC from repro.persist.format",
+            )
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        fc = self.format_constants
+        if fc is not None and fc.ints:
+            operands = [node.left, *node.comparators]
+            names = [_terminal_name(op) for op in operands]
+            hinted = any(
+                any(hint in name for hint in _FORMAT_NAME_HINTS)
+                for name in names
+                if name
+            )
+            if hinted:
+                for operand in operands:
+                    if (
+                        isinstance(operand, ast.Constant)
+                        and isinstance(operand.value, int)
+                        and not isinstance(operand.value, bool)
+                        and operand.value in fc.ints
+                    ):
+                        self._emit(
+                            "RP005",
+                            operand,
+                            f"format constant {operand.value} compared as a "
+                            "literal; import the named constant from "
+                            "repro.persist.format",
+                        )
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str,
+    path: str,
+    format_constants: Optional[FormatConstants] = None,
+) -> List[Finding]:
+    """Run every applicable per-file rule on one module's source.
+
+    ``path`` decides applicability (virtual paths like
+    ``"repro/core/x.py"`` work); ``format_constants`` feeds RP005 and
+    may be omitted to skip that rule.
+    """
+    module = _normalize_path(path)
+    checker = _FileChecker(path, module, format_constants)
+    checker.visit(ast.parse(source))
+    return checker.findings
+
+
+# -- RP004 (cross-file) ------------------------------------------------------
+
+
+def _counter_fields(tree: ast.Module) -> List[Tuple[str, int]]:
+    """(name, line) of every dataclass field on QueryCounters."""
+    fields: List[Tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "QueryCounters":
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    fields.append((stmt.target.id, stmt.lineno))
+    return fields
+
+
+def _method_attr_names(tree: ast.Module, method: str) -> Optional[set]:
+    """Attribute names referenced inside ``QueryCounters.<method>``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "QueryCounters":
+            for stmt in node.body:
+                if isinstance(stmt, ast.FunctionDef) and stmt.name == method:
+                    return {
+                        sub.attr
+                        for sub in ast.walk(stmt)
+                        if isinstance(sub, ast.Attribute)
+                    }
+    return None
+
+
+def _string_constants(tree: ast.Module) -> List[str]:
+    return [
+        node.value
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    ]
+
+
+def check_counters(
+    counters_source: str,
+    engine_source: str,
+    counters_path: str = "repro/engine/counters.py",
+    engine_path: str = "repro/engine/engine.py",
+) -> List[Finding]:
+    """RP004: QueryCounters fields vs. merge/reset and metric names.
+
+    A field added to the dataclass but forgotten in ``merge`` silently
+    under-counts sub-plans; one forgotten in ``reset`` leaks across
+    queries; one without a metric name is invisible to dashboards —
+    exactly the drift PRs 2–3 risked when they grew the counter set.
+    Metric coverage is satisfied when the field name occurs inside any
+    string constant of the engine module (the registration name lists).
+    """
+    findings: List[Finding] = []
+    counters_tree = ast.parse(counters_source)
+    engine_tree = ast.parse(engine_source)
+    fields = _counter_fields(counters_tree)
+    if not fields:
+        return findings
+    metric_strings = _string_constants(engine_tree)
+    for method in ("merge", "reset"):
+        referenced = _method_attr_names(counters_tree, method)
+        if referenced is None:
+            findings.append(
+                Finding(
+                    "RP004",
+                    counters_path,
+                    1,
+                    0,
+                    f"QueryCounters has no {method}() method to keep its "
+                    "fields in sync",
+                )
+            )
+            continue
+        for name, line in fields:
+            if name not in referenced:
+                findings.append(
+                    Finding(
+                        "RP004",
+                        counters_path,
+                        line,
+                        0,
+                        f"field {name!r} is not handled by "
+                        f"QueryCounters.{method}()",
+                    )
+                )
+    for name, line in fields:
+        if not any(name in text for text in metric_strings):
+            findings.append(
+                Finding(
+                    "RP004",
+                    counters_path,
+                    line,
+                    0,
+                    f"field {name!r} has no registered metric in "
+                    f"{engine_path} (no metric name mentions it)",
+                )
+            )
+    return findings
+
+
+# -- driver ------------------------------------------------------------------
+
+
+def _iter_py_files(paths: Sequence[Union[str, os.PathLike]]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        path = os.fspath(path)
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                files.append(path)
+            continue
+        for root, dirs, names in os.walk(path):
+            dirs[:] = sorted(
+                d for d in dirs if d not in ("__pycache__", ".git")
+                and not d.endswith(".egg-info")
+            )
+            for name in sorted(names):
+                if name.endswith(".py"):
+                    files.append(os.path.join(root, name))
+    return files
+
+
+def lint_paths(paths: Sequence[Union[str, os.PathLike]]) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths`` with all rules.
+
+    RP005's constant values are extracted from ``repro/persist/format.py``
+    when it is among the linted files; RP004 runs when both
+    ``engine/counters.py`` and ``engine/engine.py`` are present.
+    """
+    files = _iter_py_files(paths)
+    sources: Dict[str, str] = {}
+    for file_path in files:
+        with open(file_path, "r", encoding="utf-8") as handle:
+            sources[file_path] = handle.read()
+
+    by_module = {_normalize_path(p): p for p in files}
+    format_constants: Optional[FormatConstants] = None
+    format_path = by_module.get(FORMAT_MODULE)
+    if format_path is not None:
+        format_constants = extract_format_constants(sources[format_path])
+
+    findings: List[Finding] = []
+    for file_path in files:
+        findings.extend(
+            lint_source(sources[file_path], file_path, format_constants)
+        )
+
+    counters_path = by_module.get("repro/engine/counters.py")
+    engine_path = by_module.get("repro/engine/engine.py")
+    if counters_path is not None and engine_path is not None:
+        findings.extend(
+            check_counters(
+                sources[counters_path],
+                sources[engine_path],
+                counters_path=counters_path,
+                engine_path=engine_path,
+            )
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
