@@ -13,18 +13,19 @@ Usage::
     PYTHONPATH=src python benchmarks/perf/bench_obs_overhead.py          # full
     PYTHONPATH=src python benchmarks/perf/bench_obs_overhead.py --smoke  # CI smoke
 
-Full mode enforces the PR gate: metrics-attached within OVERHEAD_GATE
-(2%) of the uninstrumented wall time.  Tracing overhead is reported for
-reference but not gated — a Tracer is an opt-in debugging tool, not an
-always-on production mode.  Writes
-``benchmarks/results/BENCH_obs_overhead.json``.
+Full mode enforces the PR gates: metrics-attached within OVERHEAD_GATE
+(2%) of the uninstrumented wall time, and — since the parallel executor
+records per-slice span windows on worker threads and emits them at the
+barrier — parallel-mode tracing within OVERHEAD_GATE of an untraced
+parallel run.  Serial tracing overhead is reported for reference but
+not gated — a Tracer is an opt-in debugging tool, not an always-on
+production mode.  Writes ``benchmarks/results/BENCH_obs_overhead.json``.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import statistics
 import sys
 import time
 
@@ -56,11 +57,24 @@ def make_engine(db, mode: str) -> QueryEngine:
             metrics=MetricsRegistry(),
             tracer=Tracer(),
         )
+    if mode == "parallel":
+        return QueryEngine(db, predicate_cache=cache, scan_workers=4)
+    if mode == "parallel-tracing":
+        return QueryEngine(
+            db, predicate_cache=cache, tracer=Tracer(), scan_workers=4
+        )
     raise ValueError(mode)
 
 
 def time_round(engine, repeats: int) -> float:
-    """Median cached-repeat wall time for one engine round."""
+    """Best cached-repeat wall time for one engine round.
+
+    The minimum is the noise-floor statistic: scheduler preemption and
+    GC only ever *add* time, so the fastest sample is the closest
+    measurement of what the code itself costs — medians on this shared
+    box carry a few percent of one-sided noise, which is larger than
+    the 2% difference being resolved.
+    """
     cold = engine.execute(QUERY)
     times = []
     for _ in range(repeats):
@@ -69,15 +83,25 @@ def time_round(engine, repeats: int) -> float:
         times.append(time.perf_counter() - t0)
     assert warm.counters.cache_hits > 0, "repeat did not hit the predicate cache"
     assert warm.column("c")[0] == cold.column("c")[0]
-    return statistics.median(times)
+    return min(times)
 
 
 def measure(db, modes, rounds: int, repeats: int) -> dict:
     """Interleave rounds of every mode so machine drift hits all alike;
-    keep each mode's best (least-noisy) round."""
+    keep each mode's best (least-noisy) round.
+
+    The order of modes rotates every round: with a fixed order the same
+    mode always runs into the same allocator/cache state left by its
+    predecessor, which showed up as a systematic few-percent skew —
+    larger than the 2% being measured.  An uncounted warm-up round
+    touches every path (imports, pools, block cache) first.
+    """
     best = {mode: float("inf") for mode in modes}
-    for _ in range(rounds):
-        for mode in modes:
+    for mode in modes:
+        time_round(make_engine(db, mode), 1)
+    for r in range(rounds):
+        pivot = r % len(modes)
+        for mode in modes[pivot:] + modes[:pivot]:
             engine = make_engine(db, mode)
             best[mode] = min(best[mode], time_round(engine, repeats))
     return best
@@ -88,7 +112,7 @@ def main() -> int:
     num_rows = 40_000 if smoke else 240_000
     rounds = 3 if smoke else 7
     repeats = 3 if smoke else 7
-    modes = ["baseline", "metrics", "tracing"]
+    modes = ["baseline", "metrics", "tracing", "parallel", "parallel-tracing"]
     print(f"BENCH_obs_overhead: {num_rows} rows, {rounds} rounds x {repeats} "
           f"repeats ({'smoke' if smoke else 'full'} mode)")
 
@@ -97,12 +121,20 @@ def main() -> int:
 
     metrics_overhead = best["metrics"] / best["baseline"] - 1.0
     tracing_overhead = best["tracing"] / best["baseline"] - 1.0
-    gate_pass = metrics_overhead <= OVERHEAD_GATE
+    # Parallel tracing is measured against an untraced *parallel* run:
+    # the span machinery (per-task counters, now() windows, barrier
+    # emit) must stay under the same 2% bar as serial metrics.
+    parallel_tracing_overhead = best["parallel-tracing"] / best["parallel"] - 1.0
+    gate_pass = (
+        metrics_overhead <= OVERHEAD_GATE
+        and parallel_tracing_overhead <= OVERHEAD_GATE
+    )
     for mode in modes:
-        print(f"  {mode:8s} cached repeat: {best[mode] * 1e3:8.3f} ms")
+        print(f"  {mode:16s} cached repeat: {best[mode] * 1e3:8.3f} ms")
     print(f"  metrics overhead {metrics_overhead * 100:+.2f}%  "
-          f"tracing overhead {tracing_overhead * 100:+.2f}%")
-    print(f"gate metrics <= {OVERHEAD_GATE * 100:.0f}% -> "
+          f"tracing overhead {tracing_overhead * 100:+.2f}%  "
+          f"parallel tracing overhead {parallel_tracing_overhead * 100:+.2f}%")
+    print(f"gate metrics and parallel tracing <= {OVERHEAD_GATE * 100:.0f}% -> "
           f"{'PASS' if gate_pass else 'FAIL'}")
 
     report = {
@@ -115,8 +147,10 @@ def main() -> int:
         "repeat_s_best": best,
         "metrics_overhead_fraction": metrics_overhead,
         "tracing_overhead_fraction": tracing_overhead,
+        "parallel_tracing_overhead_fraction": parallel_tracing_overhead,
         "gate": {
             "max_metrics_overhead": OVERHEAD_GATE,
+            "max_parallel_tracing_overhead": OVERHEAD_GATE,
             "pass": gate_pass,
             "gating": not smoke,
         },

@@ -1,0 +1,298 @@
+"""Benchmark: parallel slice scans + memory-mapped out-of-core tables.
+
+Three claims from the parallel-execution PR, each measured on this
+machine rather than read off a recorded number:
+
+1. **Cold-scan speedup.**  Remote block fetches dominate a cold scan in
+   the paper's cloud setting, and they overlap across slices.  The RMS
+   models that round trip with ``fetch_delay_seconds`` (a real sleep per
+   remote fetch, default off); with it armed, fanning slices over the
+   worker pool must deliver >= 2.5x at 4 workers over serial.
+
+2. **Serial mode is free.**  With parallelism off (the default), the
+   refactored scan path — phased LRU settlement, coordinator-side cache
+   installs — must stay within 2% of the PR 5 hot path, compared
+   against the committed full-mode ``BENCH_scan_repeat.json`` numbers.
+
+3. **Determinism.**  ``blocks_accessed`` (and the query result) must be
+   identical at every worker count: parallelism changes wall-clock,
+   never what was fetched.
+
+Plus the out-of-core acceptance run: a 10x-scale table whose sealed
+payloads live in a :class:`~repro.storage.MemmapBlockStore` completes
+the same sweep with nearly all column bytes spilled to disk and the
+decoded-block cache bounded, i.e. without the table resident in RAM.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_parallel_scan.py          # full
+    PYTHONPATH=src python benchmarks/perf/bench_parallel_scan.py --smoke  # CI
+
+Writes ``benchmarks/results/BENCH_parallel_scan.json``.  Full mode
+enforces the gates (exit 1 on failure); smoke mode records but never
+gates, so CI stays robust to shared-runner timing noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_scan_repeat import (  # noqa: E402
+    QUERY,
+    build_database,
+    legacy_hot_path,
+    measure_mode,
+)
+
+from repro import (  # noqa: E402
+    Database,
+    MemmapBlockStore,
+    PredicateCache,
+    PredicateCacheConfig,
+    QueryEngine,
+)
+from repro.storage import ColumnSpec, DataType, TableSchema  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+BASELINE_PATH = os.path.join(RESULTS_DIR, "BENCH_scan_repeat_baseline_pr5.json")
+
+PARALLEL_GATE = 2.5  # required cold-scan speedup at 4 workers
+SERIAL_BUDGET = 1.02  # serial repeat may cost at most 2% over PR 5
+WORKER_SWEEP = (0, 1, 2, 4, 8)
+
+# Modeled remote-fetch round trip.  240k rows / 500 rows-per-block x 2
+# fetched columns ~= 960 fetches: at 0.5 ms each a serial cold scan is
+# ~0.5 s of fetch latency, comfortably above timer noise and far above
+# the pool's submit overhead.
+FETCH_DELAY_S = 0.0005
+
+
+def measure_cold_sweep(db: Database, trials: int) -> dict:
+    """Cold-scan wall clock per worker count, fetch latency armed."""
+    db.rms.fetch_delay_seconds = FETCH_DELAY_S
+    sweep = {}
+    try:
+        for workers in WORKER_SWEEP:
+            times = []
+            for _ in range(trials):
+                db.rms.clear()  # every trial pays full remote fetches
+                cache = PredicateCache(PredicateCacheConfig(variant="range"))
+                engine = QueryEngine(db, predicate_cache=cache, scan_workers=workers)
+                t0 = time.perf_counter()
+                result = engine.execute(QUERY)
+                times.append(time.perf_counter() - t0)
+            sweep[workers] = {
+                "cold_s_median": statistics.median(times),
+                "cold_s_best": min(times),
+                "blocks_accessed": int(result.counters.blocks_accessed),
+                "remote_fetches": int(result.counters.remote_fetches),
+                "rows_scanned": int(result.counters.rows_scanned),
+                "result": int(result.column("c")[0]),
+            }
+    finally:
+        db.rms.fetch_delay_seconds = 0.0
+        db.rms.clear()
+    return sweep
+
+
+def load_serial_baseline() -> dict | None:
+    """PR 5 full-mode numbers, if the committed baseline file has them."""
+    try:
+        with open(BASELINE_PATH) as f:
+            baseline = json.load(f)
+    except (OSError, ValueError):
+        return None
+    if baseline.get("mode") != "full":
+        return None  # smoke numbers gate nothing
+    new, legacy = baseline.get("new"), baseline.get("legacy")
+    if not new or not legacy:
+        return None
+    return {"new": new, "legacy": legacy}
+
+
+def build_memmap_database(num_rows: int, store: MemmapBlockStore) -> Database:
+    """The bench table at out-of-core scale, sealed through ``store``."""
+    db = Database(
+        num_slices=8, rows_per_block=500, cache_capacity=256, block_store=store
+    )
+    db.create_table(TableSchema("lineitem", (
+        ColumnSpec("orderkey", DataType.INT64),
+        ColumnSpec("quantity", DataType.INT64),
+        ColumnSpec("discount", DataType.INT64),
+    )))
+    rng = np.random.default_rng(7)
+    engine = QueryEngine(db)
+    engine.insert("lineitem", {
+        "orderkey": np.arange(num_rows, dtype=np.int64),
+        "quantity": rng.integers(1, 50, size=num_rows),
+        "discount": rng.integers(0, 1000, size=num_rows),
+    })
+    return db
+
+
+def expected_result(num_rows: int) -> int:
+    """Recompute the bench query's count from the generator stream."""
+    rng = np.random.default_rng(7)
+    rng.integers(1, 50, size=num_rows)  # quantity (drawn first at insert)
+    discount = rng.integers(0, 1000, size=num_rows)
+    return int((discount < 150).sum())
+
+
+def measure_memmap_scale(num_rows: int) -> dict:
+    """Cold + cached sweep over a memmap-backed 10x-scale table."""
+    with tempfile.TemporaryDirectory(prefix="bench_memmap_") as spill_dir:
+        store = MemmapBlockStore(spill_dir)
+        t0 = time.perf_counter()
+        db = build_memmap_database(num_rows, store)
+        build_s = time.perf_counter() - t0
+        total_blocks = sum(
+            len(column.blocks)
+            for data_slice in db.table("lineitem").slices
+            for column in data_slice.columns.values()
+        )
+        cache = PredicateCache(PredicateCacheConfig(variant="range"))
+        engine = QueryEngine(db, predicate_cache=cache, scan_workers=4)
+        t0 = time.perf_counter()
+        cold = engine.execute(QUERY)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = engine.execute(QUERY)
+        repeat_s = time.perf_counter() - t0
+        assert warm.counters.cache_hits > 0, "repeat missed the predicate cache"
+        return {
+            "num_rows": num_rows,
+            "build_s": build_s,
+            "cold_s": cold_s,
+            "repeat_s": repeat_s,
+            "result": int(cold.column("c")[0]),
+            "expected": expected_result(num_rows),
+            "total_blocks": total_blocks,
+            "spilled_blocks": store.spilled_blocks,
+            "spilled_mib": store.spilled_bytes / (1 << 20),
+            "spilled_block_fraction": store.spilled_blocks / total_blocks,
+            "resident_decoded_blocks": db.rms.cached_blocks,
+            "decoded_cache_capacity": db.rms.cache_capacity,
+        }
+
+
+def main() -> int:
+    smoke = "--smoke" in sys.argv
+    num_rows = 40_000 if smoke else 240_000
+    repeats = 3 if smoke else 9
+    trials = 1 if smoke else 3
+    memmap_rows = 200_000 if smoke else 2_400_000
+    print(f"BENCH_parallel_scan: {num_rows} rows, workers {WORKER_SWEEP} "
+          f"({'smoke' if smoke else 'full'} mode)")
+
+    # -- 2 first: serial mode must not regress vs the PR 5 numbers -------------
+    # Measured before the worker sweep so thread-pool warm-up and
+    # scheduler churn from the latency sweep can't contaminate it.
+    # Wall clock on a shared box drifts with load, so the comparison is
+    # calibrated: both this run and the committed PR 5 baseline measure
+    # the frozen seed hot path (``legacy_hot_path``) in-run, and the
+    # gate compares the *legacy-normalized* cached-repeat time.  Machine
+    # slowdowns cancel; only genuine hot-path regressions remain.
+    serial_db = build_database(num_rows)
+    serial_stats = measure_mode(serial_db, repeats)
+    with legacy_hot_path():
+        legacy_stats = measure_mode(serial_db, repeats)
+    baseline = load_serial_baseline() if not smoke else None
+    if baseline is not None:
+        now_ratio = serial_stats["repeat_s_best"] / legacy_stats["repeat_s_best"]
+        base_ratio = (
+            baseline["new"]["repeat_s_best"] / baseline["legacy"]["repeat_s_best"]
+        )
+        serial_ratio = now_ratio / base_ratio
+        serial_pass = serial_ratio <= SERIAL_BUDGET
+        print(f"  serial cached repeat: {serial_stats['repeat_s_best'] * 1e3:.2f} ms "
+              f"({now_ratio:.4f} of legacy) vs PR 5 {base_ratio:.4f} of legacy "
+              f"(normalized ratio {serial_ratio:.3f}, budget {SERIAL_BUDGET} -> "
+              f"{'PASS' if serial_pass else 'FAIL'})")
+    else:
+        serial_ratio = None
+        serial_pass = True
+        print("  serial baseline unavailable — regression gate skipped")
+
+    # -- 1+3: cold-scan sweep under modeled fetch latency ----------------------
+    sweep_db = build_database(num_rows, num_slices=8)
+    sweep = measure_cold_sweep(sweep_db, trials)
+    serial_row = sweep[0]
+    for workers, row in sweep.items():
+        marker = "" if workers else "  (serial)"
+        print(f"  {workers} workers: cold {row['cold_s_median'] * 1e3:8.2f} ms   "
+              f"blocks {row['blocks_accessed']}{marker}")
+    identical = all(
+        (row["blocks_accessed"], row["result"], row["rows_scanned"])
+        == (serial_row["blocks_accessed"], serial_row["result"],
+            serial_row["rows_scanned"])
+        for row in sweep.values()
+    )
+    speedup_4 = serial_row["cold_s_median"] / sweep[4]["cold_s_median"]
+    speedup_pass = speedup_4 >= PARALLEL_GATE
+    print(f"  cold-scan speedup at 4 workers: {speedup_4:5.2f}x "
+          f"(gate {PARALLEL_GATE}x -> {'PASS' if speedup_pass else 'FAIL'})")
+    print(f"  blocks/result identical across worker counts: "
+          f"{'PASS' if identical else 'FAIL'}")
+
+    # -- out-of-core acceptance: 10x scale through the memmap store ------------
+    print(f"  memmap scale run: {memmap_rows} rows ...")
+    scale = measure_memmap_scale(memmap_rows)
+    scale_pass = (
+        scale["result"] == scale["expected"]
+        and scale["spilled_block_fraction"] >= 0.9
+        and scale["resident_decoded_blocks"] <= scale["decoded_cache_capacity"]
+    )
+    print(f"    build {scale['build_s']:.2f} s, cold {scale['cold_s'] * 1e3:.1f} ms, "
+          f"repeat {scale['repeat_s'] * 1e3:.1f} ms")
+    print(f"    spilled {scale['spilled_blocks']}/{scale['total_blocks']} blocks "
+          f"({scale['spilled_mib']:.1f} MiB), decoded cache "
+          f"{scale['resident_decoded_blocks']}/{scale['decoded_cache_capacity']} "
+          f"-> {'PASS' if scale_pass else 'FAIL'}")
+
+    gate_pass = speedup_pass and identical and serial_pass and scale_pass
+    print(f"gate -> {'PASS' if gate_pass else 'FAIL'}")
+
+    report = {
+        "benchmark": "parallel_scan",
+        "mode": "smoke" if smoke else "full",
+        "query": QUERY,
+        "num_rows": num_rows,
+        "fetch_delay_s": FETCH_DELAY_S,
+        "worker_sweep": {str(w): row for w, row in sweep.items()},
+        "speedup_cold_4_workers": speedup_4,
+        "serial": serial_stats,
+        "serial_legacy": legacy_stats,
+        "serial_baseline": baseline,
+        "serial_normalized_ratio": serial_ratio,
+        "memmap_scale": scale,
+        "gate": {
+            "required_speedup": PARALLEL_GATE,
+            "serial_budget": SERIAL_BUDGET,
+            "speedup_pass": speedup_pass,
+            "identical_blocks_pass": identical,
+            "serial_pass": serial_pass,
+            "scale_pass": scale_pass,
+            "pass": gate_pass,
+            "gating": not smoke,
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out = os.path.join(RESULTS_DIR, "BENCH_parallel_scan.json")
+    with open(out, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"[saved to {out}]")
+    if not smoke and not gate_pass:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

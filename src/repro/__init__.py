@@ -44,7 +44,14 @@ from .faults import (
 from .obs import MetricsRegistry, Span, Tracer
 from .persist import CacheStore
 from .predicates import normalize, parse_predicate
-from .storage import ColumnSpec, Database, DataType, Table, TableSchema
+from .storage import (
+    ColumnSpec,
+    Database,
+    DataType,
+    MemmapBlockStore,
+    Table,
+    TableSchema,
+)
 
 __version__ = "1.0.0"
 
@@ -59,6 +66,7 @@ __all__ = [
     "ColumnSpec",
     "CostModel",
     "Database",
+    "MemmapBlockStore",
     "DataType",
     "FaultInjector",
     "MetricsRegistry",

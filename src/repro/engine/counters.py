@@ -8,8 +8,9 @@ the :class:`~repro.engine.cost.CostModel` (plus measured wall time).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, fields
+from operator import attrgetter
+from typing import Dict, Tuple
 
 __all__ = ["QueryCounters"]
 
@@ -106,20 +107,37 @@ class QueryCounters:
         self.wall_seconds = 0.0
         self.model_seconds = 0.0
 
-    def snapshot(self) -> "QueryCounters":
-        """An independent copy (for before/after deltas)."""
-        return QueryCounters(**vars(self))
+    def snapshot(self) -> Tuple[float, ...]:
+        """Current values as a flat tuple (for before/after deltas).
 
-    def delta(self, before: "QueryCounters") -> Dict[str, float]:
-        """Non-zero numeric changes since ``before`` (span attributes)."""
+        Deliberately not a ``QueryCounters`` copy: tracing snapshots run
+        twice per slice per traced scan — per worker in parallel mode —
+        and a plain tuple skips dataclass construction entirely.  The
+        field order is :data:`_FIELD_NAMES` (dataclass declaration
+        order); only :meth:`delta` should interpret it.
+        """
+        return _SNAPSHOT(self)
+
+    def delta(self, before: Tuple[float, ...]) -> Dict[str, float]:
+        """Non-zero numeric changes since a :meth:`snapshot` tuple
+        (span attributes)."""
         out: Dict[str, float] = {}
-        for name, value in vars(self).items():
+        for name, previous in zip(_FIELD_NAMES, before):
             if name == "result_cache_hit":
                 continue
-            diff = value - getattr(before, name)
+            diff = getattr(self, name) - previous
             if diff:
                 out[name] = diff
         return out
 
     def as_dict(self) -> Dict[str, float]:
         return dict(vars(self))
+
+
+#: Dataclass field order — derived, so it cannot drift from the class.
+_FIELD_NAMES: Tuple[str, ...] = tuple(f.name for f in fields(QueryCounters))
+_SNAPSHOT = attrgetter(*_FIELD_NAMES)
+
+#: Snapshot of a zero counter set; the parallel coordinator deltas each
+#: worker's fresh counters against this to build span attributes.
+ZERO_SNAPSHOT: Tuple[float, ...] = _SNAPSHOT(QueryCounters())

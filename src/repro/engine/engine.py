@@ -81,6 +81,7 @@ class QueryEngine:
         cost_model: Optional[CostModel] = None,
         tracer=None,
         metrics=None,
+        scan_workers: Optional[int] = None,
     ) -> None:
         """Args beyond the caching layers:
 
@@ -93,6 +94,10 @@ class QueryEngine:
             predicate cache's and database's metrics.  Both default to
             ``None`` — the uninstrumented engine runs the exact
             pre-observability code path.
+        scan_workers: slice-scan worker threads for this engine; ``0``
+            forces serial, ``None`` (default) defers to the session
+            configuration (``REPRO_PARALLEL`` / ``REPRO_SCAN_WORKERS``).
+            Worker counts never change results or surfaced counters.
         """
         self.database = database
         self.predicate_cache = predicate_cache
@@ -100,7 +105,8 @@ class QueryEngine:
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.tracer = tracer
         self.metrics = metrics
-        self._executor = Executor(database, predicate_cache)
+        self.scan_workers = scan_workers
+        self._executor = Executor(database, predicate_cache, scan_workers=scan_workers)
         self._m_queries = None
         if metrics is not None:
             self._register_metrics(metrics)
@@ -361,7 +367,10 @@ class QueryEngine:
         # Deletes bypass the predicate cache: reusing a cached entry here
         # would be correct (false positives re-checked), but Redshift's
         # prototype hooks only the SELECT scan path.
-        result = execute_scan(table, predicate, read_txid, counters, cache=None)
+        result = execute_scan(
+            table, predicate, read_txid, counters, cache=None,
+            workers=self.scan_workers,
+        )
         write_txid = self.database.begin()
         deleted = 0
         for slice_id, qualifying in enumerate(result.per_slice):
@@ -386,7 +395,10 @@ class QueryEngine:
             self.database.rms.reset_retry_budget()
         read_txid = self.database.begin()
         counters = QueryCounters()
-        result = execute_scan(table, predicate, read_txid, counters, cache=None)
+        result = execute_scan(
+            table, predicate, read_txid, counters, cache=None,
+            workers=self.scan_workers,
+        )
         old_rows = result.gather(table.schema.column_names)
         count = _batch_len(old_rows)
         if count == 0:

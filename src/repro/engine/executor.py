@@ -48,9 +48,11 @@ class Executor:
         self,
         database: Database,
         predicate_cache: Optional[PredicateCache] = None,
+        scan_workers: Optional[int] = None,
     ) -> None:
         self.database = database
         self.predicate_cache = predicate_cache
+        self.scan_workers = scan_workers
 
     def execute(
         self,
@@ -165,6 +167,14 @@ class Executor:
         schema_columns = set(table.schema.column_names)
         # Only filters whose probe column this table provides apply here.
         local_filters = [f for f in filters if f.probe_column in schema_columns]
+        if node.columns is not None:
+            columns = [c for c in node.columns if c in needed] or list(node.columns)
+        else:
+            columns = sorted(needed & schema_columns)
+        if not columns:
+            # Nothing but a row count is needed (e.g. ``count(*)``):
+            # gather the virtual row column instead of real data.
+            columns = ["__rows__"]
         result = execute_scan(
             table,
             node.predicate,
@@ -174,15 +184,11 @@ class Executor:
             semijoins=local_filters,
             current_versions=self._current_versions(local_filters),
             tracer=tracer,
+            workers=self.scan_workers,
+            # The slice tasks materialize the output columns themselves,
+            # so gather latency overlaps across slices in parallel mode.
+            gather_columns=[c for c in columns if c != "__rows__"],
         )
-        if node.columns is not None:
-            columns = [c for c in node.columns if c in needed] or list(node.columns)
-        else:
-            columns = sorted(needed & schema_columns)
-        if not columns:
-            # Nothing but a row count is needed (e.g. ``count(*)``):
-            # gather the virtual row column instead of real data.
-            columns = ["__rows__"]
         return result.gather(columns)
 
     def _current_versions(

@@ -20,13 +20,22 @@ Step 4's coverage rule keeps entries sound: a scan restricted by a
 those candidates, so it must not write the plain entry.  A scan
 restricted by the *plain* entry covers every join-qualifying row (the
 join result is a subset of the predicate result), so it may write both.
+
+Execution is coordinator/worker structured (see ``parallel.py``): the
+coordinating thread resolves cache contexts, dispatches one
+:func:`_scan_slice` task per slice (serially, or over a worker pool),
+and at the barrier merges per-task counters, emits tracer spans, and
+installs cache entries — all in slice order.  Worker code touches only
+per-task state plus the internally-synchronized storage read path;
+linter rule RP006 rejects shared-state mutation inside the worker
+functions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,8 +45,9 @@ from ..core.rowrange import RangeList
 from ..predicates.ast import Predicate, TruePredicate
 from ..storage.slice import DataSlice
 from ..storage.table import Table
+from . import parallel
 from .bloom import BloomFilter
-from .counters import QueryCounters
+from .counters import ZERO_SNAPSHOT, QueryCounters
 from .hashing import stable_int_keys
 
 __all__ = ["SemiJoinFilter", "ScanResult", "execute_scan"]
@@ -60,6 +70,11 @@ class ScanResult:
     table: Table
     per_slice: List[RangeList]
     txid: int
+    #: Per-slice output columns materialized by the scan itself (the
+    #: ``gather_columns`` of :func:`execute_scan`).  Reading them inside
+    #: the slice tasks lets a parallel scan overlap the gather fetches
+    #: too; ``gather`` falls back to storage for anything not here.
+    prefetched: Optional[List[Dict[str, np.ndarray]]] = None
 
     @cached_property
     def num_rows(self) -> int:
@@ -70,18 +85,28 @@ class ScanResult:
 
         Reads go through managed storage (block accesses are counted) —
         this is step (6) of Fig. 11, loading and decompressing only the
-        required columns of qualifying rows.  The virtual column
-        ``"__rows__"`` yields a zero array of the right length without
-        touching storage (used by ``count(*)``-only plans).
+        required columns of qualifying rows.  Columns the slice scans
+        already materialized (``prefetched``) are assembled without
+        touching storage again.  The virtual column ``"__rows__"``
+        yields a zero array of the right length without touching
+        storage (used by ``count(*)``-only plans).
         """
         if list(columns) == ["__rows__"]:
             return {"__rows__": np.zeros(self.num_rows, dtype=np.int8)}
         out: Dict[str, List[np.ndarray]] = {name: [] for name in columns}
-        for s, qualifying in zip(self.table.slices, self.per_slice):
+        for slice_id, (s, qualifying) in enumerate(
+            zip(self.table.slices, self.per_slice)
+        ):
             if not qualifying:
                 continue
+            ready = self.prefetched[slice_id] if self.prefetched else {}
             for name in columns:
-                out[name].append(s.columns[name].read_ranges(qualifying, self.table.rms))
+                if name in ready:
+                    out[name].append(ready[name])
+                else:
+                    out[name].append(
+                        s.columns[name].read_ranges(qualifying, self.table.rms)
+                    )
         result: Dict[str, np.ndarray] = {}
         for name in columns:
             pieces = out[name]
@@ -108,6 +133,8 @@ def execute_scan(
     semijoins: Sequence[SemiJoinFilter] = (),
     current_versions: Optional[Mapping[str, int]] = None,
     tracer=None,
+    workers: Optional[int] = None,
+    gather_columns: Sequence[str] = (),
 ) -> ScanResult:
     """Run the two-step scan over every slice of ``table``.
 
@@ -124,6 +151,15 @@ def execute_scan(
             records ``cache-lookup`` and per-slice ``scan[slice]`` spans
             with counter and block-fetch deltas.  ``None`` keeps the
             pre-instrumentation hot path byte-for-byte.
+        workers: slice-scan worker threads; ``0`` forces serial, ``None``
+            defers to the session configuration (``REPRO_PARALLEL`` /
+            ``REPRO_SCAN_WORKERS``).  Results and surfaced counters are
+            bit-identical across worker counts.
+        gather_columns: output columns the caller will gather from the
+            result.  The slice tasks materialize them for their
+            qualifying rows — the same reads ``ScanResult.gather``
+            would issue, moved inside the (possibly parallel) scan so
+            their fetch latency overlaps across slices too.
 
     Returns:
         Per-slice qualifying row ranges (post predicate, semi-join
@@ -156,31 +192,45 @@ def execute_scan(
     # Columns the vectorized scan needs.
     scan_columns = sorted(predicate.columns() | {sj.probe_column for sj in semijoins})
 
-    shared_context: Optional[_SliceCacheContext] = None
-    if cache is not None and not per_node:
-        shared_context = _prepare_cache_context(
-            cache, table, predicate, plain_key, join_key,
-            build_versions, current_versions, counters, tracer,
-        )
+    num_workers = (
+        parallel.configured_workers() if workers is None else max(0, int(workers))
+    )
 
-    per_slice: List[RangeList] = []
-    # One policy observation per (node, scan) — not per slice — so a
-    # "sighting" means one execution of the scan, like the paper's
-    # repetitiveness notion.
-    node_observations: Dict[int, List] = {}
-    node_contexts: Dict[int, _SliceCacheContext] = {}
-    for slice_id, data_slice in enumerate(table.slices):
-        if per_node:
+    # -- coordinator pre-pass: resolve cache contexts per slice -------------
+    # One context per *cache node*, held by direct reference (never
+    # keyed by ``id()``: a collected cache's id can be reused mid-scan,
+    # which would alias two distinct nodes into one context).  A plain
+    # single-node cache shares one context across every slice.
+    contexts: List[Optional[_SliceCacheContext]]
+    node_contexts: List[_SliceCacheContext] = []
+    if cache is not None and per_node:
+        contexts = []
+        for slice_id in range(len(table.slices)):
             node_cache = cache.cache_for_slice(slice_id)
-            context = node_contexts.get(id(node_cache))
+            context = None
+            for known in node_contexts:
+                if known.cache is node_cache:
+                    context = known
+                    break
             if context is None:
                 context = _prepare_cache_context(
                     node_cache, table, predicate, plain_key, join_key,
                     build_versions, current_versions, counters, tracer,
                 )
-                node_contexts[id(node_cache)] = context
-        else:
-            context = shared_context
+                node_contexts.append(context)
+            contexts.append(context)
+    elif cache is not None:
+        shared_context = _prepare_cache_context(
+            cache, table, predicate, plain_key, join_key,
+            build_versions, current_versions, counters, tracer,
+        )
+        contexts = [shared_context] * len(table.slices)
+        node_contexts.append(shared_context)
+    else:
+        contexts = [None] * len(table.slices)
+
+    for slice_id, data_slice in enumerate(table.slices):
+        context = contexts[slice_id]
         if context is not None and context.entry is not None:
             state = context.entry.slice_states[slice_id]
             if state is not None and state.last_cached_row > data_slice.num_rows:
@@ -192,65 +242,193 @@ def execute_scan(
                 context.cache.drop_stale(context.entry.key)
                 counters.degraded_scans += 1
                 context.entry = None
-        slice_span = None
-        if tracer is not None:
-            slice_span = tracer.begin(
-                f"scan[slice {slice_id}]", table=table.name, slice=slice_id
-            )
-            counters_before = counters.snapshot()
-            storage_before = table.rms.stats.snapshot()
-        qualifying = _scan_slice(
-            table,
-            data_slice,
-            slice_id,
-            predicate,
-            semijoins,
-            txid,
-            counters,
-            context.entry if context else None,
-            scan_columns,
-            context.cache if context else None,
-            context.join_entry if context else None,
-            context.plain_entry if context else None,
-        )
-        if slice_span is not None:
-            slice_span.update(counters.delta(counters_before))
-            storage_delta = table.rms.stats.delta(storage_before)
-            slice_span.set("blocks_fetched", storage_delta.blocks_accessed)
-            slice_span.set("cache_basis", context.basis if context else "off")
-            tracer.end(slice_span)
-        per_slice.append(qualifying)
-        if context is not None and per_node:
-            stats = node_observations.setdefault(
-                id(context.cache), [context.cache, 0, 0]
-            )
-            stats[1] += qualifying.num_rows
-            stats[2] += data_slice.num_rows
 
-    if shared_context is not None:
+    # -- dispatch ------------------------------------------------------------
+    if num_workers <= 0:
+        results = _run_slices_serial(
+            table, predicate, semijoins, txid, counters,
+            contexts, scan_columns, list(gather_columns), tracer,
+        )
+    else:
+        results = _run_slices_parallel(
+            table, predicate, semijoins, txid, counters,
+            contexts, scan_columns, list(gather_columns), tracer, num_workers,
+        )
+    per_slice: List[RangeList] = [qualifying for qualifying, _, _ in results]
+    prefetched = [materialized for _, _, materialized in results]
+
+    # -- barrier: install cache entries, coordinator-side, in slice order ----
+    # Workers never write the cache (RP006); batching the installs here
+    # keeps the cache mutation sequence identical whatever order the
+    # slice tasks actually completed in.
+    for slice_id, (qualifying, q_plain, _) in enumerate(results):
+        context = contexts[slice_id]
+        if context is None:
+            continue
+        num_rows = table.slices[slice_id].num_rows
+        if context.join_entry is not None:
+            context.cache.record_slice_scan(
+                context.join_entry, slice_id, qualifying, num_rows
+            )
+            context.join_entry.record_scan_stats(qualifying.num_rows, num_rows)
+        if context.plain_entry is not None:
+            context.cache.record_slice_scan(
+                context.plain_entry, slice_id, q_plain, num_rows
+            )
+            context.plain_entry.record_scan_stats(q_plain.num_rows, num_rows)
+
+    # One policy observation per (node, scan) — not per slice — so a
+    # "sighting" means one execution of the scan, like the paper's
+    # repetitiveness notion.
+    if cache is not None and per_node:
+        for slice_id, (qualifying, _, _) in enumerate(results):
+            context = contexts[slice_id]
+            if context is not None:
+                context.qualifying_rows += qualifying.num_rows
+                context.total_rows += table.slices[slice_id].num_rows
+        for context in node_contexts:
+            _observe_policy(
+                context.cache, predicate, plain_key, join_key,
+                context.qualifying_rows, max(1, context.total_rows),
+            )
+    elif cache is not None:
         total_q = sum(q.num_rows for q in per_slice)
         _observe_policy(
-            shared_context.cache, predicate, plain_key, join_key,
+            node_contexts[0].cache, predicate, plain_key, join_key,
             total_q, max(1, table.num_rows),
         )
-    for node_cache, qualifying_rows, total_rows in node_observations.values():
-        _observe_policy(
-            node_cache, predicate, plain_key, join_key,
-            qualifying_rows, max(1, total_rows),
-        )
 
-    return ScanResult(table, per_slice, txid)
+    return ScanResult(table, per_slice, txid, prefetched)
+
+
+def _run_slices_serial(
+    table: Table,
+    predicate: Predicate,
+    semijoins: Sequence[SemiJoinFilter],
+    txid: int,
+    counters: QueryCounters,
+    contexts: List[Optional["_SliceCacheContext"]],
+    scan_columns: List[str],
+    gather_columns: List[str],
+    tracer,
+) -> List[Tuple[RangeList, RangeList, Dict[str, np.ndarray]]]:
+    """Scan every slice on the calling thread, in slice order."""
+    rms = table.rms
+    results: List[Tuple[RangeList, RangeList, Dict[str, np.ndarray]]] = []
+    rms.begin_scan_phase(concurrent=False)
+    try:
+        for slice_id, data_slice in enumerate(table.slices):
+            context = contexts[slice_id]
+            slice_span = None
+            if tracer is not None:
+                slice_span = tracer.begin(
+                    f"scan[slice {slice_id}]", table=table.name, slice=slice_id
+                )
+                counters_before = counters.snapshot()
+                storage_before = rms.stats.snapshot()
+            pair = _scan_slice(
+                table, data_slice, slice_id, predicate, semijoins,
+                txid, counters,
+                context.entry if context is not None else None,
+                scan_columns, gather_columns,
+            )
+            if slice_span is not None:
+                slice_span.update(counters.delta(counters_before))
+                storage_delta = rms.stats.delta(storage_before)
+                slice_span.set("blocks_fetched", storage_delta.blocks_accessed)
+                slice_span.set(
+                    "cache_basis", context.basis if context is not None else "off"
+                )
+                tracer.end(slice_span)
+            results.append(pair)
+    finally:
+        rms.end_scan_phase()
+    return results
+
+
+def _run_slices_parallel(
+    table: Table,
+    predicate: Predicate,
+    semijoins: Sequence[SemiJoinFilter],
+    txid: int,
+    counters: QueryCounters,
+    contexts: List[Optional["_SliceCacheContext"]],
+    scan_columns: List[str],
+    gather_columns: List[str],
+    tracer,
+    num_workers: int,
+) -> List[Tuple[RangeList, RangeList, Dict[str, np.ndarray]]]:
+    """Fan the slice scans over a worker pool; merge at the barrier.
+
+    Each task gets a fresh ``QueryCounters`` and records its own span
+    window via the tracer's shared clock; the coordinator merges the
+    counters and emits the spans in slice order, so traces and totals
+    match the serial executor exactly.
+    """
+    rms = table.rms
+    executor = parallel.ParallelScanExecutor(num_workers)
+
+    def make_task(slice_id: int, data_slice: DataSlice, entry):
+        def task() -> Tuple[
+            Tuple[RangeList, RangeList, Dict[str, np.ndarray]],
+            QueryCounters, float, float,
+        ]:
+            local = QueryCounters()
+            start = tracer.now() if tracer is not None else 0.0
+            pair = _scan_slice(
+                table, data_slice, slice_id, predicate, semijoins,
+                txid, local, entry, scan_columns, gather_columns,
+            )
+            end = tracer.now() if tracer is not None else 0.0
+            return pair, local, start, end
+
+        return task
+
+    tasks = [
+        make_task(
+            slice_id,
+            data_slice,
+            contexts[slice_id].entry if contexts[slice_id] is not None else None,
+        )
+        for slice_id, data_slice in enumerate(table.slices)
+    ]
+    rms.begin_scan_phase(concurrent=True)
+    try:
+        outcomes = executor.run(tasks)
+    finally:
+        access_counts = rms.end_scan_phase()
+
+    results: List[Tuple[RangeList, RangeList, Dict[str, np.ndarray]]] = []
+    for slice_id, (pair, local, start, end) in enumerate(outcomes):
+        counters.merge(local)
+        if tracer is not None:
+            context = contexts[slice_id]
+            attrs: Dict[str, object] = {"table": table.name, "slice": slice_id}
+            attrs.update(local.delta(ZERO_SNAPSHOT))
+            attrs["blocks_fetched"] = access_counts.get(slice_id, 0)
+            attrs["cache_basis"] = context.basis if context is not None else "off"
+            tracer.emit(f"scan[slice {slice_id}]", start, end, attrs)
+        results.append(pair)
+    return results
 
 
 @dataclass
 class _SliceCacheContext:
-    """Resolved cache interaction for a scan (or one slice of it)."""
+    """Resolved cache interaction for a scan (or one cache node of it).
+
+    Built by the coordinator before dispatch and mutated only by the
+    coordinator afterwards; workers read ``entry`` (immutable slice
+    states) and nothing else.  ``qualifying_rows``/``total_rows``
+    accumulate the per-node policy observation at the barrier.
+    """
 
     cache: PredicateCache
     entry: Optional[object]
     join_entry: Optional[object]
     plain_entry: Optional[object]
     basis: str = "full"
+    qualifying_rows: int = 0
+    total_rows: int = 0
 
 
 def _prepare_cache_context(
@@ -341,10 +519,15 @@ def _scan_slice(
     counters: QueryCounters,
     entry,
     scan_columns: List[str],
-    cache: Optional[PredicateCache],
-    join_entry,
-    plain_entry,
-) -> RangeList:
+    gather_columns: List[str],
+) -> Tuple[RangeList, RangeList, Dict[str, np.ndarray]]:
+    """Scan one slice; returns ``(qualifying, plain-qualifying,
+    materialized gather columns)``.
+
+    Worker-side code: may run on a pool thread with a per-task
+    ``counters``.  It must not mutate shared engine or cache state —
+    entry installs happen at the coordinator's barrier (rule RP006).
+    """
     num_rows = data_slice.num_rows
     state = entry.slice_states[slice_id] if entry is not None else None
 
@@ -399,15 +582,17 @@ def _scan_slice(
 
     counters.rows_qualifying += qualifying.num_rows
 
-    if cache is not None:
-        if join_entry is not None:
-            cache.record_slice_scan(join_entry, slice_id, qualifying, num_rows)
-            join_entry.record_scan_stats(qualifying.num_rows, num_rows)
-        if plain_entry is not None:
-            cache.record_slice_scan(plain_entry, slice_id, q_plain, num_rows)
-            plain_entry.record_scan_stats(q_plain.num_rows, num_rows)
+    # Materialize the caller's output columns for the qualifying rows —
+    # exactly the reads ScanResult.gather would issue, moved here so
+    # parallel slice tasks overlap the gather fetches too.
+    materialized: Dict[str, np.ndarray] = {}
+    if qualifying:
+        for name in gather_columns:
+            materialized[name] = data_slice.columns[name].read_ranges(
+                qualifying, table.rms
+            )
 
-    return qualifying
+    return qualifying, q_plain, materialized
 
 
 def _prune_with_zonemaps(

@@ -20,7 +20,7 @@ from .errors import (
     TransientStorageError,
 )
 from .injector import FaultDecision, FaultInjector
-from .retry import RetryPolicy
+from .retry import RetryPolicy, quantize_model_seconds
 
 __all__ = [
     "CircuitBreaker",
@@ -31,4 +31,5 @@ __all__ = [
     "RetryPolicy",
     "StorageFault",
     "TransientStorageError",
+    "quantize_model_seconds",
 ]

@@ -9,10 +9,16 @@ through; a success closes the circuit, a failure re-opens it.
 
 The clock is the call count itself — no wall-clock, no sleeps — so
 behaviour is deterministic under replay.
+
+State transitions run under an internal lock: parallel scan workers
+share one breaker through the storage read path, and a lost update on
+``consecutive_failures`` or ``cooldown_left`` would make trip/recovery
+behaviour depend on thread interleaving.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Hashable
 
 __all__ = ["CircuitBreaker"]
@@ -40,6 +46,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.cooldown_ticks = cooldown_ticks
         self._circuits: Dict[Hashable, _Circuit] = {}
+        self._lock = threading.Lock()
         # Monotonic counters (scrape-time metrics read these directly).
         self.trips = 0
         self.short_circuits = 0
@@ -59,40 +66,43 @@ class CircuitBreaker:
 
         Each call while open advances the cool-down clock by one tick.
         """
-        circuit = self._circuits.get(key)
-        if circuit is None or circuit.state == _CLOSED:
-            return True
-        if circuit.state == _OPEN:
-            circuit.cooldown_left -= 1
-            if circuit.cooldown_left > 0:
-                self.short_circuits += 1
-                return False
-            circuit.state = _HALF_OPEN
-            return True
-        return True  # half-open: probe allowed
+        with self._lock:
+            circuit = self._circuits.get(key)
+            if circuit is None or circuit.state == _CLOSED:
+                return True
+            if circuit.state == _OPEN:
+                circuit.cooldown_left -= 1
+                if circuit.cooldown_left > 0:
+                    self.short_circuits += 1
+                    return False
+                circuit.state = _HALF_OPEN
+                return True
+            return True  # half-open: probe allowed
 
     def record_success(self, key: Hashable) -> None:
-        circuit = self._circuits.get(key)
-        if circuit is None:
-            return
-        if circuit.state == _HALF_OPEN:
-            self.recoveries += 1
-        circuit.state = _CLOSED
-        circuit.consecutive_failures = 0
-        circuit.cooldown_left = 0
+        with self._lock:
+            circuit = self._circuits.get(key)
+            if circuit is None:
+                return
+            if circuit.state == _HALF_OPEN:
+                self.recoveries += 1
+            circuit.state = _CLOSED
+            circuit.consecutive_failures = 0
+            circuit.cooldown_left = 0
 
     def record_failure(self, key: Hashable) -> None:
-        circuit = self._circuit(key)
-        circuit.consecutive_failures += 1
-        if (
-            circuit.state == _HALF_OPEN
-            or circuit.consecutive_failures >= self.failure_threshold
-        ):
-            if circuit.state != _OPEN:
-                self.trips += 1
-            circuit.state = _OPEN
-            # +1 because the next allow() call consumes the first tick.
-            circuit.cooldown_left = self.cooldown_ticks + 1
+        with self._lock:
+            circuit = self._circuit(key)
+            circuit.consecutive_failures += 1
+            if (
+                circuit.state == _HALF_OPEN
+                or circuit.consecutive_failures >= self.failure_threshold
+            ):
+                if circuit.state != _OPEN:
+                    self.trips += 1
+                circuit.state = _OPEN
+                # +1 because the next allow() call consumes the first tick.
+                circuit.cooldown_left = self.cooldown_ticks + 1
 
     # -- introspection ---------------------------------------------------------
 

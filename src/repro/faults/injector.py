@@ -18,11 +18,23 @@ Two planning modes:
 Injected latency is *model time*: it is accumulated into counters the
 cost model folds into ``model_seconds`` — there are no real sleeps
 anywhere in the layer.
+
+Concurrency: probability-driven injectors hand the storage layer a
+*keyed* stream per fetch attempt (:meth:`FaultInjector.fetch_stream`),
+derived from ``(seed, block key, per-key fetch ordinal, attempt)``.
+Which fetches fault then depends only on *what* was fetched, never on
+the order concurrent scan workers interleaved their fetches — the
+property that keeps the chaos oracle bit-identical across worker
+counts.  Schedule-driven injectors keep the sequential ``draw()``
+index their schedules are written against.  The monotonic counters are
+guarded by an internal lock either way.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
+import threading
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
@@ -85,6 +97,7 @@ class FaultInjector:
         self.latency_seconds = latency_seconds
         self.schedule = dict(schedule) if schedule is not None else None
         self._rng = random.Random(seed)
+        self._lock = threading.Lock()
         # Monotonic counters (scrape-time metrics read these directly).
         self.reads_seen = 0
         self.errors_injected = 0
@@ -110,36 +123,89 @@ class FaultInjector:
     # -- decisions -------------------------------------------------------------
 
     def draw(self) -> FaultDecision:
-        """The fault verdict for the next fetch attempt."""
-        index = self.reads_seen
-        self.reads_seen += 1
+        """The fault verdict for the next fetch attempt (sequential).
+
+        Consumes the injector's single seeded stream, so the verdict
+        depends on draw *order*.  Concurrent read paths should use
+        :meth:`fetch_stream` + :meth:`draw_keyed` instead; schedules
+        (written against draw indices) always come through here.
+        """
+        with self._lock:
+            index = self.reads_seen
+            self.reads_seen += 1
+            if self.schedule is not None:
+                kind = self.schedule.get(index)
+                if kind is None:
+                    return _CLEAN
+                decision = self._scheduled(kind)
+            else:
+                fail = self.error_rate > 0.0 and self._rng.random() < self.error_rate
+                corrupt = (
+                    not fail
+                    and self.corruption_rate > 0.0
+                    and self._rng.random() < self.corruption_rate
+                )
+                latency = 0.0
+                if self.latency_rate > 0.0 and self._rng.random() < self.latency_rate:
+                    latency = self.latency_seconds
+                decision = (
+                    FaultDecision(fail, corrupt, latency)
+                    if (fail or corrupt or latency)
+                    else _CLEAN
+                )
+            self._count(decision)
+        return decision
+
+    def fetch_stream(self, key: object, sequence: int, attempt: int) -> random.Random:
+        """A private seeded stream for one fetch attempt of one block.
+
+        The stream is derived (via a stable hash — builtin ``hash`` is
+        salted per process) from the injector seed, the block key, the
+        per-key fetch ordinal, and the retry attempt.  Two runs that
+        fetch the same blocks the same number of times get identical
+        fault patterns regardless of how scan workers interleave, and
+        each attempt's verdict, corruption shape, and retry jitter all
+        come from this one stream.
+        """
+        material = repr((self.seed, key, sequence, attempt)).encode()
+        digest = hashlib.blake2b(material, digest_size=8).digest()
+        return random.Random(int.from_bytes(digest, "big"))
+
+    def draw_keyed(self, stream: random.Random) -> FaultDecision:
+        """Probability-mode verdict drawn from a :meth:`fetch_stream`.
+
+        Schedule-driven injectors ignore the stream and fall back to
+        the sequential :meth:`draw` their schedule indices refer to.
+        """
         if self.schedule is not None:
-            kind = self.schedule.get(index)
-            if kind is None:
-                return _CLEAN
-            decision = self._scheduled(kind)
-        else:
-            fail = self.error_rate > 0.0 and self._rng.random() < self.error_rate
-            corrupt = (
-                not fail
-                and self.corruption_rate > 0.0
-                and self._rng.random() < self.corruption_rate
-            )
-            latency = 0.0
-            if self.latency_rate > 0.0 and self._rng.random() < self.latency_rate:
-                latency = self.latency_seconds
-            decision = (
-                FaultDecision(fail, corrupt, latency)
-                if (fail or corrupt or latency)
-                else _CLEAN
-            )
+            return self.draw()
+        fail = self.error_rate > 0.0 and stream.random() < self.error_rate
+        corrupt = (
+            not fail
+            and self.corruption_rate > 0.0
+            and stream.random() < self.corruption_rate
+        )
+        latency = 0.0
+        if self.latency_rate > 0.0 and stream.random() < self.latency_rate:
+            latency = self.latency_seconds
+        decision = (
+            FaultDecision(fail, corrupt, latency)
+            if (fail or corrupt or latency)
+            else _CLEAN
+        )
+        with self._lock:
+            self.reads_seen += 1
+            self._count(decision)
+        return decision
+
+    def _count(self, decision: FaultDecision) -> None:
+        # Callers hold self._lock.
         if decision.fail:
             self.errors_injected += 1
         if decision.corrupt:
             self.corruptions_injected += 1
         if decision.latency_seconds:
             self.latency_injected_seconds += decision.latency_seconds
-        return decision
 
     def _scheduled(self, kind: str) -> FaultDecision:
         if kind == "error":
@@ -152,31 +218,38 @@ class FaultInjector:
 
     def uniform(self) -> float:
         """A draw from the injector's stream (retry-jitter source)."""
-        return self._rng.random()
+        with self._lock:
+            return self._rng.random()
 
     # -- corruption ------------------------------------------------------------
 
-    def corrupt_array(self, values: np.ndarray) -> np.ndarray:
+    def corrupt_array(
+        self, values: np.ndarray, stream: Optional[random.Random] = None
+    ) -> np.ndarray:
         """A corrupted *copy* of ``values`` (the original is never touched).
 
         Two shapes, chosen by the stream: truncation (a short read drops
         the tail) and a bit flip in one element.  Either is guaranteed
-        to fail checksum verification against the clean payload.
+        to fail checksum verification against the clean payload.  Keyed
+        read paths pass the attempt's :meth:`fetch_stream` so the
+        corruption shape is order-independent too; without one the
+        injector's sequential stream is used.
         """
+        rng = stream if stream is not None else self._rng
         if len(values) == 0:
             # Nothing to flip; model an impossible phantom row instead.
             return np.array(["\x00phantom"], dtype=object)
-        if len(values) > 1 and self._rng.random() < 0.5:
-            cut = self._rng.randrange(1, len(values))
+        if len(values) > 1 and rng.random() < 0.5:
+            cut = rng.randrange(1, len(values))
             return values[:cut].copy()
         out = values.copy()
-        index = self._rng.randrange(len(out))
+        index = rng.randrange(len(out))
         if out.dtype == object:
             out[index] = str(out[index]) + "\x00"
         else:
             flat = out.view(np.uint8)
-            byte = self._rng.randrange(len(flat))
-            flat[byte] ^= np.uint8(1 << self._rng.randrange(8))
+            byte = rng.randrange(len(flat))
+            flat[byte] ^= np.uint8(1 << rng.randrange(8))
         return out
 
     # -- observability ---------------------------------------------------------

@@ -11,7 +11,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["RetryPolicy"]
+__all__ = ["RetryPolicy", "quantize_model_seconds"]
+
+#: Model-time accumulation granularity: 2**-20 s (~1 µs).  Quantized
+#: addends are exact dyadic floats, so a float64 sum of up to 2**53
+#: quanta is exact and therefore *order-independent* — serial and
+#: parallel scans accumulate bit-identical backoff totals no matter how
+#: their retries interleave.
+_MODEL_TIME_QUANTUM_INV = float(1 << 20)
+
+
+def quantize_model_seconds(seconds: float) -> float:
+    """Round a model-time addend to the 2**-20 s accumulation grid."""
+    return round(seconds * _MODEL_TIME_QUANTUM_INV) / _MODEL_TIME_QUANTUM_INV
 
 
 @dataclass(frozen=True)

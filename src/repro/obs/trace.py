@@ -12,8 +12,10 @@ Design constraints, in order:
    executes the exact pre-instrumentation code path.
 2. **Cheap when on.**  Spans are ``__slots__`` objects; entering one is
    two ``perf_counter`` calls and a list append.  No thread-locals, no
-   globals — a tracer belongs to one engine (the reproduction is
-   single-threaded per query, like one Redshift leader session).
+   globals — a tracer belongs to one engine, and the span tree is
+   mutated only by the coordinating thread: parallel scan workers just
+   read the clock via :meth:`Tracer.now` and the coordinator attaches
+   their spans in slice order via :meth:`Tracer.emit`.
 3. **Exportable.**  ``to_dict``/``to_json`` give the structured view;
    ``to_chrome_trace`` emits the ``trace_event`` JSON that
    ``chrome://tracing`` / Perfetto load directly.
@@ -133,6 +135,35 @@ class Tracer:
     def span(self, name: str, **attrs: object) -> _SpanContext:
         """``with tracer.span("scan") as s: ...`` convenience."""
         return _SpanContext(self, self.begin(name, **attrs))
+
+    def now(self) -> float:
+        """Seconds since the tracer's origin.
+
+        Safe to call from scan worker threads: it reads the shared
+        monotonic clock and touches no tracer state.  Workers record
+        ``now()`` pairs and hand them to the coordinator, which attaches
+        the spans via :meth:`emit` — the span tree itself is only ever
+        mutated by the coordinating thread.
+        """
+        return time.perf_counter() - self._origin
+
+    def emit(self, name: str, start_s: float, end_s: float, attrs: Dict[str, object]) -> Span:
+        """Attach an already-closed span under the innermost open span.
+
+        This is how the parallel scan coordinator reports per-slice
+        spans: workers measure their own ``now()`` windows, and the
+        coordinator emits them *in slice order* at the barrier, so the
+        trace tree is deterministic even though completion order is not.
+        Unlike :meth:`begin`, the span never enters the open-span stack.
+        """
+        span = Span(name, start_s)
+        span.end_s = end_s
+        span.attrs.update(attrs)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
 
     @property
     def last_root(self) -> Optional[Span]:

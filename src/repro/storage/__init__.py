@@ -12,6 +12,7 @@ A laptop-scale analogue of Redshift's storage architecture (§4.2.1):
   fetched through a local block cache with per-fetch cost accounting.
 """
 
+from .blockstore import MemmapBlockStore
 from .dtypes import DataType, date_to_days, days_to_date
 from .table import ColumnSpec, Table, TableSchema
 from .database import Database
@@ -19,6 +20,7 @@ from .rms import ManagedStorage, StorageStats
 
 __all__ = [
     "ColumnSpec",
+    "MemmapBlockStore",
     "DataType",
     "Database",
     "ManagedStorage",

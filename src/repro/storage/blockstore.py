@@ -1,0 +1,164 @@
+"""Memory-mapped block store: out-of-core sealed-block payloads.
+
+The scale-factor sweep needs tables 10–100x larger than the resident
+benchmarks (240k–400k rows), which stops fitting comfortably in RAM
+once every sealed block's payload is a live numpy array.  A
+:class:`MemmapBlockStore` spills sealed payloads into memory-mapped
+arena files: the OS pages column data in on demand and drops it under
+pressure, so a scan's working set — not the table size — bounds memory.
+
+Payloads are packed into fixed-size *segment* files, each mapped once,
+with individual payloads carved out as array views.  Packing matters: a
+file (and file descriptor) per payload would exhaust ``RLIMIT_NOFILE``
+at exactly the scale the store exists for — a 2.4M-row table seals
+~15k payload arrays but only ~a dozen segments.
+
+Crucially, nothing above the payload changes: :func:`~.compression
+.choose_codec` stamps the block's simulated compressed size
+(``nbytes``, what the RMS cost model charges per remote fetch) and its
+decoded-value ``checksum`` (what the resilient fetch path verifies)
+*before* externalization, and both ride along untouched.  Only the
+residency of the payload arrays moves from heap to mapped file.
+
+Object-dtype payloads (string dictionaries) stay resident — memmap
+needs fixed-size dtypes — as do empty arrays (zero-length mappings are
+invalid).  Vacuum reseals columns through the store again; a segment
+file is deleted once every payload it holds has been released.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .compression import EncodedBlock
+
+__all__ = ["MemmapBlockStore"]
+
+#: Payload start offsets are rounded up to this within a segment, so a
+#: view of any numeric dtype is aligned.
+_ALIGN = 64
+
+
+class MemmapBlockStore:
+    """Spills sealed block payloads into memory-mapped arena segments.
+
+    Args:
+        directory: where segment files live (created if missing).  One
+            store per database; files are named by a monotonic sequence
+            so concurrent tables never collide.
+        min_spill_bytes: payloads smaller than this stay resident (the
+            mapping overhead isn't worth it for tiny arrays).
+        segment_bytes: arena segment size.  Larger segments mean fewer
+            open files; smaller segments reclaim space sooner after
+            vacuum.  Payloads bigger than a segment get a dedicated
+            right-sized file.
+    """
+
+    def __init__(
+        self,
+        directory,
+        min_spill_bytes: int = 0,
+        segment_bytes: int = 16 << 20,
+    ) -> None:
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.min_spill_bytes = min_spill_bytes
+        self.segment_bytes = segment_bytes
+        self._sequence = 0
+        self._segment: Optional[np.memmap] = None
+        self._segment_used = 0
+        # filename -> number of live spilled payloads it still holds;
+        # release() unlinks a retired segment when this reaches zero.
+        self._live: Dict[str, int] = {}
+        # Monotonic counters (benchmarks assert spilling really happened).
+        self.spilled_blocks = 0
+        self.spilled_bytes = 0
+        self.resident_payloads = 0
+
+    # -- spill path ------------------------------------------------------------
+
+    def _new_segment(self, size: int) -> np.memmap:
+        path = os.path.join(self.directory, f"{self._sequence:010d}.seg")
+        self._sequence += 1
+        return np.memmap(path, dtype=np.uint8, mode="w+", shape=(size,))
+
+    def _spill(self, values: np.ndarray) -> np.ndarray:
+        """Copy ``values`` into an arena segment; return a read-only view."""
+        nbytes = values.nbytes
+        if nbytes >= self.segment_bytes:
+            segment, offset = self._new_segment(nbytes), 0
+        else:
+            offset = -(-self._segment_used // _ALIGN) * _ALIGN
+            if self._segment is None or offset + nbytes > self.segment_bytes:
+                self._segment = self._new_segment(self.segment_bytes)
+                self._segment_used = 0
+                offset = 0
+            segment = self._segment
+            self._segment_used = offset + nbytes
+        view = segment[offset:offset + nbytes].view(values.dtype)
+        view = view.reshape(values.shape)
+        view[...] = values
+        view.flags.writeable = False
+        self._live[segment.filename] = self._live.get(segment.filename, 0) + 1
+        self.spilled_bytes += nbytes
+        return view
+
+    def externalize(self, block: EncodedBlock) -> EncodedBlock:
+        """Rewrite ``block`` with its payload arrays spilled to disk.
+
+        Called at seal time, before the block is ever read; ``nbytes``
+        and ``checksum`` are preserved verbatim, so cost accounting and
+        CRC verification are unaffected.
+        """
+        payload: List[np.ndarray] = []
+        spilled = False
+        for values in block.payload:
+            if (
+                values.dtype == object
+                or values.size == 0
+                or values.nbytes < self.min_spill_bytes
+            ):
+                self.resident_payloads += 1
+                payload.append(values)
+                continue
+            payload.append(self._spill(values))
+            spilled = True
+        if not spilled:
+            return block
+        self.spilled_blocks += 1
+        return replace(block, payload=tuple(payload))
+
+    # -- reclamation -----------------------------------------------------------
+
+    def release(self, block: EncodedBlock) -> None:
+        """Drop a superseded block's spilled payloads (vacuum reseal).
+
+        Decrements the owning segments' live counts; a fully-released
+        segment that is no longer accepting new payloads is unlinked.
+        """
+        current = self._segment.filename if self._segment is not None else None
+        for values in block.payload:
+            filename = getattr(values, "filename", None)
+            if filename is None or filename not in self._live:
+                continue
+            self._live[filename] -= 1
+            if self._live[filename] > 0 or filename == current:
+                continue
+            del self._live[filename]
+            try:
+                os.unlink(filename)
+            except OSError:
+                # The file may already be gone (double release, or the
+                # whole directory was torn down); spill files are a
+                # cache of resident data, so this is never fatal.
+                continue
+
+    def spilled_fraction(self, total_bytes: Optional[int] = None) -> float:
+        """Spilled bytes as a fraction of ``total_bytes`` (if given)."""
+        if not total_bytes:
+            return 0.0
+        return self.spilled_bytes / total_bytes

@@ -66,12 +66,17 @@ class ColumnStore:
         column_name: str,
         dtype: DataType,
         rows_per_block: int,
+        block_store=None,
     ) -> None:
         self.table_name = table_name
         self.slice_id = slice_id
         self.column_name = column_name
         self.dtype = dtype
         self.rows_per_block = rows_per_block
+        # Optional MemmapBlockStore: sealed payloads spill to disk and
+        # page in on demand (out-of-core tables); None keeps payloads
+        # resident, byte-for-byte the historical layout.
+        self.block_store = block_store
         self.blocks: List[EncodedBlock] = []
         self.zonemap = ZoneMap()
         self._tail: List[object] = []
@@ -121,7 +126,12 @@ class ColumnStore:
 
     def _seal(self, values: Sequence[object], rms: Optional[ManagedStorage]) -> None:
         array = self._to_array(values)
-        self.blocks.append(choose_codec(array))
+        block = choose_codec(array)
+        if self.block_store is not None:
+            # nbytes and checksum are already stamped; only payload
+            # residency changes (see blockstore module doc).
+            block = self.block_store.externalize(block)
+        self.blocks.append(block)
         self.zonemap.append_block(array)
         if rms is not None:
             # The rows were previously served from the tail; make sure no
@@ -135,6 +145,9 @@ class ColumnStore:
 
     def rebuild(self, values: np.ndarray, rms: Optional[ManagedStorage]) -> None:
         """Replace the whole column (vacuum): reseal everything."""
+        if self.block_store is not None:
+            for block in self.blocks:
+                self.block_store.release(block)
         self.blocks = []
         self.zonemap = ZoneMap()
         self._tail = []

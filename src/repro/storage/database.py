@@ -25,9 +25,11 @@ class Database:
         num_slices: int = 4,
         rows_per_block: int = 1000,
         cache_capacity: Optional[int] = None,
+        block_store=None,
     ) -> None:
         self.num_slices = num_slices
         self.rows_per_block = rows_per_block
+        self.block_store = block_store
         self.rms = ManagedStorage(cache_capacity=cache_capacity)
         self.tables: Dict[str, Table] = {}
         self.statistics: Dict[str, "TableStatistics"] = {}
@@ -73,6 +75,7 @@ class Database:
                 rows_per_block if rows_per_block is not None else self.rows_per_block
             ),
             rms=self.rms,
+            block_store=self.block_store,
         )
         self.tables[schema.name] = table
         return table

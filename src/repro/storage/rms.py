@@ -10,13 +10,28 @@ evicted (LRU by capacity) or invalidated (vacuum/reseal).
 `StorageStats` is the ground truth behind the paper's "blocks accessed"
 columns: every experiment reads these counters rather than timing alone,
 so the reproduction's comparisons are exact even where wall-clock is not.
+
+Concurrency: the parallel scan executor brackets the slice fan-out with
+:meth:`ManagedStorage.begin_scan_phase` / :meth:`end_scan_phase`.
+During a phase, block accesses are recorded per slice instead of
+immediately reordering the LRU, and capacity eviction is deferred to the
+barrier, where the log is replayed in slice-major order — so the cache
+end-state (and therefore the remote/local fetch split of every later
+query) depends only on *what* the scan read, never on how worker
+threads interleaved.  Serial scans run the same phased path, which
+keeps the two modes bit-identical by construction.  Within a scan a
+block key belongs to exactly one slice, so concurrent phase reads never
+race on the same key.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import ContextManager, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -25,6 +40,7 @@ from ..faults import (
     RetryBudgetExceeded,
     RetryPolicy,
     TransientStorageError,
+    quantize_model_seconds,
 )
 from .compression import EncodedBlock, array_checksum, decode_block
 
@@ -67,6 +83,23 @@ class StorageStats:
         )
 
 
+class _ScanPhase:
+    """Deferred-eviction bookkeeping for one table scan (see module doc)."""
+
+    __slots__ = ("guard", "accesses")
+
+    def __init__(self, concurrent: bool) -> None:
+        # The serial executor reuses a shared no-op guard; only a
+        # genuinely concurrent phase pays for a real lock.
+        self.guard: ContextManager[object] = (
+            threading.Lock() if concurrent else _NO_GUARD
+        )
+        self.accesses: Dict[int, List[BlockKey]] = {}
+
+
+_NO_GUARD = nullcontext()
+
+
 class ManagedStorage:
     """Decoded-block cache with remote-fetch accounting.
 
@@ -74,6 +107,13 @@ class ManagedStorage:
         cache_capacity: number of decoded blocks kept locally (LRU).
             ``None`` means unbounded (everything fits on local SSD, the
             common case for the scaled-down benchmarks).
+
+    ``fetch_delay_seconds`` (default 0.0 — no sleeps anywhere) is an
+    opt-in *wall-clock* cost per remote fetch, modeling the network
+    round trip to managed storage.  The parallel-scan benchmark uses it
+    to measure latency hiding: sleeps in concurrent workers overlap the
+    way real S3 round trips would, independent of core count.  It never
+    affects counters or model time.
     """
 
     def __init__(self, cache_capacity: Optional[int] = None) -> None:
@@ -86,6 +126,13 @@ class ManagedStorage:
         # Resolved once at attach time so the per-fetch check is a
         # single attribute load ("no faults configured" costs nothing).
         self._faults_armed = False
+        self.fetch_delay_seconds = 0.0
+        self._phase: Optional[_ScanPhase] = None
+        # Guards stats/budget/fetch-ordinal updates on the resilient
+        # (fault-armed) path; the clean path is covered by the phase
+        # guard or runs on the single coordinating thread.
+        self._stats_lock = threading.Lock()
+        self._fetch_ordinals: Dict[BlockKey, int] = {}
 
     # -- fault wiring ----------------------------------------------------------
 
@@ -105,23 +152,89 @@ class ManagedStorage:
         """Start a fresh per-query retry budget (no-op when unlimited)."""
         self._retry_budget_left = self.retry_policy.retry_budget
 
+    # -- scan phases (deferred LRU settlement) ---------------------------------
+
+    def begin_scan_phase(self, concurrent: bool = False) -> None:
+        """Start access logging for one table scan (see module doc).
+
+        ``concurrent`` arms the phase's internal lock for parallel
+        workers; serial scans skip it.  Phases do not nest — a scan owns
+        the storage until its barrier calls :meth:`end_scan_phase`.
+        """
+        if self._phase is not None:
+            raise RuntimeError("a scan phase is already active")
+        self._phase = _ScanPhase(concurrent)
+
+    def end_scan_phase(self) -> Dict[int, int]:
+        """Settle the phase's LRU effects; return per-slice access counts.
+
+        Replays the access log in slice-major order — recency updates
+        first, then capacity eviction — which is exactly the order the
+        serial loop would have produced, whatever order worker threads
+        actually ran in.  The returned ``{slice_id: blocks_accessed}``
+        feeds the per-slice tracer spans.
+        """
+        phase = self._phase
+        if phase is None:
+            raise RuntimeError("no scan phase is active")
+        self._phase = None
+        counts: Dict[int, int] = {}
+        for slice_id in sorted(phase.accesses):
+            keys = phase.accesses[slice_id]
+            counts[slice_id] = len(keys)
+            for key in keys:
+                if key in self._cache:
+                    self._cache.move_to_end(key)
+        if self.cache_capacity is not None:
+            while len(self._cache) > self.cache_capacity:
+                self._cache.popitem(last=False)
+        return counts
+
+    # -- the read path ---------------------------------------------------------
+
     def read_block(self, key: BlockKey, block: EncodedBlock) -> np.ndarray:
         """Read a block's decoded values, counting the access."""
+        phase = self._phase
+        if phase is not None:
+            return self._read_block_phased(phase, key, block)
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
             self.stats.local_hits += 1
             return cached
-        if not self._faults_armed:
-            values = decode_block(block)
-        else:
-            values = self._fetch_resilient(key, block)
+        values = self._fetch(key, block)
         self.stats.remote_fetches += 1
         self.stats.bytes_fetched += block.nbytes
         self._cache[key] = values
         if self.cache_capacity is not None and len(self._cache) > self.cache_capacity:
             self._cache.popitem(last=False)
         return values
+
+    def _read_block_phased(
+        self, phase: _ScanPhase, key: BlockKey, block: EncodedBlock
+    ) -> np.ndarray:
+        """Phase-mode read: log the access, defer LRU movement/eviction."""
+        with phase.guard:
+            phase.accesses.setdefault(key[1], []).append(key)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.stats.local_hits += 1
+                return cached
+        # Decode (and any fault machinery) runs outside the phase guard
+        # so fetches genuinely overlap across workers.
+        values = self._fetch(key, block)
+        with phase.guard:
+            self.stats.remote_fetches += 1
+            self.stats.bytes_fetched += block.nbytes
+            self._cache[key] = values
+        return values
+
+    def _fetch(self, key: BlockKey, block: EncodedBlock) -> np.ndarray:
+        if self.fetch_delay_seconds > 0.0:
+            time.sleep(self.fetch_delay_seconds)
+        if not self._faults_armed:
+            return decode_block(block)
+        return self._fetch_resilient(key, block)
 
     def _fetch_resilient(self, key: BlockKey, block: EncodedBlock) -> np.ndarray:
         """Fetch under fault injection: verify, retry with backoff, give up.
@@ -131,41 +244,65 @@ class ManagedStorage:
         scan — it is retried like a transient error.  Exhausting
         ``max_attempts`` or the per-query retry budget raises (the last
         rung of the degradation ladder).
+
+        Probability-mode verdicts come from per-attempt keyed streams
+        (:meth:`FaultInjector.fetch_stream`): the fault pattern is a
+        function of which fetch of which block this is, not of thread
+        interleaving.  Model-time addends are quantized so the float
+        accumulation is order-independent too.  Schedule-mode injectors
+        keep the sequential draw their schedules index.
         """
         injector = self.fault_injector
         policy = self.retry_policy
         stats = self.stats
+        keyed = injector.schedule is None
+        with self._stats_lock:
+            ordinal = self._fetch_ordinals.get(key, 0)
+            self._fetch_ordinals[key] = ordinal + 1
         attempt = 0
         while True:
-            decision = injector.draw()
+            if keyed:
+                stream = injector.fetch_stream(key, ordinal, attempt)
+                decision = injector.draw_keyed(stream)
+            else:
+                stream = None
+                decision = injector.draw()
             if decision.latency_seconds:
-                stats.backoff_model_seconds += decision.latency_seconds
+                with self._stats_lock:
+                    stats.backoff_model_seconds += quantize_model_seconds(
+                        decision.latency_seconds
+                    )
             if decision.fail:
-                stats.transient_errors += 1
+                with self._stats_lock:
+                    stats.transient_errors += 1
             else:
                 values = decode_block(block)
                 if decision.corrupt:
-                    values = injector.corrupt_array(values)
+                    values = injector.corrupt_array(values, stream)
                 if block.checksum is None or array_checksum(values) == block.checksum:
                     return values
-                stats.corrupt_blocks += 1
+                with self._stats_lock:
+                    stats.corrupt_blocks += 1
             attempt += 1
             if attempt >= policy.max_attempts:
-                stats.retry_giveups += 1
+                with self._stats_lock:
+                    stats.retry_giveups += 1
                 raise TransientStorageError(
                     f"block {key} unreadable after {attempt} attempts"
                 )
-            if self._retry_budget_left is not None:
-                if self._retry_budget_left <= 0:
-                    stats.retry_giveups += 1
-                    raise RetryBudgetExceeded(
-                        f"query retry budget exhausted fetching block {key}"
-                    )
-                self._retry_budget_left -= 1
-            stats.retries += 1
-            stats.backoff_model_seconds += policy.backoff_seconds(
-                attempt - 1, injector.uniform()
-            )
+            jitter = stream.random() if stream is not None else injector.uniform()
+            with self._stats_lock:
+                if self._retry_budget_left is not None:
+                    if self._retry_budget_left <= 0:
+                        stats.retry_giveups += 1
+                        raise RetryBudgetExceeded(
+                            f"query retry budget exhausted fetching block {key}"
+                        )
+                    self._retry_budget_left -= 1
+                stats.retries += 1
+                stats.backoff_model_seconds += quantize_model_seconds(
+                    policy.backoff_seconds(attempt - 1, jitter)
+                )
 
     def invalidate_table(self, table_name: str) -> None:
         """Drop all cached blocks of one table (vacuum / reseal)."""

@@ -33,12 +33,16 @@ class DataSlice:
         slice_id: int,
         columns: Mapping[str, DataType],
         rows_per_block: int,
+        block_store=None,
     ) -> None:
         self.table_name = table_name
         self.slice_id = slice_id
         self.rows_per_block = rows_per_block
         self.columns: Dict[str, ColumnStore] = {
-            name: ColumnStore(table_name, slice_id, name, dtype, rows_per_block)
+            name: ColumnStore(
+                table_name, slice_id, name, dtype, rows_per_block,
+                block_store=block_store,
+            )
             for name, dtype in columns.items()
         }
         self._xmin = GrowableArray(np.dtype(np.int64))

@@ -79,17 +79,20 @@ class Table:
         num_slices: int = 4,
         rows_per_block: int = 1000,
         rms: Optional[ManagedStorage] = None,
+        block_store=None,
     ) -> None:
         if num_slices < 1:
             raise ValueError("num_slices must be >= 1")
         self.schema = schema
         self.rms = rms if rms is not None else ManagedStorage()
+        self.block_store = block_store
         self.slices: List[DataSlice] = [
             DataSlice(
                 schema.name,
                 slice_id,
                 {c.name: c.dtype for c in schema.columns},
                 rows_per_block,
+                block_store=block_store,
             )
             for slice_id in range(num_slices)
         ]

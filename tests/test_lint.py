@@ -179,6 +179,37 @@ def test_format_constants_extracted_from_real_module():
     assert len(constants.ints) >= 5
 
 
+# -- RP006: shared-state mutation from scan worker code ------------------------
+
+
+def test_rp006_flags_install_inside_worker_function():
+    src = (
+        "def _scan_slice(table, cache, entry, slice_id, qualifying, num_rows):\n"
+        "    cache.record_slice_scan(entry, slice_id, qualifying, num_rows)\n"
+        "    return qualifying\n"
+    )
+    found = lint_source(src, "repro/engine/scan.py")
+    assert codes(found) == ["RP006"]
+    assert "coordinator" in found[0].message
+
+
+def test_rp006_allows_coordinator_installs_and_other_modules():
+    # The same call is fine outside the worker functions (the
+    # coordinator's barrier install pass) ...
+    coordinator = (
+        "def execute_scan(table, cache, entry, results):\n"
+        "    for slice_id, qualifying in enumerate(results):\n"
+        "        cache.record_slice_scan(entry, slice_id, qualifying, 0)\n"
+    )
+    assert lint_source(coordinator, "repro/engine/scan.py") == []
+    # ... and anywhere in modules that never run on scan workers.
+    elsewhere = (
+        "def _scan_slice(cache, entry):\n"
+        "    cache.record_slice_scan(entry, 0, None, 0)\n"
+    )
+    assert lint_source(elsewhere, "repro/engine/executor.py") == []
+
+
 # -- the real tree -------------------------------------------------------------
 
 
@@ -215,7 +246,7 @@ def test_list_rules():
         cwd=REPO,
     )
     assert proc.returncode == 0
-    for code in ("RP001", "RP002", "RP003", "RP004", "RP005"):
+    for code in ("RP001", "RP002", "RP003", "RP004", "RP005", "RP006"):
         assert code in proc.stdout
 
 

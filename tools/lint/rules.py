@@ -35,6 +35,8 @@ RULES: Dict[str, str] = {
              "registered metric (counter drift)",
     "RP005": "persisted-format constant spelled as a literal outside "
              "repro/persist/format.py (format drift)",
+    "RP006": "shared engine/cache state mutated inside scan worker code "
+             "(installs belong to the coordinator barrier)",
 }
 
 #: The only module allowed to call builtin ``hash()`` (RP001).
@@ -69,6 +71,33 @@ FORMAT_CONSTANT_NAMES = (
 #: Identifier fragments that mark an int literal as format-flavoured in
 #: a comparison (RP005): ``kind == 2``, ``version > 1``, ``op != 255``.
 _FORMAT_NAME_HINTS = ("kind", "section", "version", "magic", "op")
+
+#: Modules whose scan-worker functions RP006 inspects.
+PARALLEL_SCAN_MODULES = (
+    "repro/engine/scan.py",
+    "repro/engine/parallel.py",
+)
+
+#: Functions that may run on scan worker threads.  Everything else in
+#: the modules above is coordinator-side and may install freely.
+WORKER_FUNCTIONS = ("_scan_slice", "_prune_with_zonemaps")
+
+#: Methods that mutate scan-shared engine/cache state.  Calling one from
+#: worker code is a data race *and* makes the mutation order depend on
+#: thread scheduling; such calls belong after the barrier, on the
+#: coordinating thread (the allowlisted install sites in execute_scan).
+_RP006_SHARED_MUTATORS = frozenset(
+    {
+        "record_slice_scan",
+        "record_scan_stats",
+        "get_or_create",
+        "drop_stale",
+        "watch_table",
+        "invalidate_table",
+        "invalidate_block",
+        "observe",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -175,6 +204,7 @@ class _FileChecker(ast.NodeVisitor):
         self.check_hash = module != HASHING_MODULE
         self.check_determinism = module.startswith(DETERMINISTIC_PACKAGES)
         self.check_excepts = module.startswith(READ_PATH_PACKAGES)
+        self.check_worker_mutation = module in PARALLEL_SCAN_MODULES
         self.format_constants = (
             format_constants
             if format_constants is not None and module != FORMAT_MODULE
@@ -222,6 +252,19 @@ class _FileChecker(ast.NodeVisitor):
         if self.check_determinism:
             chain = _attr_chain(node.func)
             self._check_ambient_call(node, chain)
+        if (
+            self.check_worker_mutation
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RP006_SHARED_MUTATORS
+            and any(name in WORKER_FUNCTIONS for name in self._func_stack)
+        ):
+            self._emit(
+                "RP006",
+                node,
+                f".{node.func.attr}() mutates shared engine/cache state "
+                "from scan worker code; batch it at the coordinator's "
+                "barrier (parallel workers must not install entries)",
+            )
         self.generic_visit(node)
 
     _BANNED_CALLS = {
