@@ -44,6 +44,13 @@ from .faults import (
 from .obs import MetricsRegistry, Span, Tracer
 from .persist import CacheStore
 from .predicates import normalize, parse_predicate
+from .serve import (
+    AdmissionController,
+    QueryServer,
+    Request,
+    RequestStatus,
+    Response,
+)
 from .storage import (
     ColumnSpec,
     Database,
@@ -56,6 +63,7 @@ from .storage import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionController",
     "AlwaysAdmit",
     "CacheStats",
     "CacheStore",
@@ -75,7 +83,11 @@ __all__ = [
     "QueryCounters",
     "QueryEngine",
     "QueryResult",
+    "QueryServer",
     "RangeList",
+    "Request",
+    "RequestStatus",
+    "Response",
     "RetryBudgetExceeded",
     "RetryPolicy",
     "RowRange",

@@ -9,6 +9,7 @@ the fleet-average hit rate is low despite highly repetitive queries
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
@@ -56,49 +57,56 @@ class ResultCache:
         self.max_entries = max_entries
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
         self.stats = ResultCacheStats()
+        # Concurrent SELECTs share the leader's result cache; lookup
+        # mutates the LRU order and the stats, so both are locked.
+        self._lock = threading.Lock()
 
     def lookup(self, key: str, current_versions: Mapping[str, int]):
         """The cached payload, or None on miss/stale."""
-        self.stats.lookups += 1
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        for table, version in entry.versions.items():
-            if current_versions.get(table) != version:
-                del self._entries[key]
-                self.stats.invalidations += 1
+        with self._lock:
+            self.stats.lookups += 1
+            entry = self._entries.get(key)
+            if entry is None:
                 self.stats.misses += 1
                 return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry.payload
+            for table, version in entry.versions.items():
+                if current_versions.get(table) != version:
+                    del self._entries[key]
+                    self.stats.invalidations += 1
+                    self.stats.misses += 1
+                    return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.payload
 
     def store(
         self, key: str, versions: Mapping[str, int], payload: object
     ) -> None:
-        self._entries[key] = _Entry(dict(versions), payload)
-        self._entries.move_to_end(key)
-        self.stats.stores += 1
-        if self.max_entries is not None:
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = _Entry(dict(versions), payload)
+            self._entries.move_to_end(key)
+            self.stats.stores += 1
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
 
     def invalidate_table(self, table_name: str) -> int:
         """Eagerly drop entries depending on a table (optional path)."""
-        stale = [
-            key
-            for key, entry in self._entries.items()
-            if table_name in entry.versions
-        ]
-        for key in stale:
-            del self._entries[key]
-        self.stats.invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if table_name in entry.versions
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidations += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -110,7 +118,7 @@ class ResultCache:
     def nbytes(self) -> int:
         """Approximate payload bytes (numpy arrays measured exactly)."""
         total = 0
-        for entry in self._entries.values():
+        for entry in list(self._entries.values()):
             payload = entry.payload
             if isinstance(payload, tuple) and payload and isinstance(payload[0], dict):
                 for values in payload[0].values():

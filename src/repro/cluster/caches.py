@@ -28,6 +28,15 @@ class ClusterCaches:
     replacements created by :meth:`fail_node` / :meth:`resize` hydrate
     their slice shares from it (warm start), and restored entries are
     revalidated against the store's bound catalog first.
+
+    Concurrency: the router itself holds no lock — each
+    :class:`PredicateCache` node is internally synchronized, and the
+    only router-level mutations (``fail_node`` swapping one element,
+    ``resize`` swapping the whole node list) publish by single
+    reference assignment, which readers snapshot (see
+    :meth:`cache_for_slice`).  Administrative operations themselves
+    (resize/fail_node racing each other) are expected to be serialized
+    by the operator, e.g. under the serving layer's write lock.
     """
 
     def __init__(
@@ -69,7 +78,13 @@ class ClusterCaches:
     # -- routing (the scan-path interface) -------------------------------------
 
     def cache_for_slice(self, slice_id: int) -> PredicateCache:
-        return self._nodes[slice_id % self.num_nodes]
+        # Snapshot the node list once and derive the modulus from it:
+        # a concurrent resize() publishes a new list as a single
+        # reference swap, so the captured list and its length always
+        # agree (indexing self._nodes by self.num_nodes separately
+        # could race a grow and fall off the shorter old list).
+        nodes = self._nodes
+        return nodes[slice_id % len(nodes)]
 
     # -- operator surface ---------------------------------------------------------
 
@@ -129,19 +144,24 @@ class ClusterCaches:
         else:
             records = collect_records(old_nodes)
         self.num_nodes = num_nodes
-        self._nodes = [self._new_node() for _ in range(num_nodes)]
+        # Build and hydrate the new shard off to the side, then publish
+        # the node list as one reference swap: concurrent scans routing
+        # through cache_for_slice see either the complete old layout or
+        # the complete new one, never a half-built mix.
+        new_nodes = [self._new_node() for _ in range(num_nodes)]
         watched = {
             table.name: table
             for cache in old_nodes
             for table in cache.watched_tables()
         }
-        for node_id, cache in enumerate(self._nodes):
+        for node_id, cache in enumerate(new_nodes):
             if self._store is not None:
                 self._hydrate_node(node_id, cache)
             else:
                 self._install_shard(cache, node_id, records)
             for table in watched.values():
                 cache.watch_table(table)
+        self._nodes = new_nodes
         for registry, prefix in self._registrations:
             self._register(registry, prefix)
         return self

@@ -14,10 +14,22 @@ ranges the vectorized scan produced anyway), consulted before scans
 
 Plain entries survive inserts/deletes/updates on their own table —
 the design's headline property (§4.3).
+
+Locking discipline (DESIGN.md §12): one re-entrant lock serializes
+every mutation — installs, LRU reordering, eviction, invalidation,
+generation bumps, stats — so concurrent serving threads interleave at
+whole-operation granularity and generation stamps stay consistent with
+the entry table.  Slice-state payloads themselves are published safely
+without the lock: ``extend`` swaps in the new bounds array *before*
+advancing the watermark, so a reader that raced an extension sees a
+superset-safe (possibly slightly stale) state, never a torn one.
+Mutation outside a ``with self._lock`` block (or a helper documented as
+"caller holds ``_lock``") is rejected by linter rule RP007.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -44,6 +56,12 @@ class PredicateCache:
     ranges and version counters handed in by the scan path.  That is what
     lets the same class index Redshift-style native tables and external
     formats (§4.5) alike.
+
+    Thread-safe: every public operation runs under ``_lock`` (see the
+    module docstring for the discipline).  Lock ordering with an
+    attached store is cache → store — the cache may call into the store
+    while holding its lock, never the reverse (hydration installs run
+    *without* the store's I/O lock held).
     """
 
     def __init__(
@@ -68,28 +86,35 @@ class PredicateCache:
         # Optional durable store; when attached, install/extend/drop
         # events are written through (see repro/persist/).
         self._store: Optional["CacheStore"] = None
+        # Re-entrant: invariant validation re-enters public read
+        # methods (entries, generation_of, total_nbytes) under the lock.
+        self._lock = threading.RLock()
 
     # -- wiring ------------------------------------------------------------------
 
     def watch_table(self, table: "Table") -> None:
         """Subscribe to a table's change events (idempotent)."""
-        if table.name in self._watched:
-            return
-        self._watched[table.name] = table
-        self._table_layouts[table.name] = table.layout_version
+        with self._lock:
+            if table.name in self._watched:
+                return
+            self._watched[table.name] = table
+            self._table_layouts[table.name] = table.layout_version
         table.on_change(self._on_table_event)
 
     def watched_tables(self) -> List["Table"]:
         """The table objects this cache subscribed to (resize transfer)."""
-        return list(self._watched.values())
+        with self._lock:
+            return list(self._watched.values())
 
     def table_layout_of(self, table_name: str) -> int:
         """Last observed layout_version (vacuum epoch) of a table."""
-        return self._table_layouts.get(table_name, 0)
+        with self._lock:
+            return self._table_layouts.get(table_name, 0)
 
     def _on_table_event(self, table: "Table", event: str) -> None:
         if event == "layout":
-            self._table_layouts[table.name] = table.layout_version
+            with self._lock:
+                self._table_layouts[table.name] = table.layout_version
             self.invalidate_table(table.name)
         elif event == "data":
             self.invalidate_build_side(table.name)
@@ -103,10 +128,12 @@ class PredicateCache:
         invalidation/eviction journals the drop — the store stays a
         faithful mirror that a replacement node can hydrate from.
         """
-        self._store = store
+        with self._lock:
+            self._store = store
 
     def detach_store(self) -> None:
-        self._store = None
+        with self._lock:
+            self._store = None
 
     def install_restored(
         self,
@@ -125,26 +152,27 @@ class PredicateCache:
         Does not write through — hydration must not re-journal what the
         store just replayed.
         """
-        entry = CacheEntry(
-            key,
-            num_slices,
-            dict(build_versions),
-            generation=self._generations.get(key.table, 0),
-        )
-        for slice_id, state in slice_states.items():
-            entry.slice_states[slice_id] = state
-        entry.hits, entry.rows_qualifying, entry.rows_considered = (
-            int(stats[0]), int(stats[1]), int(stats[2]),
-        )
-        self._entries[key] = entry
-        if table_layout is not None:
-            self._table_layouts.setdefault(key.table, int(table_layout))
-        self._evict_if_needed()
-        if _inv.ACTIVE:
-            for state in slice_states.values():
-                _inv.check_slice_state(state)
-            _inv.check_cache(self)
-        return entry
+        with self._lock:
+            entry = CacheEntry(
+                key,
+                num_slices,
+                dict(build_versions),
+                generation=self._generations.get(key.table, 0),
+            )
+            for slice_id, state in slice_states.items():
+                entry.slice_states[slice_id] = state
+            entry.hits, entry.rows_qualifying, entry.rows_considered = (
+                int(stats[0]), int(stats[1]), int(stats[2]),
+            )
+            self._entries[key] = entry
+            if table_layout is not None:
+                self._table_layouts.setdefault(key.table, int(table_layout))
+            self._evict_if_needed()
+            if _inv.ACTIVE:
+                for state in slice_states.values():
+                    _inv.check_slice_state(state)
+                _inv.check_cache(self)
+            return entry
 
     # -- lookups -------------------------------------------------------------------
 
@@ -160,20 +188,22 @@ class PredicateCache:
         dropped as stale (defence in depth on top of event-driven
         invalidation).
         """
-        self.stats.lookups += 1
-        entry = self._find(key, current_versions)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        entry.hits += 1
-        return entry
+        with self._lock:
+            self.stats.lookups += 1
+            entry = self._find(key, current_versions)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            entry.hits += 1
+            return entry
 
     def _find(
         self,
         key: ScanKey,
         current_versions: Optional[Mapping[str, int]],
     ) -> Optional[CacheEntry]:
+        """Caller holds ``_lock``."""
         entry = self._entries.get(key)
         if entry is None:
             return None
@@ -197,26 +227,29 @@ class PredicateCache:
         base key; per §4.4 we "choose the most selective matching
         entry".  Counts a single lookup (hit if any key matched).
         """
-        self.stats.lookups += 1
-        best: Optional[CacheEntry] = None
-        for key in keys:
-            entry = self._find(key, current_versions)
-            if entry is None:
-                continue
-            if best is None or entry.selectivity < best.selectivity:
-                best = entry
-        if best is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        best.hits += 1
-        return best
+        with self._lock:
+            self.stats.lookups += 1
+            best: Optional[CacheEntry] = None
+            for key in keys:
+                entry = self._find(key, current_versions)
+                if entry is None:
+                    continue
+                if best is None or entry.selectivity < best.selectivity:
+                    best = entry
+            if best is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            best.hits += 1
+            return best
 
     def __contains__(self, key: ScanKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     # -- building -----------------------------------------------------------------
 
@@ -227,26 +260,28 @@ class PredicateCache:
         build_versions: Optional[Mapping[str, int]] = None,
     ) -> CacheEntry:
         """The entry for ``key``, creating an empty one if needed."""
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                return entry
+            if key.is_join_key and not self.config.cache_join_keys:
+                raise ValueError("join-index keys are disabled by configuration")
+            entry = CacheEntry(
+                key,
+                num_slices,
+                dict(build_versions or {}),
+                generation=self._generations.get(key.table, 0),
+            )
+            self._entries[key] = entry
+            self.stats.inserts += 1
+            self._evict_if_needed()
             return entry
-        if key.is_join_key and not self.config.cache_join_keys:
-            raise ValueError("join-index keys are disabled by configuration")
-        entry = CacheEntry(
-            key,
-            num_slices,
-            dict(build_versions or {}),
-            generation=self._generations.get(key.table, 0),
-        )
-        self._entries[key] = entry
-        self.stats.inserts += 1
-        self._evict_if_needed()
-        return entry
 
     def generation_of(self, table_name: str) -> int:
         """Current invalidation generation of a table's entries."""
-        return self._generations.get(table_name, 0)
+        with self._lock:
+            return self._generations.get(table_name, 0)
 
     def record_slice_scan(
         self,
@@ -265,37 +300,56 @@ class PredicateCache:
         install), or its generation stamp no longer matches the table's,
         the ranges describe row numbering that no longer exists and must
         not be (re)installed — the scan's results are still correct, only
-        the cache write is dropped.
+        the cache write is dropped.  The whole check-then-install runs
+        under ``_lock``, so a concurrent invalidation lands either
+        before (install refused) or after (entry dropped) — never
+        between the stamp check and the extension.
         """
-        if (
-            self._entries.get(entry.key) is not entry
-            or entry.generation != self._generations.get(entry.key.table, 0)
-        ):
-            self.stats.stale_installs += 1
-            return
-        state = entry.slice_states[slice_id]
-        if state is None:
-            entry.slice_states[slice_id] = self._new_state(qualifying, scanned_upto)
-        else:
-            state.extend(qualifying, scanned_upto)
-            self.stats.extensions += 1
-        if self._store is not None:
-            self._store.log_state(
-                entry,
-                slice_id,
-                entry.slice_states[slice_id],
-                self._table_layouts.get(entry.key.table, 0),
-            )
-        # Recording state grows the entry's payload; re-enforce the byte
-        # budget here, not just on insert (after the write-through, so a
-        # resulting eviction's drop event lands after the state event).
-        self._evict_if_needed()
-        if _inv.ACTIVE:
-            _inv.check_slice_state(
-                entry.slice_states[slice_id], slice_rows=scanned_upto
-            )
+        with self._lock:
+            if (
+                self._entries.get(entry.key) is not entry
+                or entry.generation != self._generations.get(entry.key.table, 0)
+            ):
+                self.stats.stale_installs += 1
+                return
+            state = entry.slice_states[slice_id]
+            if state is None:
+                entry.slice_states[slice_id] = self._new_state(
+                    qualifying, scanned_upto
+                )
+            else:
+                state.extend(qualifying, scanned_upto)
+                self.stats.extensions += 1
+            if self._store is not None:
+                self._store.log_state(
+                    entry,
+                    slice_id,
+                    entry.slice_states[slice_id],
+                    self._table_layouts.get(entry.key.table, 0),
+                )
+            # Recording state grows the entry's payload; re-enforce the byte
+            # budget here, not just on insert (after the write-through, so a
+            # resulting eviction's drop event lands after the state event).
+            self._evict_if_needed()
+            if _inv.ACTIVE:
+                _inv.check_slice_state(
+                    entry.slice_states[slice_id], slice_rows=scanned_upto
+                )
+
+    def record_entry_stats(
+        self, entry: CacheEntry, rows_qualifying: int, rows_considered: int
+    ) -> None:
+        """Fold one slice scan's row counts into the entry's selectivity.
+
+        Serialized on the cache lock: concurrent scan coordinators
+        updating the same entry must not lose increments (the entry's
+        unsynchronized ``record_scan_stats`` is for single-owner use).
+        """
+        with self._lock:
+            entry.record_scan_stats(rows_qualifying, rows_considered)
 
     def _new_state(self, qualifying: RangeList, scanned_upto: int) -> SliceState:
+        """Caller holds ``_lock``."""
         if self.config.variant == "range":
             return RangeSliceState(
                 qualifying, scanned_upto, self.config.max_ranges_per_slice
@@ -308,22 +362,26 @@ class PredicateCache:
 
     def invalidate_table(self, table_name: str) -> int:
         """Drop every entry scanning ``table_name`` (layout changed)."""
-        self._generations[table_name] = self._generations.get(table_name, 0) + 1
-        stale = [k for k in self._entries if k.table == table_name]
-        for key in stale:
-            self._drop(key)
-        self.stats.invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            self._generations[table_name] = (
+                self._generations.get(table_name, 0) + 1
+            )
+            stale = [k for k in self._entries if k.table == table_name]
+            for key in stale:
+                self._drop(key)
+            self.stats.invalidations += len(stale)
+            return len(stale)
 
     def invalidate_build_side(self, table_name: str) -> int:
         """Drop join-index entries whose build side includes the table."""
-        stale = [
-            k for k in self._entries if table_name in k.referenced_tables()
-        ]
-        for key in stale:
-            self._drop(key)
-        self.stats.invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = [
+                k for k in self._entries if table_name in k.referenced_tables()
+            ]
+            for key in stale:
+                self._drop(key)
+            self.stats.invalidations += len(stale)
+            return len(stale)
 
     def clear(self) -> int:
         """Drop every entry, counting invalidations.
@@ -333,13 +391,16 @@ class PredicateCache:
         re-admission, instead of being silently blacklisted by stale
         observation state.
         """
-        stale = list(self._entries)
-        for table_name in {key.table for key in stale}:
-            self._generations[table_name] = self._generations.get(table_name, 0) + 1
-        for key in stale:
-            self._drop(key)
-        self.stats.invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = list(self._entries)
+            for table_name in {key.table for key in stale}:
+                self._generations[table_name] = (
+                    self._generations.get(table_name, 0) + 1
+                )
+            for key in stale:
+                self._drop(key)
+            self.stats.invalidations += len(stale)
+            return len(stale)
 
     def drop_stale(self, key: ScanKey) -> bool:
         """Drop one entry detected inconsistent at scan time.
@@ -350,19 +411,22 @@ class PredicateCache:
         :meth:`_drop` so the admission policy forgets the key and the
         invalidation shows up in metrics.
         """
-        if key in self._entries:
-            self._drop(key)
-            self.stats.invalidations += 1
-            return True
-        return False
+        with self._lock:
+            if key in self._entries:
+                self._drop(key)
+                self.stats.invalidations += 1
+                return True
+            return False
 
     def admits(self, key: ScanKey) -> bool:
         """True if an entry exists or the admission policy allows one."""
-        if key in self._entries:
-            return True
+        with self._lock:
+            if key in self._entries:
+                return True
         return self.policy.should_admit(key)
 
     def _drop(self, key: ScanKey) -> None:
+        """Caller holds ``_lock``."""
         entry = self._entries.pop(key, None)
         self.policy.forget(key)
         self._log_drop(entry)
@@ -370,7 +434,7 @@ class PredicateCache:
     def _log_drop(self, entry: Optional[CacheEntry]) -> None:
         """Write a drop through to the store: only this cache's
         installed slice states (a cluster node must not erase its
-        peers' shares of the same entry)."""
+        peers' shares of the same entry).  Caller holds ``_lock``."""
         if entry is None or self._store is None:
             return
         slices = [
@@ -384,6 +448,7 @@ class PredicateCache:
     # -- capacity ----------------------------------------------------------------
 
     def _evict_if_needed(self) -> None:
+        """Caller holds ``_lock``."""
         limit = self.config.max_entries
         while limit is not None and len(self._entries) > limit:
             _, evicted = self._entries.popitem(last=False)
@@ -414,7 +479,10 @@ class PredicateCache:
 
         All series are callback-backed reads of the stats the cache
         keeps anyway, so registration adds nothing to the scan path.
-        ``labels`` distinguishes multiple caches (e.g. cluster nodes).
+        Scrape-time reads run without the cache lock (single attribute
+        loads of monotonic counters — a scrape may be one increment
+        stale, never torn).  ``labels`` distinguishes multiple caches
+        (e.g. cluster nodes).
         """
         for field_name in vars(self.stats):
             registry.counter(
@@ -447,10 +515,13 @@ class PredicateCache:
     @property
     def total_nbytes(self) -> int:
         """Total payload bytes across entries (the Table 3 metric)."""
-        return sum(entry.nbytes for entry in self._entries.values())
+        with self._lock:
+            return sum(entry.nbytes for entry in self._entries.values())
 
     def entries(self) -> List[CacheEntry]:
-        return list(self._entries.values())
+        with self._lock:
+            return list(self._entries.values())
 
     def keys(self) -> List[ScanKey]:
-        return list(self._entries.keys())
+        with self._lock:
+            return list(self._entries.keys())

@@ -16,6 +16,15 @@ The **range variant** stores at most ``max_ranges`` merged row ranges
 (built with the gap heap).  The **bitmap variant** stores one bit per
 ``block_size`` rows; it grows with the table but is ~8x smaller at the
 paper's settings (Table 3).
+
+Publication ordering: installs and extensions are serialized by the
+owning :class:`~repro.core.cache.PredicateCache` lock, but *readers*
+(the scan path consuming :meth:`SliceState.candidates`) run lock-free.
+Both ``extend`` implementations therefore publish the new qualifying
+state **before** advancing ``last_cached_row``: a racing reader sees
+either the old state (and re-scans the tail) or the new state with the
+old watermark (a superset of the truth) — never a new watermark over
+old state, which would silently skip tail rows.
 """
 
 from __future__ import annotations
@@ -81,6 +90,9 @@ class RangeSliceState(SliceState):
                 f"to {scanned_upto}"
             )
         merged = self.ranges.union(tail_qualifying.clip(self.last_cached_row, scanned_upto))
+        # Publish the merged ranges before advancing the watermark (see
+        # module docstring): lock-free readers must never observe a new
+        # watermark over the old, tail-less range list.
         self.ranges = merged.coalesce(self.max_ranges)
         self.last_cached_row = scanned_upto
 
@@ -144,6 +156,9 @@ class BitmapSliceState(SliceState):
             grown = np.zeros(needed, dtype=bool)
             grown[: len(self.bits)] = self.bits
             self.bits = grown
+        # Set the tail bits before advancing the watermark (see module
+        # docstring): a racing lock-free reader then sees at worst extra
+        # candidate blocks under the old watermark — superset-safe.
         self._set_bits(tail_qualifying.clip(self.last_cached_row, scanned_upto))
         self.last_cached_row = scanned_upto
 

@@ -20,6 +20,7 @@ exploration queries.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict
 
@@ -70,6 +71,10 @@ class CostBasedPolicy(AdmissionPolicy):
             fraction of rows are not worth the memory (their candidate
             ranges cover nearly the whole table anyway).
         max_tracked: bound on observation-table size (LRU-ish trim).
+
+    Thread-safe: the observation table and the admission/rejection
+    counters are guarded by an internal lock — the scan path calls
+    ``observe``/``should_admit`` from concurrent serving coordinators.
     """
 
     def __init__(
@@ -86,34 +91,41 @@ class CostBasedPolicy(AdmissionPolicy):
         self.max_selectivity = max_selectivity
         self.max_tracked = max_tracked
         self._observations: Dict[ScanKey, _Observation] = {}
+        self._lock = threading.Lock()
         self.admissions = 0
         self.rejections = 0
 
     def should_admit(self, key: ScanKey) -> bool:
-        observation = self._observations.get(key)
-        if observation is None or observation.sightings < self.min_sightings - 1:
-            self.rejections += 1
-            return False
-        if observation.selectivity > self.max_selectivity:
-            self.rejections += 1
-            return False
-        self.admissions += 1
-        return True
+        with self._lock:
+            observation = self._observations.get(key)
+            if (
+                observation is None
+                or observation.sightings < self.min_sightings - 1
+            ):
+                self.rejections += 1
+                return False
+            if observation.selectivity > self.max_selectivity:
+                self.rejections += 1
+                return False
+            self.admissions += 1
+            return True
 
     def observe(self, key: ScanKey, selectivity: float) -> None:
-        observation = self._observations.get(key)
-        if observation is None:
-            if len(self._observations) >= self.max_tracked:
-                # Trim the oldest half (insertion order ~ recency here).
-                for stale in list(self._observations)[: self.max_tracked // 2]:
-                    del self._observations[stale]
-            observation = _Observation()
-            self._observations[key] = observation
-        observation.sightings += 1
-        observation.selectivity = selectivity
+        with self._lock:
+            observation = self._observations.get(key)
+            if observation is None:
+                if len(self._observations) >= self.max_tracked:
+                    # Trim the oldest half (insertion order ~ recency here).
+                    for stale in list(self._observations)[: self.max_tracked // 2]:
+                        del self._observations[stale]
+                observation = _Observation()
+                self._observations[key] = observation
+            observation.sightings += 1
+            observation.selectivity = selectivity
 
     def forget(self, key: ScanKey) -> None:
-        self._observations.pop(key, None)
+        with self._lock:
+            self._observations.pop(key, None)
 
     @property
     def tracked_keys(self) -> int:

@@ -296,23 +296,29 @@ class QueryEngine:
 
         started = time.perf_counter()
         rms = self.database.rms
-        if rms.fault_injector is not None:
-            rms.reset_retry_budget()
-        storage_before = rms.stats.snapshot()
-        txid = self.database.begin()
-        execute_span = None
-        if tracer is not None:
-            execute_span = tracer.begin("execute")
-        batch = self._executor.execute(plan, txid, counters, tracer)
-        if execute_span is not None:
-            tracer.end(execute_span)
-            with tracer.span("output") as span:
+        # Per-query storage accounting: the context's private sink sees
+        # only this query's block traffic, even when other queries run
+        # concurrently on the same storage (a global snapshot/delta
+        # would fold their fetches in).  It also carries the per-query
+        # retry budget the resilient fetch path spends.
+        storage_context = rms.begin_query()
+        try:
+            txid = self.database.begin()
+            execute_span = None
+            if tracer is not None:
+                execute_span = tracer.begin("execute")
+            batch = self._executor.execute(plan, txid, counters, tracer)
+            if execute_span is not None:
+                tracer.end(execute_span)
+                with tracer.span("output") as span:
+                    order = self._output_order(plan, batch)
+                    span.set("rows_output", _batch_len(batch))
+            else:
                 order = self._output_order(plan, batch)
-                span.set("rows_output", _batch_len(batch))
-        else:
-            order = self._output_order(plan, batch)
+        finally:
+            rms.end_query(storage_context)
         counters.rows_output = _batch_len(batch)
-        storage_delta = self.database.rms.stats.delta(storage_before)
+        storage_delta = storage_context.stats
         counters.blocks_accessed += storage_delta.blocks_accessed
         counters.remote_fetches += storage_delta.remote_fetches
         counters.bytes_fetched += storage_delta.bytes_fetched
@@ -360,25 +366,28 @@ class QueryEngine:
     def delete_where(self, table_name: str, predicate: Predicate) -> int:
         """MVCC-delete every visible row matching ``predicate``."""
         table = self.database.table(table_name)
-        if self.database.rms.fault_injector is not None:
-            self.database.rms.reset_retry_budget()
-        read_txid = self.database.begin()
-        counters = QueryCounters()
-        # Deletes bypass the predicate cache: reusing a cached entry here
-        # would be correct (false positives re-checked), but Redshift's
-        # prototype hooks only the SELECT scan path.
-        result = execute_scan(
-            table, predicate, read_txid, counters, cache=None,
-            workers=self.scan_workers,
-        )
-        write_txid = self.database.begin()
-        deleted = 0
-        for slice_id, qualifying in enumerate(result.per_slice):
-            if qualifying:
-                deleted += table.delete_local_rows(
-                    slice_id, qualifying.to_row_ids(), write_txid
-                )
-        return deleted
+        rms = self.database.rms
+        storage_context = rms.begin_query()
+        try:
+            read_txid = self.database.begin()
+            counters = QueryCounters()
+            # Deletes bypass the predicate cache: reusing a cached entry here
+            # would be correct (false positives re-checked), but Redshift's
+            # prototype hooks only the SELECT scan path.
+            result = execute_scan(
+                table, predicate, read_txid, counters, cache=None,
+                workers=self.scan_workers,
+            )
+            write_txid = self.database.begin()
+            deleted = 0
+            for slice_id, qualifying in enumerate(result.per_slice):
+                if qualifying:
+                    deleted += table.delete_local_rows(
+                        slice_id, qualifying.to_row_ids(), write_txid
+                    )
+            return deleted
+        finally:
+            rms.end_query(storage_context)
 
     def update_where(
         self,
@@ -391,27 +400,32 @@ class QueryEngine:
         unknown = set(assignments) - set(table.schema.column_names)
         if unknown:
             raise ValueError(f"unknown columns in UPDATE: {sorted(unknown)}")
-        if self.database.rms.fault_injector is not None:
-            self.database.rms.reset_retry_budget()
-        read_txid = self.database.begin()
-        counters = QueryCounters()
-        result = execute_scan(
-            table, predicate, read_txid, counters, cache=None,
-            workers=self.scan_workers,
-        )
-        old_rows = result.gather(table.schema.column_names)
-        count = _batch_len(old_rows)
-        if count == 0:
-            return 0
-        write_txid = self.database.begin()
-        for slice_id, qualifying in enumerate(result.per_slice):
-            if qualifying:
-                table.delete_local_rows(slice_id, qualifying.to_row_ids(), write_txid)
-        new_rows = dict(old_rows)
-        for name, value in assignments.items():
-            new_rows[name] = np.full(count, value, dtype=old_rows[name].dtype)
-        table.insert(new_rows, write_txid)
-        return count
+        rms = self.database.rms
+        storage_context = rms.begin_query()
+        try:
+            read_txid = self.database.begin()
+            counters = QueryCounters()
+            result = execute_scan(
+                table, predicate, read_txid, counters, cache=None,
+                workers=self.scan_workers,
+            )
+            old_rows = result.gather(table.schema.column_names)
+            count = _batch_len(old_rows)
+            if count == 0:
+                return 0
+            write_txid = self.database.begin()
+            for slice_id, qualifying in enumerate(result.per_slice):
+                if qualifying:
+                    table.delete_local_rows(
+                        slice_id, qualifying.to_row_ids(), write_txid
+                    )
+            new_rows = dict(old_rows)
+            for name, value in assignments.items():
+                new_rows[name] = np.full(count, value, dtype=old_rows[name].dtype)
+            table.insert(new_rows, write_txid)
+            return count
+        finally:
+            rms.end_query(storage_context)
 
     def vacuum(self, tables: Optional[Sequence[str]] = None) -> List[str]:
         """Physically reclaim deleted rows (invalidates cache entries)."""

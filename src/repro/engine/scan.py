@@ -270,12 +270,16 @@ def execute_scan(
             context.cache.record_slice_scan(
                 context.join_entry, slice_id, qualifying, num_rows
             )
-            context.join_entry.record_scan_stats(qualifying.num_rows, num_rows)
+            context.cache.record_entry_stats(
+                context.join_entry, qualifying.num_rows, num_rows
+            )
         if context.plain_entry is not None:
             context.cache.record_slice_scan(
                 context.plain_entry, slice_id, q_plain, num_rows
             )
-            context.plain_entry.record_scan_stats(q_plain.num_rows, num_rows)
+            context.cache.record_entry_stats(
+                context.plain_entry, q_plain.num_rows, num_rows
+            )
 
     # One policy observation per (node, scan) — not per slice — so a
     # "sighting" means one execution of the scan, like the paper's
@@ -367,6 +371,13 @@ def _run_slices_parallel(
     """
     rms = table.rms
     executor = parallel.ParallelScanExecutor(num_workers)
+    # The phase is started *before* the tasks are built so each task can
+    # capture it: pool threads adopt the coordinator's (phase, query)
+    # storage bindings for the duration of their slice, then restore —
+    # pool threads are shared across concurrent scans, and the inline
+    # path runs tasks on the coordinator thread itself.
+    phase = rms.begin_scan_phase(concurrent=True)
+    query_context = rms.current_query_context()
 
     def make_task(slice_id: int, data_slice: DataSlice, entry):
         def task() -> Tuple[
@@ -374,26 +385,29 @@ def _run_slices_parallel(
             QueryCounters, float, float,
         ]:
             local = QueryCounters()
-            start = tracer.now() if tracer is not None else 0.0
-            pair = _scan_slice(
-                table, data_slice, slice_id, predicate, semijoins,
-                txid, local, entry, scan_columns, gather_columns,
-            )
-            end = tracer.now() if tracer is not None else 0.0
+            adopted = rms.adopt_scan_context(phase, query_context)
+            try:
+                start = tracer.now() if tracer is not None else 0.0
+                pair = _scan_slice(
+                    table, data_slice, slice_id, predicate, semijoins,
+                    txid, local, entry, scan_columns, gather_columns,
+                )
+                end = tracer.now() if tracer is not None else 0.0
+            finally:
+                rms.release_scan_context(adopted)
             return pair, local, start, end
 
         return task
 
-    tasks = [
-        make_task(
-            slice_id,
-            data_slice,
-            contexts[slice_id].entry if contexts[slice_id] is not None else None,
-        )
-        for slice_id, data_slice in enumerate(table.slices)
-    ]
-    rms.begin_scan_phase(concurrent=True)
     try:
+        tasks = [
+            make_task(
+                slice_id,
+                data_slice,
+                contexts[slice_id].entry if contexts[slice_id] is not None else None,
+            )
+            for slice_id, data_slice in enumerate(table.slices)
+        ]
         outcomes = executor.run(tasks)
     finally:
         access_counts = rms.end_scan_phase()

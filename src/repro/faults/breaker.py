@@ -53,6 +53,7 @@ class CircuitBreaker:
         self.recoveries = 0
 
     def _circuit(self, key: Hashable) -> _Circuit:
+        """Caller holds ``_lock``."""
         circuit = self._circuits.get(key)
         if circuit is None:
             circuit = _Circuit()
@@ -105,6 +106,14 @@ class CircuitBreaker:
                 circuit.cooldown_left = self.cooldown_ticks + 1
 
     # -- introspection ---------------------------------------------------------
+    #
+    # Reads here are deliberately unlocked: ``state`` is a single
+    # reference assignment (atomic under the GIL), dict.get on
+    # ``_circuits`` never observes a half-inserted entry, and a reader
+    # racing a transition just sees the state from one side of it —
+    # acceptable for introspection and metrics scrapes, which are
+    # advisory snapshots, not decisions.  The caller protocol above
+    # stays fully locked.
 
     def state_of(self, key: Hashable) -> str:
         circuit = self._circuits.get(key)

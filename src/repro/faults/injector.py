@@ -233,9 +233,14 @@ class FaultInjector:
         to fail checksum verification against the clean payload.  Keyed
         read paths pass the attempt's :meth:`fetch_stream` so the
         corruption shape is order-independent too; without one the
-        injector's sequential stream is used.
+        injector's sequential stream is used (snapshotted under the
+        lock into a private stream — the shared ``random.Random`` must
+        not be advanced concurrently from multiple fetch threads).
         """
-        rng = stream if stream is not None else self._rng
+        if stream is None:
+            with self._lock:
+                stream = random.Random(self._rng.random())
+        rng = stream
         if len(values) == 0:
             # Nothing to flip; model an impossible phantom row instead.
             return np.array(["\x00phantom"], dtype=object)

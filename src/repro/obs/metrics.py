@@ -28,6 +28,7 @@ flat view tests and dashboards use.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
@@ -54,9 +55,15 @@ def _label_key(labels: Optional[Mapping[str, str]]) -> LabelSet:
 
 
 class Counter:
-    """A monotonic value; ``fn``-backed counters read at scrape time."""
+    """A monotonic value; ``fn``-backed counters read at scrape time.
 
-    __slots__ = ("name", "labels", "_value", "_fn")
+    Directly-incremented instruments take a per-instrument lock:
+    ``+=`` on a float is not atomic under threads, and serving-layer
+    counters are incremented from many request threads at once.
+    Callback-backed instruments stay lock-free (scrape-time reads).
+    """
+
+    __slots__ = ("name", "labels", "_value", "_fn", "_lock")
 
     def __init__(
         self,
@@ -68,13 +75,15 @@ class Counter:
         self.labels = labels
         self._value = 0.0
         self._fn = fn
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if self._fn is not None:
             raise ValueError(f"counter {self.name!r} is callback-backed")
         if amount < 0:
             raise ValueError("counters only go up")
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> float:
@@ -86,7 +95,7 @@ class Counter:
 class Gauge:
     """A value that can move both ways; optionally callback-backed."""
 
-    __slots__ = ("name", "labels", "_value", "_fn")
+    __slots__ = ("name", "labels", "_value", "_fn", "_lock")
 
     def __init__(
         self,
@@ -98,16 +107,19 @@ class Gauge:
         self.labels = labels
         self._value = 0.0
         self._fn = fn
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         if self._fn is not None:
             raise ValueError(f"gauge {self.name!r} is callback-backed")
-        self._value = float(value)
+        with self._lock:
+            self._value = float(value)
 
     def add(self, amount: float) -> None:
         if self._fn is not None:
             raise ValueError(f"gauge {self.name!r} is callback-backed")
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> float:
@@ -119,7 +131,9 @@ class Gauge:
 class Histogram:
     """Cumulative-bucket histogram (Prometheus semantics)."""
 
-    __slots__ = ("name", "labels", "buckets", "bucket_counts", "sum", "count")
+    __slots__ = (
+        "name", "labels", "buckets", "bucket_counts", "sum", "count", "_lock",
+    )
 
     def __init__(
         self,
@@ -135,16 +149,18 @@ class Histogram:
         self.bucket_counts = [0] * len(self.buckets)
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.sum += value
-        self.count += 1
-        # First bucket whose upper bound admits the value; every later
-        # (cumulative) bucket is derived at render time.
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[i] += 1
-                break
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            # First bucket whose upper bound admits the value; every later
+            # (cumulative) bucket is derived at render time.
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    break
 
     def cumulative_counts(self) -> List[int]:
         """Per-bucket cumulative counts (exposition form, excl. +Inf)."""
@@ -163,6 +179,9 @@ class MetricsRegistry:
         self._instruments: Dict[Tuple[str, LabelSet], object] = {}
         self._help: Dict[str, str] = {}
         self._type: Dict[str, str] = {}
+        # Registration can happen at request time (e.g. per-tenant
+        # serving series created on first sight of a tenant).
+        self._lock = threading.Lock()
 
     # -- registration --------------------------------------------------------
 
@@ -174,19 +193,20 @@ class MetricsRegistry:
         help: str,
         labels: Optional[Mapping[str, str]],
     ):
-        if self._type.get(name, kind) != kind:
-            raise ValueError(
-                f"metric {name!r} already registered as {self._type[name]}"
-            )
-        key = (name, _label_key(labels))
-        instrument = self._instruments.get(key)
-        if instrument is None:
-            instrument = factory()
-            self._instruments[key] = instrument
-            self._type[name] = kind
-            if help and name not in self._help:
-                self._help[name] = help
-        return instrument
+        with self._lock:
+            if self._type.get(name, kind) != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {self._type[name]}"
+                )
+            key = (name, _label_key(labels))
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[key] = instrument
+                self._type[name] = kind
+                if help and name not in self._help:
+                    self._help[name] = help
+            return instrument
 
     def counter(
         self,

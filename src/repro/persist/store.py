@@ -34,6 +34,7 @@ journal into a fresh snapshot and truncates the log.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Optional
@@ -122,6 +123,14 @@ class CacheStore:
         # (appends dropped) until a snapshot resets the log, the way a
         # crashed process would not keep writing after its torn record.
         self._wedged = False
+        # One store is shared by every cluster node's cache; this lock
+        # serializes snapshot rotation, journal appends, and recovery
+        # reads so concurrent write-throughs never interleave frames.
+        # Re-entrant because an append can trigger compaction, which
+        # snapshots.  Lock ordering is cache → store (a cache calls in
+        # while holding its own lock); hydration installs therefore run
+        # *without* this lock held (see :meth:`hydrate`).
+        self._io_lock = threading.RLock()
         # Monotonic counters (scrape-time metrics read these directly).
         self.snapshots_written = 0
         self.journal_records = 0
@@ -192,6 +201,11 @@ class CacheStore:
         return ok
 
     def _write_snapshot(self, records: Dict[int, EntryRecord]) -> bool:
+        with self._io_lock:
+            return self._write_snapshot_locked(records)
+
+    def _write_snapshot_locked(self, records: Dict[int, EntryRecord]) -> bool:
+        """Caller holds ``_io_lock``."""
         data = encode_snapshot(records, self._catalog_meta())
         if _inv.ACTIVE:
             # Round-trip self-check on the pristine bytes, before any
@@ -251,26 +265,27 @@ class CacheStore:
         return self._append(encode_drop_event(key_digest(key), list(slice_ids)))
 
     def _append(self, payload: bytes) -> bool:
-        if self._wedged:
-            self.journal_dropped += 1
-            return False
-        framed = frame_record(payload)
-        decision = self._draw()
-        if decision is not None and decision.fail:
-            cut = 1 + int(self.injector.uniform() * (len(framed) - 1))
+        with self._io_lock:
+            if self._wedged:
+                self.journal_dropped += 1
+                return False
+            framed = frame_record(payload)
+            decision = self._draw()
+            if decision is not None and decision.fail:
+                cut = 1 + int(self.injector.uniform() * (len(framed) - 1))
+                with open(self._journal_path, "ab") as handle:
+                    handle.write(framed[:cut])
+                self.torn_writes += 1
+                self._wedged = True
+                return False
+            if decision is not None and decision.corrupt:
+                framed = self._flip_bit(framed)
+                self.corrupt_writes += 1
             with open(self._journal_path, "ab") as handle:
-                handle.write(framed[:cut])
-            self.torn_writes += 1
-            self._wedged = True
-            return False
-        if decision is not None and decision.corrupt:
-            framed = self._flip_bit(framed)
-            self.corrupt_writes += 1
-        with open(self._journal_path, "ab") as handle:
-            handle.write(framed)
-        self.journal_records += 1
-        self._maybe_compact()
-        return True
+                handle.write(framed)
+            self.journal_records += 1
+            self._maybe_compact()
+            return True
 
     # -- compaction ------------------------------------------------------------
 
@@ -290,16 +305,28 @@ class CacheStore:
         log already says).  A torn compaction write leaves snapshot and
         journal as they were.
         """
-        records, _issues = self._read_state()
-        if self.snapshot_records(records):
-            self.compactions += 1
-            return True
-        return False
+        # Hold the I/O lock across read-then-rewrite: an append landing
+        # between the replay and the truncating snapshot would be lost.
+        with self._io_lock:
+            records, _issues = self._read_state()
+            if self.snapshot_records(records):
+                self.compactions += 1
+                return True
+            return False
 
     # -- recovery --------------------------------------------------------------
 
     def _read_state(self):
-        """Snapshot + journal replay, damage-tolerant; never raises."""
+        """Snapshot + journal replay, damage-tolerant; never raises.
+
+        Runs under ``_io_lock`` so a recovery never reads a snapshot
+        mid-rotation or a journal mid-append.
+        """
+        with self._io_lock:
+            return self._read_state_locked()
+
+    def _read_state_locked(self):
+        """Caller holds ``_io_lock``."""
         issues = DecodeIssues()
         records: Dict[int, EntryRecord] = {}
         meta: dict = {}
@@ -413,6 +440,11 @@ class CacheStore:
         immediately, so a vacuum between hydration and the first scan
         still invalidates — there is no unwatched window.  Returns the
         number of entries restored.
+
+        The installs run *without* ``_io_lock`` held (only the
+        underlying :meth:`load` takes it): ``install_restored`` takes
+        the cache's lock, and the cache→store lock order must never be
+        inverted.
         """
         result = self.load()
         restored = 0

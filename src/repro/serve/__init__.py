@@ -1,0 +1,23 @@
+"""Concurrent multi-client serving over one shared engine (DESIGN.md §12).
+
+The serving layer turns the single-session :class:`~repro.engine.QueryEngine`
+into a multi-client front end: a bounded worker pool executes statements
+from many clients concurrently, per-tenant admission control sheds load
+past configured queue/in-flight limits, deadlines are honored at
+dispatch, and DML serializes against concurrent SELECTs through a
+shared/exclusive statement lock.
+"""
+
+from .admission import AdmissionController, TenantState
+from .envelope import Request, RequestStatus, Response
+from .server import QueryServer, ReadWriteLock
+
+__all__ = [
+    "AdmissionController",
+    "QueryServer",
+    "ReadWriteLock",
+    "Request",
+    "RequestStatus",
+    "Response",
+    "TenantState",
+]

@@ -9,6 +9,7 @@ this object.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional
 
 from .rms import ManagedStorage
@@ -34,14 +35,23 @@ class Database:
         self.tables: Dict[str, Table] = {}
         self.statistics: Dict[str, "TableStatistics"] = {}
         self._next_txid = 1
+        self._txid_lock = threading.Lock()
 
     # -- transactions ---------------------------------------------------------
 
     def begin(self) -> int:
-        """Allocate the next transaction id (single-writer model)."""
-        txid = self._next_txid
-        self._next_txid += 1
-        return txid
+        """Allocate the next transaction id.
+
+        Locked: concurrent serving threads each begin their own reads;
+        an unguarded read-increment would hand two queries the same
+        MVCC timestamp.  Writers are additionally serialized above this
+        layer (the serving layer's write lock) — the lock here only
+        makes id allocation itself safe.
+        """
+        with self._txid_lock:
+            txid = self._next_txid
+            self._next_txid += 1
+            return txid
 
     @property
     def current_txid(self) -> int:
@@ -52,7 +62,7 @@ class Database:
     def horizon_txid(self) -> int:
         """Oldest tx that could still be active.
 
-        The reproduction runs transactions serially, so the horizon is
+        The reproduction serializes writers (DML), so the horizon is
         simply the next tx id: everything deleted before it is globally
         invisible and vacuum may reclaim it.
         """

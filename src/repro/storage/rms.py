@@ -11,17 +11,40 @@ evicted (LRU by capacity) or invalidated (vacuum/reseal).
 columns: every experiment reads these counters rather than timing alone,
 so the reproduction's comparisons are exact even where wall-clock is not.
 
-Concurrency: the parallel scan executor brackets the slice fan-out with
-:meth:`ManagedStorage.begin_scan_phase` / :meth:`end_scan_phase`.
-During a phase, block accesses are recorded per slice instead of
-immediately reordering the LRU, and capacity eviction is deferred to the
-barrier, where the log is replayed in slice-major order — so the cache
-end-state (and therefore the remote/local fetch split of every later
-query) depends only on *what* the scan read, never on how worker
-threads interleaved.  Serial scans run the same phased path, which
-keeps the two modes bit-identical by construction.  Within a scan a
-block key belongs to exactly one slice, so concurrent phase reads never
-race on the same key.
+Concurrency model (DESIGN.md §12):
+
+* **Scan phases are thread-bound.**  The parallel scan executor
+  brackets the slice fan-out with :meth:`ManagedStorage.begin_scan_phase`
+  / :meth:`end_scan_phase`; the phase is bound to the *coordinating
+  thread*, and its worker threads adopt it for the duration of one
+  slice task (:meth:`adopt_scan_context` / :meth:`release_scan_context`).
+  Concurrent queries from a serving layer each run their own phase on
+  their own thread — phases no longer exclude each other globally, only
+  per thread (a phase still must not nest on one thread).
+* **Phased LRU settlement.**  During a phase, block accesses are
+  recorded per slice instead of immediately reordering the LRU, and
+  capacity eviction is deferred to the barrier, where the log is
+  replayed in slice-major order — so the cache end-state (and therefore
+  the remote/local fetch split of every later query) depends only on
+  *what* the scan read, never on how worker threads interleaved.
+  Serial scans run the same phased path, which keeps the two modes
+  bit-identical by construction.  Within a scan a block key belongs to
+  exactly one slice, so one phase's reads never race on the same key.
+* **One storage lock.**  A single always-on ``threading.Lock`` guards
+  the decoded-block cache, the stats counters, and the per-query stat
+  sinks.  Decode work and fetch-latency sleeps run *outside* the lock,
+  so remote fetches still overlap across workers and across queries.
+  Two threads missing the same block concurrently may both fetch it
+  (both count a remote fetch) — the same duplicated round trip a real
+  node cache exhibits; workloads that need exact per-query counters
+  keep their tables disjoint.
+* **Per-query accounting.**  :meth:`begin_query` binds a
+  :class:`QueryStorageContext` to the calling thread: a private
+  ``StorageStats`` sink mirroring every counter the thread (and any
+  worker that adopted its context) touches, plus the per-query retry
+  budget.  The engine reads a query's storage counters from its
+  context instead of diffing the global stats — which concurrent
+  queries would pollute.
 """
 
 from __future__ import annotations
@@ -29,9 +52,8 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import ContextManager, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -44,7 +66,7 @@ from ..faults import (
 )
 from .compression import EncodedBlock, array_checksum, decode_block
 
-__all__ = ["BlockKey", "ManagedStorage", "StorageStats"]
+__all__ = ["BlockKey", "ManagedStorage", "QueryStorageContext", "StorageStats"]
 
 # (table, slice, column, block index) uniquely names a block.
 BlockKey = Tuple[str, int, str, int]
@@ -54,7 +76,9 @@ BlockKey = Tuple[str, int, str, int]
 class StorageStats:
     """Monotonic counters of storage traffic and read resilience.
 
-    Snapshot-and-subtract via :meth:`delta` to measure one query.
+    Snapshot-and-subtract via :meth:`delta` to measure one serial
+    query; concurrent queries read their own
+    :class:`QueryStorageContext` sink instead.
     """
 
     remote_fetches: int = 0
@@ -83,21 +107,35 @@ class StorageStats:
         )
 
 
+class QueryStorageContext:
+    """Per-query storage accounting, bound to the executing thread.
+
+    Created by :meth:`ManagedStorage.begin_query`.  ``stats`` mirrors
+    every storage counter the query's threads touch (its private sink —
+    unpolluted by concurrent queries sharing the storage), and
+    ``retry_budget_left`` is the query's fault-retry allowance.
+    """
+
+    __slots__ = ("stats", "retry_budget_left", "_prev")
+
+    def __init__(self, retry_budget: Optional[int]) -> None:
+        self.stats = StorageStats()
+        self.retry_budget_left = retry_budget
+        self._prev: Optional["QueryStorageContext"] = None
+
+
 class _ScanPhase:
-    """Deferred-eviction bookkeeping for one table scan (see module doc)."""
+    """Deferred-eviction bookkeeping for one table scan (see module doc).
 
-    __slots__ = ("guard", "accesses")
+    The access log is guarded by the owning storage's lock, not a
+    per-phase lock: concurrent phases from different queries interleave
+    on the same decoded-block cache, so one lock must order them all.
+    """
 
-    def __init__(self, concurrent: bool) -> None:
-        # The serial executor reuses a shared no-op guard; only a
-        # genuinely concurrent phase pays for a real lock.
-        self.guard: ContextManager[object] = (
-            threading.Lock() if concurrent else _NO_GUARD
-        )
+    __slots__ = ("accesses",)
+
+    def __init__(self) -> None:
         self.accesses: Dict[int, List[BlockKey]] = {}
-
-
-_NO_GUARD = nullcontext()
 
 
 class ManagedStorage:
@@ -110,10 +148,11 @@ class ManagedStorage:
 
     ``fetch_delay_seconds`` (default 0.0 — no sleeps anywhere) is an
     opt-in *wall-clock* cost per remote fetch, modeling the network
-    round trip to managed storage.  The parallel-scan benchmark uses it
-    to measure latency hiding: sleeps in concurrent workers overlap the
-    way real S3 round trips would, independent of core count.  It never
-    affects counters or model time.
+    round trip to managed storage.  The parallel-scan and serving
+    benchmarks use it to measure latency hiding: sleeps run outside the
+    storage lock, so they overlap across workers and across concurrent
+    queries the way real S3 round trips would.  It never affects
+    counters or model time.
     """
 
     def __init__(self, cache_capacity: Optional[int] = None) -> None:
@@ -122,16 +161,20 @@ class ManagedStorage:
         self.stats = StorageStats()
         self.fault_injector: Optional[FaultInjector] = None
         self.retry_policy = RetryPolicy()
+        # Fallback retry budget for callers that never bind a query
+        # context (direct ManagedStorage use in tests/tools).
         self._retry_budget_left: Optional[int] = None
         # Resolved once at attach time so the per-fetch check is a
         # single attribute load ("no faults configured" costs nothing).
         self._faults_armed = False
         self.fetch_delay_seconds = 0.0
-        self._phase: Optional[_ScanPhase] = None
-        # Guards stats/budget/fetch-ordinal updates on the resilient
-        # (fault-armed) path; the clean path is covered by the phase
-        # guard or runs on the single coordinating thread.
-        self._stats_lock = threading.Lock()
+        # One always-on lock guards the decoded-block cache, the global
+        # stats, per-query sinks, fetch ordinals, and retry budgets.
+        # Decode + injected sleeps run outside it (see module doc).
+        self._lock = threading.Lock()
+        # Thread-bound execution state: .phase (the active _ScanPhase)
+        # and .query (the active QueryStorageContext) of each thread.
+        self._local = threading.local()
         self._fetch_ordinals: Dict[BlockKey, int] = {}
 
     # -- fault wiring ----------------------------------------------------------
@@ -149,21 +192,56 @@ class ManagedStorage:
         self.reset_retry_budget()
 
     def reset_retry_budget(self) -> None:
-        """Start a fresh per-query retry budget (no-op when unlimited)."""
+        """Reset the fallback retry budget (no-op when unlimited).
+
+        Queries executed through the engine get a fresh budget on their
+        :class:`QueryStorageContext` instead; this fallback covers
+        direct storage use with no bound query.
+        """
         self._retry_budget_left = self.retry_policy.retry_budget
+
+    # -- per-query accounting --------------------------------------------------
+
+    def begin_query(self) -> QueryStorageContext:
+        """Bind a fresh per-query storage context to this thread.
+
+        Every storage counter the thread (and any worker adopting the
+        context via :meth:`adopt_scan_context`) touches until
+        :meth:`end_query` is mirrored into the context's private
+        ``stats``.  Contexts save and restore the previous binding, so
+        a nested bind (re-entrant engine use) is safe.
+        """
+        context = QueryStorageContext(self.retry_policy.retry_budget)
+        context._prev = getattr(self._local, "query", None)
+        self._local.query = context
+        return context
+
+    def end_query(self, context: QueryStorageContext) -> None:
+        """Unbind ``context``, restoring the thread's previous binding."""
+        self._local.query = context._prev
+
+    def current_query_context(self) -> Optional[QueryStorageContext]:
+        """The query context bound to the calling thread, if any."""
+        return getattr(self._local, "query", None)
 
     # -- scan phases (deferred LRU settlement) ---------------------------------
 
-    def begin_scan_phase(self, concurrent: bool = False) -> None:
+    def begin_scan_phase(self, concurrent: bool = False) -> _ScanPhase:
         """Start access logging for one table scan (see module doc).
 
-        ``concurrent`` arms the phase's internal lock for parallel
-        workers; serial scans skip it.  Phases do not nest — a scan owns
-        the storage until its barrier calls :meth:`end_scan_phase`.
+        The phase is bound to the calling (coordinator) thread; worker
+        threads adopt it per task via :meth:`adopt_scan_context`.
+        Phases do not nest on one thread — a scan owns its thread's
+        storage view until its barrier calls :meth:`end_scan_phase`.
+        ``concurrent`` is accepted for compatibility; the storage lock
+        now serializes phase bookkeeping in both modes.
         """
-        if self._phase is not None:
+        del concurrent
+        if getattr(self._local, "phase", None) is not None:
             raise RuntimeError("a scan phase is already active")
-        self._phase = _ScanPhase(concurrent)
+        phase = _ScanPhase()
+        self._local.phase = phase
+        return phase
 
     def end_scan_phase(self) -> Dict[int, int]:
         """Settle the phase's LRU effects; return per-slice access counts.
@@ -174,58 +252,107 @@ class ManagedStorage:
         actually ran in.  The returned ``{slice_id: blocks_accessed}``
         feeds the per-slice tracer spans.
         """
-        phase = self._phase
+        phase = getattr(self._local, "phase", None)
         if phase is None:
             raise RuntimeError("no scan phase is active")
-        self._phase = None
+        self._local.phase = None
         counts: Dict[int, int] = {}
-        for slice_id in sorted(phase.accesses):
-            keys = phase.accesses[slice_id]
-            counts[slice_id] = len(keys)
-            for key in keys:
-                if key in self._cache:
-                    self._cache.move_to_end(key)
-        if self.cache_capacity is not None:
-            while len(self._cache) > self.cache_capacity:
-                self._cache.popitem(last=False)
+        with self._lock:
+            for slice_id in sorted(phase.accesses):
+                keys = phase.accesses[slice_id]
+                counts[slice_id] = len(keys)
+                for key in keys:
+                    if key in self._cache:
+                        self._cache.move_to_end(key)
+            if self.cache_capacity is not None:
+                while len(self._cache) > self.cache_capacity:
+                    self._cache.popitem(last=False)
         return counts
+
+    def adopt_scan_context(
+        self,
+        phase: Optional[_ScanPhase],
+        query: Optional[QueryStorageContext],
+    ) -> Tuple[Optional[_ScanPhase], Optional[QueryStorageContext]]:
+        """Bind a coordinator's (phase, query context) onto this thread.
+
+        Called at the top of each worker task so the worker's block
+        reads land in the dispatching scan's access log and query sink.
+        Returns the thread's previous bindings; pass them back to
+        :meth:`release_scan_context` when the task ends — pool threads
+        are shared across scans (and the inline-execution path runs the
+        task on the coordinator thread itself), so save/restore is
+        mandatory, not optional.
+        """
+        local = self._local
+        previous = (
+            getattr(local, "phase", None),
+            getattr(local, "query", None),
+        )
+        local.phase = phase
+        local.query = query
+        return previous
+
+    def release_scan_context(
+        self,
+        previous: Tuple[Optional[_ScanPhase], Optional[QueryStorageContext]],
+    ) -> None:
+        """Restore the bindings :meth:`adopt_scan_context` displaced."""
+        self._local.phase, self._local.query = previous
 
     # -- the read path ---------------------------------------------------------
 
+    def _bump(self, name: str, amount) -> None:
+        """Count into the global stats and the bound query's sink.
+
+        Caller holds ``_lock``.
+        """
+        stats = self.stats
+        setattr(stats, name, getattr(stats, name) + amount)
+        query = getattr(self._local, "query", None)
+        if query is not None:
+            sink = query.stats
+            setattr(sink, name, getattr(sink, name) + amount)
+
     def read_block(self, key: BlockKey, block: EncodedBlock) -> np.ndarray:
         """Read a block's decoded values, counting the access."""
-        phase = self._phase
+        phase = getattr(self._local, "phase", None)
         if phase is not None:
             return self._read_block_phased(phase, key, block)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            self.stats.local_hits += 1
-            return cached
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._bump("local_hits", 1)
+                return cached
         values = self._fetch(key, block)
-        self.stats.remote_fetches += 1
-        self.stats.bytes_fetched += block.nbytes
-        self._cache[key] = values
-        if self.cache_capacity is not None and len(self._cache) > self.cache_capacity:
-            self._cache.popitem(last=False)
+        with self._lock:
+            self._bump("remote_fetches", 1)
+            self._bump("bytes_fetched", block.nbytes)
+            self._cache[key] = values
+            if (
+                self.cache_capacity is not None
+                and len(self._cache) > self.cache_capacity
+            ):
+                self._cache.popitem(last=False)
         return values
 
     def _read_block_phased(
         self, phase: _ScanPhase, key: BlockKey, block: EncodedBlock
     ) -> np.ndarray:
         """Phase-mode read: log the access, defer LRU movement/eviction."""
-        with phase.guard:
+        with self._lock:
             phase.accesses.setdefault(key[1], []).append(key)
             cached = self._cache.get(key)
             if cached is not None:
-                self.stats.local_hits += 1
+                self._bump("local_hits", 1)
                 return cached
-        # Decode (and any fault machinery) runs outside the phase guard
-        # so fetches genuinely overlap across workers.
+        # Decode (and any fault machinery) runs outside the storage lock
+        # so fetches genuinely overlap across workers and queries.
         values = self._fetch(key, block)
-        with phase.guard:
-            self.stats.remote_fetches += 1
-            self.stats.bytes_fetched += block.nbytes
+        with self._lock:
+            self._bump("remote_fetches", 1)
+            self._bump("bytes_fetched", block.nbytes)
             self._cache[key] = values
         return values
 
@@ -235,6 +362,27 @@ class ManagedStorage:
         if not self._faults_armed:
             return decode_block(block)
         return self._fetch_resilient(key, block)
+
+    def _spend_retry_locked(self) -> bool:
+        """Consume one retry from the bound budget; True when exhausted.
+
+        Caller holds ``_lock``.  The budget lives on the thread's query
+        context when one is bound, else on the storage-wide fallback.
+        """
+        query = getattr(self._local, "query", None)
+        if query is not None:
+            if query.retry_budget_left is None:
+                return False
+            if query.retry_budget_left <= 0:
+                return True
+            query.retry_budget_left -= 1
+            return False
+        if self._retry_budget_left is None:
+            return False
+        if self._retry_budget_left <= 0:
+            return True
+        self._retry_budget_left -= 1
+        return False
 
     def _fetch_resilient(self, key: BlockKey, block: EncodedBlock) -> np.ndarray:
         """Fetch under fault injection: verify, retry with backoff, give up.
@@ -254,9 +402,8 @@ class ManagedStorage:
         """
         injector = self.fault_injector
         policy = self.retry_policy
-        stats = self.stats
         keyed = injector.schedule is None
-        with self._stats_lock:
+        with self._lock:
             ordinal = self._fetch_ordinals.get(key, 0)
             self._fetch_ordinals[key] = ordinal + 1
         attempt = 0
@@ -268,57 +415,62 @@ class ManagedStorage:
                 stream = None
                 decision = injector.draw()
             if decision.latency_seconds:
-                with self._stats_lock:
-                    stats.backoff_model_seconds += quantize_model_seconds(
-                        decision.latency_seconds
+                with self._lock:
+                    self._bump(
+                        "backoff_model_seconds",
+                        quantize_model_seconds(decision.latency_seconds),
                     )
             if decision.fail:
-                with self._stats_lock:
-                    stats.transient_errors += 1
+                with self._lock:
+                    self._bump("transient_errors", 1)
             else:
                 values = decode_block(block)
                 if decision.corrupt:
                     values = injector.corrupt_array(values, stream)
                 if block.checksum is None or array_checksum(values) == block.checksum:
                     return values
-                with self._stats_lock:
-                    stats.corrupt_blocks += 1
+                with self._lock:
+                    self._bump("corrupt_blocks", 1)
             attempt += 1
             if attempt >= policy.max_attempts:
-                with self._stats_lock:
-                    stats.retry_giveups += 1
+                with self._lock:
+                    self._bump("retry_giveups", 1)
                 raise TransientStorageError(
                     f"block {key} unreadable after {attempt} attempts"
                 )
             jitter = stream.random() if stream is not None else injector.uniform()
-            with self._stats_lock:
-                if self._retry_budget_left is not None:
-                    if self._retry_budget_left <= 0:
-                        stats.retry_giveups += 1
-                        raise RetryBudgetExceeded(
-                            f"query retry budget exhausted fetching block {key}"
-                        )
-                    self._retry_budget_left -= 1
-                stats.retries += 1
-                stats.backoff_model_seconds += quantize_model_seconds(
-                    policy.backoff_seconds(attempt - 1, jitter)
+            with self._lock:
+                if self._spend_retry_locked():
+                    self._bump("retry_giveups", 1)
+                    raise RetryBudgetExceeded(
+                        f"query retry budget exhausted fetching block {key}"
+                    )
+                self._bump("retries", 1)
+                self._bump(
+                    "backoff_model_seconds",
+                    quantize_model_seconds(
+                        policy.backoff_seconds(attempt - 1, jitter)
+                    ),
                 )
 
     def invalidate_table(self, table_name: str) -> None:
         """Drop all cached blocks of one table (vacuum / reseal)."""
-        stale = [k for k in self._cache if k[0] == table_name]
-        for key in stale:
-            del self._cache[key]
-        self.stats.blocks_invalidated += len(stale)
+        with self._lock:
+            stale = [k for k in self._cache if k[0] == table_name]
+            for key in stale:
+                del self._cache[key]
+            self._bump("blocks_invalidated", len(stale))
 
     def invalidate_block(self, key: BlockKey) -> None:
         """Drop one cached block (a tail block being resealed)."""
-        if self._cache.pop(key, None) is not None:
-            self.stats.blocks_invalidated += 1
+        with self._lock:
+            if self._cache.pop(key, None) is not None:
+                self._bump("blocks_invalidated", 1)
 
     def clear(self) -> None:
         """Drop the whole local cache (simulates a cold node)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     @property
     def cached_blocks(self) -> int:

@@ -1,0 +1,307 @@
+"""Seeded closed-loop load generation for the serving layer (§12).
+
+A :class:`LoadGenerator` deterministically expands a seed into
+per-client SQL scripts shaped like the paper's fleet traffic: a hot set
+of repeating scans (the predicate cache's bread and butter), a stream
+of ad-hoc one-off scans, and occasional DML that invalidates cached
+entries.  Scripts are pure data — the same ``(seed, shape)`` always
+yields byte-identical statement lists, so a concurrent run can be
+replayed serially for differential testing.
+
+:func:`run_closed_loop` drives a :class:`~repro.serve.QueryServer` with
+one thread per client, each submitting its next statement only after
+the previous response arrives (closed-loop: offered load adapts to
+service rate, the standard harness shape for latency percentiles).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..serve import Request, RequestStatus, Response
+
+__all__ = [
+    "LoadGenerator",
+    "LoadReport",
+    "LoadScript",
+    "run_closed_loop",
+    "setup_load_tables",
+]
+
+#: Columns every generated table carries.
+_COLUMNS = ("k", "v", "bucket")
+
+
+@dataclass(frozen=True)
+class LoadScript:
+    """One client's deterministic statement sequence."""
+
+    client_id: int
+    tenant: str
+    table: str
+    statements: Sequence[str]
+
+
+class LoadGenerator:
+    """Expands a seed into per-client SQL scripts.
+
+    Args:
+        num_clients: concurrent clients to script for.
+        statements_per_client: script length.
+        seed: master seed; client ``i`` derives its stream from
+            ``seed + i`` so adding clients never perturbs existing
+            scripts.
+        shared_table: when True every client hits one table
+            (``{table_prefix}_shared``) — contended mode for chaos
+            testing; when False client ``i`` owns ``{table_prefix}_c{i}``
+            — disjoint mode, where concurrent execution is bit-identical
+            to serial replay.
+        hot_fraction: probability a statement repeats one of the
+            client's hot scan templates (cache-hit traffic).
+        dml_fraction: probability a statement is an invalidating write
+            (DELETE, UPDATE, or VACUUM); the rest are ad-hoc scans.
+        hot_templates: size of each client's hot scan pool.
+        key_space: half-open upper bound of the ``k`` column domain the
+            generated predicates draw from.
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        statements_per_client: int,
+        seed: int = 0,
+        shared_table: bool = False,
+        hot_fraction: float = 0.6,
+        dml_fraction: float = 0.0,
+        hot_templates: int = 8,
+        key_space: int = 10_000,
+        table_prefix: str = "load",
+    ) -> None:
+        if num_clients < 1:
+            raise ValueError("num_clients must be >= 1")
+        if not 0.0 <= hot_fraction + dml_fraction <= 1.0:
+            raise ValueError("hot_fraction + dml_fraction must be within [0, 1]")
+        self.num_clients = num_clients
+        self.statements_per_client = statements_per_client
+        self.seed = seed
+        self.shared_table = shared_table
+        self.hot_fraction = hot_fraction
+        self.dml_fraction = dml_fraction
+        self.hot_templates = hot_templates
+        self.key_space = key_space
+        self.table_prefix = table_prefix
+
+    def table_for(self, client_id: int) -> str:
+        if self.shared_table:
+            return f"{self.table_prefix}_shared"
+        return f"{self.table_prefix}_c{client_id}"
+
+    def tables(self) -> List[str]:
+        """Distinct tables the scripts reference, in client order."""
+        names: List[str] = []
+        for client in range(self.num_clients):
+            name = self.table_for(client)
+            if name not in names:
+                names.append(name)
+        return names
+
+    def scripts(self) -> List[LoadScript]:
+        """The deterministic per-client scripts for this configuration."""
+        return [self._script_for(client) for client in range(self.num_clients)]
+
+    def _script_for(self, client_id: int) -> LoadScript:
+        rng = np.random.default_rng(self.seed + client_id)
+        table = self.table_for(client_id)
+        # The hot pool is fixed up front so repeats are literal repeats
+        # (same statement text → same scan key → predicate-cache hit).
+        hot_pool = [
+            self._scan_sql(table, rng) for _ in range(self.hot_templates)
+        ]
+        statements: List[str] = []
+        for _ in range(self.statements_per_client):
+            draw = rng.random()
+            if draw < self.hot_fraction:
+                statements.append(hot_pool[int(rng.integers(len(hot_pool)))])
+            elif draw < self.hot_fraction + self.dml_fraction:
+                statements.append(self._dml_sql(table, rng))
+            else:
+                statements.append(self._scan_sql(table, rng))
+        return LoadScript(
+            client_id=client_id,
+            tenant=f"tenant_{client_id}",
+            table=table,
+            statements=tuple(statements),
+        )
+
+    def _scan_sql(self, table: str, rng: np.random.Generator) -> str:
+        lo = int(rng.integers(0, self.key_space))
+        width = int(rng.integers(50, 500))
+        if rng.random() < 0.5:
+            return (
+                f"select count(*) from {table} "
+                f"where k >= {lo} and k < {lo + width}"
+            )
+        bucket = int(rng.integers(0, 50))
+        return (
+            f"select sum(v) from {table} "
+            f"where bucket = {bucket} and k >= {lo} and k < {lo + width}"
+        )
+
+    def _dml_sql(self, table: str, rng: np.random.Generator) -> str:
+        kind = rng.random()
+        if kind < 0.4:
+            key = int(rng.integers(0, self.key_space))
+            return f"delete from {table} where k = {key}"
+        if kind < 0.8:
+            key = int(rng.integers(0, self.key_space))
+            bump = int(rng.integers(1, 10))
+            return f"update {table} set v = {bump} where k = {key}"
+        return f"vacuum {table}"
+
+
+def setup_load_tables(
+    engine,
+    generator: LoadGenerator,
+    rows_per_table: int = 20_000,
+    seed: Optional[int] = None,
+) -> List[str]:
+    """Create + populate every table a generator's scripts reference.
+
+    Row content is seeded (default: the generator's own seed), so two
+    databases set up with the same arguments hold identical data —
+    required by the differential oracle.
+    """
+    from ..storage import ColumnSpec, DataType, TableSchema
+
+    seed = generator.seed if seed is None else seed
+    names = generator.tables()
+    for name in names:
+        # SeedSequence takes integer entropy; fold the table name in so
+        # shared and per-client tables get distinct but stable content.
+        rng = np.random.default_rng([seed, *name.encode()])
+        engine.database.create_table(
+            TableSchema(
+                name,
+                tuple(ColumnSpec(column, DataType.INT64) for column in _COLUMNS),
+            )
+        )
+        engine.insert(
+            name,
+            {
+                "k": rng.integers(0, generator.key_space, rows_per_table),
+                "v": rng.integers(0, 1000, rows_per_table),
+                "bucket": rng.integers(0, 50, rows_per_table),
+            },
+        )
+    return names
+
+
+@dataclass
+class LoadReport:
+    """Everything a closed-loop run observed, per client and overall."""
+
+    responses: Dict[int, List[Response]] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def total_requests(self) -> int:
+        return sum(len(r) for r in self.responses.values())
+
+    @property
+    def qps(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_requests / self.wall_seconds
+
+    def count(self, status: RequestStatus) -> int:
+        return sum(
+            1
+            for responses in self.responses.values()
+            for response in responses
+            if response.status is status
+        )
+
+    @property
+    def errors(self) -> int:
+        return self.count(RequestStatus.ERROR)
+
+    def latencies(self) -> np.ndarray:
+        """Completion latencies (seconds) of executed statements."""
+        values = [
+            response.total_seconds
+            for responses in self.responses.values()
+            for response in responses
+            if response.status in (RequestStatus.OK, RequestStatus.ERROR)
+        ]
+        return np.asarray(values, dtype=np.float64)
+
+    def percentile(self, q: float) -> float:
+        latencies = self.latencies()
+        if latencies.size == 0:
+            return 0.0
+        return float(np.percentile(latencies, q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "requests": self.total_requests,
+            "qps": self.qps,
+            "p50_seconds": self.p50,
+            "p99_seconds": self.p99,
+            "ok": self.count(RequestStatus.OK),
+            "rejected": self.count(RequestStatus.REJECTED),
+            "timed_out": self.count(RequestStatus.TIMED_OUT),
+            "errors": self.errors,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+def run_closed_loop(server, scripts: Sequence[LoadScript]) -> LoadReport:
+    """Drive the server with one closed-loop thread per script.
+
+    Each client thread submits its statements strictly in order,
+    waiting for every response before sending the next — a rejected
+    statement is retried until admitted (closed-loop clients back off
+    by blocking, they do not drop work), so every script runs to
+    completion and differential comparisons see all statements.
+    """
+    report = LoadReport(responses={script.client_id: [] for script in scripts})
+
+    def client_loop(script: LoadScript) -> None:
+        sink = report.responses[script.client_id]
+        for sql in script.statements:
+            while True:
+                response = server.submit(
+                    Request(sql, tenant=script.tenant)
+                ).result()
+                if response.status is not RequestStatus.REJECTED:
+                    sink.append(response)
+                    break
+                # Admission pushed back: yield and retry the statement.
+                time.sleep(0.0005)
+
+    threads = [
+        threading.Thread(
+            target=client_loop, args=(script,), name=f"loadgen-{script.client_id}"
+        )
+        for script in scripts
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.wall_seconds = time.monotonic() - started
+    return report

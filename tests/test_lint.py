@@ -210,6 +210,74 @@ def test_rp006_allows_coordinator_installs_and_other_modules():
     assert lint_source(elsewhere, "repro/engine/executor.py") == []
 
 
+# -- RP007: unsynchronized mutation in serving/cache code ----------------------
+
+
+def test_rp007_flags_unlocked_private_mutation():
+    src = (
+        "class Server:\n"
+        "    def stop(self):\n"
+        "        self._accepting = False\n"
+        "    def push(self, item):\n"
+        "        self._queue.append(item)\n"
+        "    def drop(self, i):\n"
+        "        del self._queue[i]\n"
+        "    def bump(self):\n"
+        "        self._active += 1\n"
+    )
+    found = lint_source(src, "repro/serve/server.py")
+    assert codes(found) == ["RP007"] * 4
+    assert all("lock" in f.message for f in found)
+
+
+def test_rp007_allows_locked_init_and_documented_helpers():
+    src = (
+        "import threading\n"
+        "class Server:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._cv = threading.Condition()\n"
+        "        self._queue = []\n"
+        "        self._active = 0\n"
+        "    def push(self, item):\n"
+        "        with self._lock:\n"
+        "            self._queue.append(item)\n"
+        "    def bump(self):\n"
+        "        with self._cv:\n"
+        "            self._active += 1\n"
+        "    def _install(self, item):\n"
+        '        """Caller holds ``_lock``."""\n'
+        "        self._queue.append(item)\n"
+        "    def read(self):\n"
+        "        return len(self._queue)\n"
+    )
+    assert lint_source(src, "repro/serve/server.py") == []
+
+
+def test_rp007_scope_is_serving_and_cache_only():
+    src = (
+        "class Thing:\n"
+        "    def set(self, v):\n"
+        "        self._value = v\n"
+    )
+    # In scope: every serve/ module and the predicate cache itself.
+    assert codes(lint_source(src, "repro/serve/admission.py")) == ["RP007"]
+    assert codes(lint_source(src, "repro/core/cache.py")) == ["RP007"]
+    # Out of scope: other packages keep their own disciplines.
+    assert lint_source(src, "repro/core/entry.py") == []
+    assert lint_source(src, "repro/engine/engine.py") == []
+
+
+def test_rp007_ignores_public_and_non_self_mutations():
+    src = (
+        "class Reporter:\n"
+        "    def count(self, state):\n"
+        "        state.queued += 1\n"  # not self: owner documents locking
+        "        self.visible = True\n"  # public attribute, out of scope
+    )
+    assert lint_source(src, "repro/serve/server.py") == []
+
+
 # -- the real tree -------------------------------------------------------------
 
 
@@ -246,7 +314,7 @@ def test_list_rules():
         cwd=REPO,
     )
     assert proc.returncode == 0
-    for code in ("RP001", "RP002", "RP003", "RP004", "RP005", "RP006"):
+    for code in ("RP001", "RP002", "RP003", "RP004", "RP005", "RP006", "RP007"):
         assert code in proc.stdout
 
 

@@ -1,0 +1,543 @@
+"""Concurrent serving layer: differential, chaos, and linearizability tests.
+
+Four layers of assurance over :mod:`repro.serve` (DESIGN.md §12):
+
+* **server semantics** — admission rejections, deadline misses at
+  dispatch, error materialization, drain/shutdown;
+* **concurrent differential oracle** — N closed-loop clients over
+  disjoint per-client tables must produce results (and per-query
+  ``blocks_accessed``) bit-identical to a serial replay of the same
+  scripts, and to a cache-disabled twin;
+* **concurrent chaos** — 8 clients hammer one *shared* table with scans
+  and invalidating DML for 200+ statements: zero surfaced errors, no
+  dropped or duplicated invalidations (generation accounting is exact),
+  and the cached view agrees with an uncached reader at quiescence;
+* **linearizability-style property test** — hypothesis drives raw
+  install/lookup/invalidate/clear schedules against one PredicateCache
+  from several threads under ``REPRO_VALIDATE``-style invariant
+  checking: no stale-generation entry survives, byte accounting never
+  goes negative.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Database,
+    PredicateCache,
+    PredicateCacheConfig,
+    QueryEngine,
+    QueryServer,
+    RangeList,
+    Request,
+    RequestStatus,
+    ScanKey,
+)
+from repro import invariants as _inv
+from repro.obs import Tracer
+from repro.persist import CacheStore
+from repro.serve import AdmissionController
+from repro.serve.server import _is_write_statement
+from repro.workloads.loadgen import (
+    LoadGenerator,
+    run_closed_loop,
+    setup_load_tables,
+)
+
+
+def make_server(engine=None, **kwargs):
+    if engine is None:
+        engine = QueryEngine(Database(), predicate_cache=PredicateCache())
+    return QueryServer(engine, **kwargs)
+
+
+def make_loaded_engine(generator, rows_per_table=3000, **db_kwargs):
+    """A fresh cached engine with the generator's tables populated."""
+    db = Database(**db_kwargs)
+    engine = QueryEngine(db, predicate_cache=PredicateCache())
+    setup_load_tables(engine, generator, rows_per_table=rows_per_table)
+    return engine
+
+
+# -- server semantics ---------------------------------------------------------
+
+
+class TestServerBasics:
+    def test_execute_runs_a_statement(self):
+        gen = LoadGenerator(num_clients=1, statements_per_client=1, seed=1)
+        engine = make_loaded_engine(gen)
+        with make_server(engine) as server:
+            response = server.execute(f"select count(*) from {gen.table_for(0)}")
+            assert response.ok
+            assert response.result.scalar() == 3000
+            assert response.total_seconds >= response.queued_seconds >= 0.0
+
+    def test_engine_errors_become_error_responses(self):
+        with make_server() as server:
+            response = server.execute("select count(*) from missing_table")
+            assert response.status is RequestStatus.ERROR
+            assert "missing_table" in response.error
+            # The worker survives the exception and keeps serving.
+            assert server.execute("vacuum").ok
+
+    def test_rejects_engines_with_a_tracer(self):
+        engine = QueryEngine(Database(), tracer=Tracer())
+        with pytest.raises(ValueError, match="tracer"):
+            QueryServer(engine)
+
+    def test_admission_rejects_past_tenant_limits(self):
+        gen = LoadGenerator(num_clients=1, statements_per_client=1, seed=2)
+        engine = make_loaded_engine(gen)
+        engine.database.rms.fetch_delay_seconds = 0.02
+        admission = AdmissionController(max_in_flight=1, max_queued=0)
+        server = QueryServer(engine, max_workers=2, admission=admission)
+        try:
+            sql = f"select count(*) from {gen.table_for(0)}"
+            futures = [server.submit(Request(sql)) for _ in range(5)]
+            responses = [f.result() for f in futures]
+        finally:
+            server.shutdown()
+        statuses = [r.status for r in responses]
+        # Exactly one outstanding slot: the first submission takes it,
+        # the other four are rejected at the door.
+        assert statuses.count(RequestStatus.REJECTED) == 4
+        assert statuses.count(RequestStatus.OK) == 1
+        assert admission.total_rejected == 4
+        rejected = next(r for r in responses if r.status is RequestStatus.REJECTED)
+        assert "admission" in rejected.error
+
+    def test_deadline_expires_in_queue(self):
+        gen = LoadGenerator(num_clients=1, statements_per_client=1, seed=3)
+        engine = make_loaded_engine(gen, cache_capacity=2)
+        engine.database.rms.fetch_delay_seconds = 0.01
+        admission = AdmissionController(max_in_flight=1, max_queued=4)
+        server = QueryServer(engine, max_workers=2, admission=admission)
+        try:
+            sql = f"select count(*) from {gen.table_for(0)}"
+            slow = server.submit(Request(sql))
+            # Queued behind the slow one (per-tenant in-flight cap is 1)
+            # with a zero latency budget: must time out, never execute.
+            doomed = server.submit(Request(sql, deadline_seconds=0.0))
+            assert slow.result().ok
+            response = doomed.result()
+        finally:
+            server.shutdown()
+        assert response.status is RequestStatus.TIMED_OUT
+        assert "deadline" in response.error
+        assert response.result is None
+        # The abandoned slot was returned: the tenant is empty again.
+        assert admission.tenant_stats("default").outstanding == 0
+
+    def test_drain_waits_for_queued_work(self):
+        gen = LoadGenerator(num_clients=1, statements_per_client=1, seed=4)
+        engine = make_loaded_engine(gen)
+        server = make_server(engine, max_workers=2)
+        try:
+            sql = f"select count(*) from {gen.table_for(0)}"
+            futures = [server.submit(Request(sql)) for _ in range(10)]
+            assert server.drain(timeout=30.0)
+            assert server.queue_depth == 0
+            assert server.active_statements == 0
+            assert all(f.result().ok for f in futures)
+            # Drain is a checkpoint, not a shutdown: intake stays open.
+            assert server.execute(sql).ok
+        finally:
+            server.shutdown()
+
+    def test_shutdown_without_drain_rejects_queued_work(self):
+        gen = LoadGenerator(num_clients=1, statements_per_client=1, seed=5)
+        engine = make_loaded_engine(gen, cache_capacity=2)
+        engine.database.rms.fetch_delay_seconds = 0.005
+        admission = AdmissionController(max_in_flight=1, max_queued=64)
+        server = QueryServer(engine, max_workers=1, admission=admission)
+        sql = f"select count(*) from {gen.table_for(0)}"
+        futures = [server.submit(Request(sql)) for _ in range(20)]
+        server.shutdown(drain=False)
+        responses = [f.result(timeout=30.0) for f in futures]
+        assert all(r.status in (RequestStatus.OK, RequestStatus.REJECTED) for r in responses)
+        assert any(r.status is RequestStatus.REJECTED for r in responses)
+        # Nothing leaked: every admitted slot was finished or abandoned.
+        assert admission.tenant_stats("default").outstanding == 0
+        # Submissions after shutdown are rejected immediately.
+        assert server.execute(sql).status is RequestStatus.REJECTED
+
+    def test_statement_classification(self):
+        assert _is_write_statement("insert into t values (1)")
+        assert _is_write_statement("  DELETE from t")
+        assert _is_write_statement("Update t set v = 1")
+        assert _is_write_statement("vacuum t")
+        assert _is_write_statement("analyze")
+        assert not _is_write_statement("select count(*) from t")
+        assert not _is_write_statement("")
+
+    def test_per_tenant_stats_are_isolated(self):
+        gen = LoadGenerator(num_clients=2, statements_per_client=1, seed=6)
+        engine = make_loaded_engine(gen)
+        with make_server(engine) as server:
+            assert server.execute(
+                f"select count(*) from {gen.table_for(0)}", tenant="a"
+            ).ok
+            assert server.execute(
+                f"select count(*) from {gen.table_for(1)}", tenant="b"
+            ).ok
+            tenants = server.admission.tenants()
+        assert tenants["a"].completed == 1
+        assert tenants["b"].completed == 1
+        assert tenants["a"].rejected == 0
+
+
+# -- the concurrent differential oracle ---------------------------------------
+
+
+def run_serial_twin(generator, rows_per_table=3000):
+    """Replay every script serially on a fresh cached engine.
+
+    Returns ``{client_id: [(columns_dict, blocks_accessed), ...]}``.
+    """
+    engine = make_loaded_engine(generator, rows_per_table=rows_per_table)
+    outputs = {}
+    for script in generator.scripts():
+        per_statement = []
+        for sql in script.statements:
+            result = engine.execute(sql)
+            per_statement.append(
+                (
+                    {k: v.tolist() for k, v in result.columns.items()},
+                    result.counters.blocks_accessed,
+                )
+            )
+        outputs[script.client_id] = per_statement
+    return outputs
+
+
+@pytest.mark.parametrize(
+    "num_clients,seed",
+    [(2, 11), (8, 11), (8, 29), (32, 11)],
+)
+def test_concurrent_matches_serial_bit_identical(num_clients, seed):
+    """Closed-loop concurrent execution over disjoint per-client tables
+    is indistinguishable from a serial replay: same result columns and
+    the same per-query ``blocks_accessed``, statement by statement."""
+    statements = 24 if num_clients <= 8 else 10
+    gen = LoadGenerator(
+        num_clients=num_clients, statements_per_client=statements, seed=seed
+    )
+    serial = run_serial_twin(gen)
+
+    engine = make_loaded_engine(gen)
+    server = QueryServer(engine, max_workers=8)
+    try:
+        report = run_closed_loop(server, gen.scripts())
+    finally:
+        server.shutdown()
+
+    assert report.errors == 0
+    assert report.count(RequestStatus.TIMED_OUT) == 0
+    for script in gen.scripts():
+        expected = serial[script.client_id]
+        responses = report.responses[script.client_id]
+        assert len(responses) == len(expected)
+        for position, ((columns, blocks), response) in enumerate(
+            zip(expected, responses)
+        ):
+            context = f"client {script.client_id} statement {position}"
+            assert response.ok, context
+            got = {k: v.tolist() for k, v in response.result.columns.items()}
+            assert got == columns, context
+            assert response.result.counters.blocks_accessed == blocks, context
+
+
+def test_concurrent_matches_cache_disabled_twin():
+    """Ground truth: the concurrent cached run agrees with a serial
+    cache-*disabled* engine — concurrency plus caching together change
+    nothing about answers."""
+    gen = LoadGenerator(num_clients=8, statements_per_client=20, seed=17)
+
+    plain_db = Database()
+    plain = QueryEngine(plain_db)
+    setup_load_tables(plain, gen, rows_per_table=3000)
+    truth = {
+        script.client_id: [
+            {k: v.tolist() for k, v in plain.execute(sql).columns.items()}
+            for sql in script.statements
+        ]
+        for script in gen.scripts()
+    }
+
+    engine = make_loaded_engine(gen)
+    server = QueryServer(engine, max_workers=8)
+    try:
+        report = run_closed_loop(server, gen.scripts())
+    finally:
+        server.shutdown()
+    assert engine.predicate_cache.stats.hits > 0, "oracle is vacuous"
+    for script in gen.scripts():
+        for expected, response in zip(
+            truth[script.client_id], report.responses[script.client_id]
+        ):
+            got = {k: v.tolist() for k, v in response.result.columns.items()}
+            assert got == expected
+
+
+# -- concurrent chaos over one shared table -----------------------------------
+
+
+def test_shared_table_chaos_zero_errors_exact_invalidation():
+    """8 closed-loop clients, one shared table, 200+ statements mixing
+    hot scans, ad-hoc scans, and invalidating DML.  Acceptance: zero
+    surfaced errors, zero dropped or duplicated invalidations (the
+    cache's generation counter equals the number of layout-changing
+    vacuums, exactly), and the cached view equals an uncached reader's
+    at quiescence."""
+    gen = LoadGenerator(
+        num_clients=8,
+        statements_per_client=26,  # 208 statements total
+        seed=23,
+        shared_table=True,
+        dml_fraction=0.15,
+        hot_fraction=0.45,
+    )
+    assert sum(len(s.statements) for s in gen.scripts()) >= 200
+    engine = make_loaded_engine(gen, rows_per_table=4000)
+    table_name = gen.table_for(0)
+    cache = engine.predicate_cache
+
+    _inv.enable()
+    try:
+        server = QueryServer(engine, max_workers=8)
+        try:
+            report = run_closed_loop(server, gen.scripts())
+        finally:
+            server.shutdown()
+    finally:
+        _inv.disable()
+
+    assert report.errors == 0, [
+        r.error
+        for responses in report.responses.values()
+        for r in responses
+        if r.status is RequestStatus.ERROR
+    ]
+    assert report.count(RequestStatus.OK) == report.total_requests
+
+    # Exactly-once invalidation accounting: every vacuum that physically
+    # changed the table bumped the generation once; nothing else did.
+    layout_changes = sum(
+        int(response.result.scalar())
+        for responses in report.responses.values()
+        for response in responses
+        if response.request.sql.startswith("vacuum")
+    )
+    assert cache.generation_of(table_name) == layout_changes
+    table = engine.database.table(table_name)
+    assert cache.table_layout_of(table_name) == table.layout_version
+
+    # No stale survivors: every remaining entry carries the live stamp.
+    for entry in cache.entries():
+        assert entry.generation == cache.generation_of(entry.key.table)
+    _inv.check_cache(cache)
+
+    # Quiescent differential: the cached view equals an uncached
+    # reader's over the same (post-chaos) database.
+    reader = QueryEngine(engine.database)
+    for predicate in ("k < 2500", "k >= 7000", "bucket = 7", "v >= 500"):
+        sql = f"select count(*) as c, sum(v) as s from {table_name} where {predicate}"
+        assert engine.execute(sql).rows() == reader.execute(sql).rows(), predicate
+
+
+# -- linearizability-style property test on the raw cache ---------------------
+
+NUM_THREADS = 4
+TABLES = ("ta", "tb")
+
+op_strategy = st.one_of(
+    st.tuples(
+        st.just("install"),
+        st.sampled_from(TABLES),
+        st.integers(0, 3),  # predicate id -> key
+        st.integers(0, 1),  # slice id
+        st.integers(0, 40),  # range start
+    ),
+    st.tuples(st.just("lookup"), st.sampled_from(TABLES), st.integers(0, 3)),
+    st.tuples(st.just("invalidate"), st.sampled_from(TABLES)),
+    st.just(("clear",)),
+)
+
+
+def _apply_cache_op(cache, op):
+    kind = op[0]
+    if kind == "install":
+        _, table, predicate_id, slice_id, start = op
+        key = ScanKey(table, f"p{predicate_id}")
+        entry = cache.get_or_create(key, num_slices=2)
+        qualifying = RangeList([(start, start + 10)])
+        # Watermarks only move forward (scans extend, never shrink), so
+        # every install reports the same scanned-up-to high water.
+        cache.record_slice_scan(entry, slice_id, qualifying, 64)
+        cache.record_entry_stats(entry, 10, 20)
+    elif kind == "lookup":
+        _, table, predicate_id = op
+        entry = cache.lookup(ScanKey(table, f"p{predicate_id}"))
+        if entry is not None:
+            # A returned entry must never carry a stale generation
+            # stamp *at the moment it is inspected consistently*.
+            with cache._lock:
+                if cache._entries.get(entry.key) is entry:
+                    assert entry.generation == cache.generation_of(entry.key.table)
+    elif kind == "invalidate":
+        cache.invalidate_table(op[1])
+    else:
+        cache.clear()
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    ops=st.lists(op_strategy, min_size=8, max_size=60),
+    barrier_seed=st.integers(0, 2**16),
+)
+def test_cache_is_linearizable_under_threaded_schedules(ops, barrier_seed):
+    """Hypothesis-generated op schedules, partitioned round-robin over
+    4 threads, run concurrently against one PredicateCache with the
+    invariant validator armed.  Afterwards: no stale-generation entry
+    survives, byte accounting matches a recomputation (never negative),
+    and the full structural invariant check passes."""
+    cache = PredicateCache(PredicateCacheConfig(max_bytes=1 << 16))
+    shards = [ops[i::NUM_THREADS] for i in range(NUM_THREADS)]
+    barrier = threading.Barrier(NUM_THREADS)
+    failures = []
+
+    def worker(shard, offset):
+        try:
+            barrier.wait(timeout=10)
+            # Interleave differently per example without Date/random:
+            # rotate each shard by the hypothesis-chosen seed.
+            rotated = shard[offset % max(len(shard), 1):] + shard[: offset % max(len(shard), 1)]
+            for op in rotated:
+                _apply_cache_op(cache, op)
+        except Exception as exc:  # pragma: no cover - the assertion payload
+            failures.append(exc)
+
+    _inv.enable()
+    try:
+        threads = [
+            threading.Thread(target=worker, args=(shard, barrier_seed + i))
+            for i, shard in enumerate(shards)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        _inv.disable()
+
+    assert not failures, failures
+    # No stale survivors, exact byte accounting, structural invariants.
+    for entry in cache.entries():
+        assert entry.generation == cache.generation_of(entry.key.table)
+    recomputed = sum(entry.nbytes for entry in cache.entries())
+    assert cache.total_nbytes == recomputed
+    assert cache.total_nbytes >= 0
+    assert cache.stats.hits + cache.stats.misses == cache.stats.lookups
+    _inv.check_cache(cache)
+
+
+# -- persistence under concurrent installs ------------------------------------
+
+
+class TestConcurrentPersistence:
+    def _run_concurrent_with_store(self, tmp_path, seed=31):
+        gen = LoadGenerator(num_clients=6, statements_per_client=15, seed=seed)
+        engine = make_loaded_engine(gen)
+        store = CacheStore(tmp_path, catalog=engine.database)
+        engine.predicate_cache.attach_store(store)
+        server = QueryServer(engine, max_workers=8)
+        try:
+            report = run_closed_loop(server, gen.scripts())
+        finally:
+            server.shutdown()
+        assert report.errors == 0
+        return engine, store
+
+    def test_journal_survives_concurrent_installs(self, tmp_path):
+        """Write-through journaling from 8 worker threads produces a
+        journal that replays cleanly: every record decodes, and a fresh
+        cache hydrates without errors."""
+        engine, store = self._run_concurrent_with_store(tmp_path)
+        assert store.journal_records > 0
+        assert store.torn_writes == 0
+
+        result = CacheStore(tmp_path, catalog=engine.database).load()
+        assert result.corrupt_sections == 0
+        assert not result.truncated
+        assert result.records
+
+        fresh = PredicateCache(PredicateCacheConfig())
+        restored = CacheStore(tmp_path, catalog=engine.database).hydrate(fresh)
+        assert restored == len(result.records)
+
+    def test_torn_journal_tail_recovers_prefix(self, tmp_path):
+        """A crash mid-append (simulated by truncating the journal tail)
+        must not poison recovery: the intact prefix replays, nothing
+        raises, and hydration still works."""
+        engine, store = self._run_concurrent_with_store(tmp_path, seed=37)
+        journal = tmp_path / CacheStore.JOURNAL_NAME
+        data = journal.read_bytes()
+        assert len(data) > 16
+        journal.write_bytes(data[:-7])
+
+        result = CacheStore(tmp_path, catalog=engine.database).load()
+        assert result.records, "torn tail destroyed the whole journal"
+
+        fresh = PredicateCache(PredicateCacheConfig())
+        restored = CacheStore(tmp_path, catalog=engine.database).hydrate(fresh)
+        assert restored == len(result.records)
+
+
+# -- load generator determinism ----------------------------------------------
+
+
+class TestLoadGenerator:
+    def test_scripts_are_deterministic(self):
+        a = LoadGenerator(num_clients=4, statements_per_client=30, seed=9).scripts()
+        b = LoadGenerator(num_clients=4, statements_per_client=30, seed=9).scripts()
+        assert [s.statements for s in a] == [s.statements for s in b]
+        assert [s.tenant for s in a] == [s.tenant for s in b]
+
+    def test_adding_clients_never_perturbs_existing_scripts(self):
+        small = LoadGenerator(num_clients=2, statements_per_client=20, seed=9).scripts()
+        large = LoadGenerator(num_clients=8, statements_per_client=20, seed=9).scripts()
+        for s, l in zip(small, large):
+            assert s.statements == l.statements
+
+    def test_disjoint_mode_separates_tables(self):
+        gen = LoadGenerator(num_clients=3, statements_per_client=5, seed=1)
+        assert len(gen.tables()) == 3
+        shared = LoadGenerator(
+            num_clients=3, statements_per_client=5, seed=1, shared_table=True
+        )
+        assert len(shared.tables()) == 1
+
+    def test_dml_fraction_produces_writes(self):
+        gen = LoadGenerator(
+            num_clients=1, statements_per_client=200, seed=2, dml_fraction=0.3
+        )
+        statements = gen.scripts()[0].statements
+        writes = [s for s in statements if _is_write_statement(s)]
+        assert 30 <= len(writes) <= 90  # ~0.3 of 200
+
+    def test_hot_fraction_repeats_statements(self):
+        gen = LoadGenerator(
+            num_clients=1, statements_per_client=100, seed=3, hot_fraction=0.7
+        )
+        statements = gen.scripts()[0].statements
+        # Hot traffic collapses onto the template pool: far fewer
+        # distinct statements than executions.
+        assert len(set(statements)) < 60

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import ast
 import os
+import re
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -37,6 +38,9 @@ RULES: Dict[str, str] = {
              "repro/persist/format.py (format drift)",
     "RP006": "shared engine/cache state mutated inside scan worker code "
              "(installs belong to the coordinator barrier)",
+    "RP007": "unsynchronized shared-state mutation in serving/cache code "
+             "(mutate private attributes under the owning lock, or in a "
+             "helper documented as caller-holds-lock)",
 }
 
 #: The only module allowed to call builtin ``hash()`` (RP001).
@@ -97,6 +101,48 @@ _RP006_SHARED_MUTATORS = frozenset(
         "invalidate_block",
         "observe",
     }
+)
+
+#: Modules RP007 holds to the serving-layer locking discipline: every
+#: mutation of a private ``self._x`` attribute happens under a lexical
+#: ``with <lock>:`` block, inside ``__init__``, or inside a helper whose
+#: docstring declares "caller holds ...lock" (DESIGN.md §12).
+SYNCHRONIZED_PACKAGES = ("repro/serve/",)
+SYNCHRONIZED_MODULES = ("repro/core/cache.py",)
+
+#: Identifier fragments that mark a ``with`` context expression as a
+#: lock for RP007 (``with self._lock:``, ``with self._cv:``, ...).
+_LOCK_NAME_HINTS = ("lock", "cv", "cond", "guard", "mutex")
+
+#: Container methods that mutate their receiver (RP007): calling one on
+#: a private ``self._x`` container is a shared-state write.
+_RP007_CONTAINER_MUTATORS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "move_to_end",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "reverse",
+        "rotate",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+#: Docstring markers that exempt a whole function from RP007: the
+#: function documents its synchronization contract instead of taking
+#: the lock itself.
+_RP007_EXEMPT_DOCSTRING = re.compile(
+    r"caller holds[^.\n]*lock|caller is `*__init__", re.IGNORECASE
 )
 
 
@@ -205,6 +251,12 @@ class _FileChecker(ast.NodeVisitor):
         self.check_determinism = module.startswith(DETERMINISTIC_PACKAGES)
         self.check_excepts = module.startswith(READ_PATH_PACKAGES)
         self.check_worker_mutation = module in PARALLEL_SCAN_MODULES
+        self.check_sync = (
+            module.startswith(SYNCHRONIZED_PACKAGES)
+            or module in SYNCHRONIZED_MODULES
+        )
+        self._lock_depth = 0
+        self._sync_exempt_stack: List[bool] = []
         self.format_constants = (
             format_constants
             if format_constants is not None and module != FORMAT_MODULE
@@ -222,17 +274,92 @@ class _FileChecker(ast.NodeVisitor):
             )
         )
 
-    # -- function stack (RP001's __hash__ exemption) ---------------------
+    # -- function stack (RP001's __hash__ exemption, RP007 contracts) -----
+
+    def _visit_function(self, node) -> None:
+        self._func_stack.append(node.name)
+        exempt = node.name == "__init__" or bool(
+            (doc := ast.get_docstring(node)) and _RP007_EXEMPT_DOCSTRING.search(doc)
+        )
+        self._sync_exempt_stack.append(exempt)
+        self.generic_visit(node)
+        self._sync_exempt_stack.pop()
+        self._func_stack.pop()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._func_stack.append(node.name)
-        self.generic_visit(node)
-        self._func_stack.pop()
+        self._visit_function(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._func_stack.append(node.name)
+        self._visit_function(node)
+
+    # -- RP007 ------------------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        holds_lock = any(
+            any(
+                hint in _terminal_name(item.context_expr)
+                for hint in _LOCK_NAME_HINTS
+            )
+            for item in node.items
+        )
+        if holds_lock:
+            self._lock_depth += 1
         self.generic_visit(node)
-        self._func_stack.pop()
+        if holds_lock:
+            self._lock_depth -= 1
+
+    @staticmethod
+    def _private_self_attr(node: ast.AST) -> str:
+        """``_x`` when the expression is rooted at ``self._x``, else ''.
+
+        Subscript chains count (``self._queue[i]`` mutates ``_queue``);
+        deeper attribute chains do not (``self._config.flag`` mutates
+        the config object, whose ownership the rule cannot see).
+        """
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr.startswith("_")
+        ):
+            return node.attr
+        return ""
+
+    def _sync_exempt_here(self) -> bool:
+        return self._lock_depth > 0 or any(self._sync_exempt_stack)
+
+    def _check_sync_mutation(self, node: ast.AST, targets) -> None:
+        if not self.check_sync or self._sync_exempt_here():
+            return
+        for target in targets:
+            attr = self._private_self_attr(target)
+            if attr:
+                self._emit(
+                    "RP007",
+                    node,
+                    f"self.{attr} is mutated without holding a lock; wrap "
+                    "the mutation in `with <lock>:`, or move it into "
+                    "__init__ or a helper documented as caller-holds-lock",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_sync_mutation(node, node.targets)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_sync_mutation(node, (node.target,))
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_sync_mutation(node, (node.target,))
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        self._check_sync_mutation(node, node.targets)
+        self.generic_visit(node)
 
     # -- RP001 / RP002 calls ---------------------------------------------
 
@@ -265,6 +392,21 @@ class _FileChecker(ast.NodeVisitor):
                 "from scan worker code; batch it at the coordinator's "
                 "barrier (parallel workers must not install entries)",
             )
+        if (
+            self.check_sync
+            and not self._sync_exempt_here()
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RP007_CONTAINER_MUTATORS
+        ):
+            attr = self._private_self_attr(node.func.value)
+            if attr:
+                self._emit(
+                    "RP007",
+                    node,
+                    f"self.{attr}.{node.func.attr}() mutates shared state "
+                    "without holding a lock; wrap it in `with <lock>:`, or "
+                    "move it into __init__ or a caller-holds-lock helper",
+                )
         self.generic_visit(node)
 
     _BANNED_CALLS = {
