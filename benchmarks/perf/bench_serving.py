@@ -73,6 +73,11 @@ def measure_clients(num_clients: int, statements: int) -> dict:
     summary = report.summary()
     summary["clients"] = num_clients
     summary["statements_per_client"] = statements
+    summary["status_counts"] = {
+        status.name.lower(): count
+        for status, count in report.status_counts().items()
+    }
+    summary["rejections_by_reason"] = report.rejections_by_reason()
     return summary
 
 
@@ -95,6 +100,12 @@ def main() -> int:
               f"p50 {row['p50_seconds'] * 1e3:7.2f} ms   "
               f"p99 {row['p99_seconds'] * 1e3:7.2f} ms   "
               f"errors {row['errors']}  timed_out {row['timed_out']}")
+        statuses = "  ".join(
+            f"{name}={count}" for name, count in row["status_counts"].items()
+        )
+        print(f"      status breakdown: {statuses}   "
+              f"retried_rejections {row['retried_rejections']} "
+              f"{row['rejections_by_reason'] or ''}")
 
     clean = all(
         row["errors"] == 0 and row["timed_out"] == 0 for row in sweep.values()

@@ -2,13 +2,67 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import FrozenSet, List, Optional
 
 from ..core.cache import PredicateCache
 from ..core.config import PredicateCacheConfig
 from ..core.stats import CacheStats
+from ..faults.errors import NodeDownError
 
-__all__ = ["ClusterCaches"]
+__all__ = ["ClusterCaches", "DownedCache"]
+
+
+class DownedCache:
+    """Tombstone standing in for a dead node's cache.
+
+    :meth:`ClusterCaches.kill_node` swaps one of these into the node
+    list to model a compute node whose process died: every cache
+    operation raises :class:`~repro.faults.NodeDownError`, the way an
+    RPC to a crashed node fails.  The scan path catches the error at
+    cache-context resolution and degrades to cache-off scans for the
+    node's slices; the health monitor's ``ping`` probes turn the raise
+    into missed heartbeats and eventually mark the node down, after
+    which the router stops handing the tombstone out at all
+    (DESIGN.md §13).
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+
+    def _refuse(self, *_args, **_kwargs):
+        raise NodeDownError(f"cache node {self.node_id} is down")
+
+    ping = _refuse
+    lookup = _refuse
+    select_entry = _refuse
+    get_or_create = _refuse
+    record_slice_scan = _refuse
+    record_entry_stats = _refuse
+    admits = _refuse
+    watch_table = _refuse
+    watched_tables = _refuse
+    table_layout_of = _refuse
+    generation_of = _refuse
+    install_restored = _refuse
+    attach_store = _refuse
+    detach_store = _refuse
+    invalidate_table = _refuse
+    invalidate_build_side = _refuse
+    drop_stale = _refuse
+    trim_to_bytes = _refuse
+    clear = _refuse
+    entries = _refuse
+    keys = _refuse
+
+    @property
+    def total_nbytes(self) -> int:
+        self._refuse()
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    @property
+    def stats(self) -> CacheStats:
+        self._refuse()
+        raise AssertionError("unreachable")  # pragma: no cover
 
 
 class ClusterCaches:
@@ -53,6 +107,14 @@ class ClusterCaches:
         self.policy_factory = policy_factory
         self._store = store
         self._registrations: List[tuple] = []
+        # Nodes the health monitor declared dead: the router returns
+        # None for their slices (degraded cache-off scans) instead of
+        # handing out the tombstone.  Published by whole-set swap.
+        self._down: FrozenSet[int] = frozenset()
+        #: Scrape-side counter: slices routed around because their
+        #: owning node was marked down (an int += is GIL-atomic enough
+        #: for a monotonic metric).
+        self.down_route_fallbacks = 0
         self._nodes: List[PredicateCache] = [
             self._new_node() for _ in range(num_nodes)
         ]
@@ -77,14 +139,21 @@ class ClusterCaches:
 
     # -- routing (the scan-path interface) -------------------------------------
 
-    def cache_for_slice(self, slice_id: int) -> PredicateCache:
+    def cache_for_slice(self, slice_id: int) -> Optional[PredicateCache]:
         # Snapshot the node list once and derive the modulus from it:
         # a concurrent resize() publishes a new list as a single
         # reference swap, so the captured list and its length always
         # agree (indexing self._nodes by self.num_nodes separately
         # could race a grow and fall off the shorter old list).
         nodes = self._nodes
-        return nodes[slice_id % len(nodes)]
+        node_id = slice_id % len(nodes)
+        if node_id in self._down:
+            # Failover routing: the owning node was declared dead, so
+            # its slices scan cache-off until a replacement is restored
+            # (the scan path treats a None cache as "no cache node").
+            self.down_route_fallbacks += 1
+            return None
+        return nodes[node_id]
 
     # -- operator surface ---------------------------------------------------------
 
@@ -92,12 +161,50 @@ class ClusterCaches:
         return self._nodes[node_id]
 
     def nodes(self) -> List[PredicateCache]:
-        """The live per-node caches (persistence snapshots read these)."""
-        return list(self._nodes)
+        """The live per-node caches (persistence snapshots read these).
+
+        Killed nodes' tombstones are excluded: a dead node's state is
+        unreachable, so snapshots and in-memory re-shards work from the
+        survivors only.
+        """
+        return [c for c in self._nodes if not isinstance(c, DownedCache)]
 
     @property
     def store(self):
         return self._store
+
+    # -- failure injection & liveness marking ----------------------------------
+
+    def kill_node(self, node_id: int) -> None:
+        """Kill one node's process (drill injection, DESIGN.md §13).
+
+        The node's cache is replaced by a :class:`DownedCache`
+        tombstone: until the health monitor detects the death and marks
+        the node down, scans routed to it fail with
+        :class:`~repro.faults.NodeDownError` and degrade to cache-off —
+        the undetected-failure window is modeled, not skipped.  The dead
+        cache is detached from the store first (a crashed process stops
+        journaling).  Idempotent.
+        """
+        dead = self._nodes[node_id]
+        if isinstance(dead, DownedCache):
+            return
+        dead.detach_store()
+        self._nodes[node_id] = DownedCache(node_id)
+
+    def mark_down(self, node_id: int) -> None:
+        """Declare a node dead: route its slices cache-off from now on."""
+        self._down = self._down | {node_id}
+
+    def mark_up(self, node_id: int) -> None:
+        """Clear a node's down marker (its slot must hold a live cache)."""
+        self._down = self._down - {node_id}
+
+    def is_down(self, node_id: int) -> bool:
+        return node_id in self._down
+
+    def down_nodes(self) -> List[int]:
+        return sorted(self._down)
 
     def fail_node(self, node_id: int) -> PredicateCache:
         """Simulate a node failure.
@@ -116,6 +223,9 @@ class ClusterCaches:
         self._nodes[node_id] = replacement
         if self._store is not None:
             self._hydrate_node(node_id, replacement)
+        # Restoring a node also clears its down marker: the router may
+        # hand the replacement out as soon as it is hydrated.
+        self._down = self._down - {node_id}
         return replacement
 
     def resize(self, num_nodes: int) -> "ClusterCaches":
@@ -137,7 +247,10 @@ class ClusterCaches:
             return self
         from ..persist.records import collect_records
 
-        old_nodes = self._nodes
+        # Tombstones of killed nodes are excluded: a re-shard works
+        # from surviving state, exactly like a real cluster resize
+        # after a node loss.
+        old_nodes = self.nodes()
         records = None
         if self._store is not None:
             self._store.snapshot(self)
@@ -162,6 +275,9 @@ class ClusterCaches:
             for table in watched.values():
                 cache.watch_table(table)
         self._nodes = new_nodes
+        # Every slot now holds a freshly built live cache; down markers
+        # referred to the old layout's node ids.
+        self._down = frozenset()
         for registry, prefix in self._registrations:
             self._register(registry, prefix)
         return self
@@ -186,8 +302,26 @@ class ClusterCaches:
             )
 
     def clear(self) -> None:
-        for cache in self._nodes:
+        for cache in self.nodes():
             cache.clear()
+
+    def trim_to_bytes(self, budget_bytes: int) -> int:
+        """Trim the cluster's caches toward a byte budget (DESIGN.md §13).
+
+        Each live node gets a share of the budget proportional to its
+        current payload, so a hot node is trimmed harder than a cold
+        one.  Returns the total payload bytes released.
+        """
+        live = self.nodes()
+        per_node = [cache.total_nbytes for cache in live]
+        total = sum(per_node)
+        if total <= budget_bytes or total == 0:
+            return 0
+        released = 0
+        for cache, nbytes in zip(live, per_node):
+            target = (budget_bytes * nbytes) // total
+            released += cache.trim_to_bytes(target)
+        return released
 
     # -- observability ---------------------------------------------------------------
 
@@ -255,32 +389,47 @@ class ClusterCaches:
         )
 
     def _node_stat(self, node_id: int, field: str):
-        """Scrape helper: node ids removed by a resize report zero
-        instead of dangling into the shrunk node list."""
+        """Scrape helper: node ids removed by a resize — or currently
+        dead — report zero instead of dangling into the shrunk node
+        list or raising out of a scrape."""
         if node_id >= len(self._nodes):
             return 0
-        return getattr(self._nodes[node_id].stats, field)
+        node = self._nodes[node_id]
+        if isinstance(node, DownedCache):
+            return 0
+        return getattr(node.stats, field)
 
     def _node_value(self, node_id: int, fn, default):
         if node_id >= len(self._nodes):
             return default
-        return fn(self._nodes[node_id])
+        node = self._nodes[node_id]
+        if isinstance(node, DownedCache):
+            return default
+        return fn(node)
 
     # -- aggregation -----------------------------------------------------------------
 
     @property
     def total_nbytes(self) -> int:
-        return sum(cache.total_nbytes for cache in self._nodes)
+        return sum(cache.total_nbytes for cache in self.nodes())
 
     def per_node_nbytes(self) -> List[int]:
-        return [cache.total_nbytes for cache in self._nodes]
+        """Per-slot payload bytes (dead nodes report zero)."""
+        return [
+            0 if isinstance(cache, DownedCache) else cache.total_nbytes
+            for cache in self._nodes
+        ]
 
     def per_node_entries(self) -> List[int]:
-        return [len(cache) for cache in self._nodes]
+        """Per-slot entry counts (dead nodes report zero)."""
+        return [
+            0 if isinstance(cache, DownedCache) else len(cache)
+            for cache in self._nodes
+        ]
 
     def aggregate_stats(self) -> CacheStats:
         total = CacheStats()
-        for cache in self._nodes:
+        for cache in self.nodes():
             for field in vars(total):
                 setattr(
                     total, field,
@@ -289,8 +438,8 @@ class ClusterCaches:
         return total
 
     def __len__(self) -> int:
-        """Distinct keys across nodes (entries are per-node shards)."""
+        """Distinct keys across live nodes (entries are per-node shards)."""
         keys = set()
-        for cache in self._nodes:
+        for cache in self.nodes():
             keys.update(cache.keys())
         return len(keys)

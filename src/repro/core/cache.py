@@ -92,6 +92,17 @@ class PredicateCache:
 
     # -- wiring ------------------------------------------------------------------
 
+    def ping(self) -> bool:
+        """Liveness probe for the health monitor (DESIGN.md §13).
+
+        A live cache answers by briefly taking and releasing its lock —
+        proving the node is both reachable and not wedged.  A dead
+        node's tombstone raises
+        :class:`~repro.faults.NodeDownError` instead.
+        """
+        with self._lock:
+            return True
+
     def watch_table(self, table: "Table") -> None:
         """Subscribe to a table's change events (idempotent)."""
         with self._lock:
@@ -134,6 +145,12 @@ class PredicateCache:
     def detach_store(self) -> None:
         with self._lock:
             self._store = None
+
+    @property
+    def store(self) -> Optional["CacheStore"]:
+        """The attached write-through store, if any."""
+        with self._lock:
+            return self._store
 
     def install_restored(
         self,
@@ -446,6 +463,31 @@ class PredicateCache:
             self._store.log_drop(entry.key, slices)
 
     # -- capacity ----------------------------------------------------------------
+
+    def trim_to_bytes(self, budget_bytes: int) -> int:
+        """Evict LRU entries until payload bytes fit ``budget_bytes``.
+
+        The memory-pressure hook (DESIGN.md §13): under overload the
+        health monitor trims the cache toward its byte budget *before*
+        allocation pressure turns into an OOM kill, instead of waiting
+        for the per-install enforcement in :meth:`_evict_if_needed`.
+        At least one entry always survives (mirroring the byte-budget
+        eviction rule).  Returns the number of payload bytes released;
+        evictions are counted and written through to an attached store
+        like any other drop.
+        """
+        with self._lock:
+            total = self.total_nbytes
+            released = 0
+            while len(self._entries) > 1 and total > budget_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                total -= evicted.nbytes
+                released += evicted.nbytes
+                self._log_drop(evicted)
+                self.stats.evictions += 1
+            if _inv.ACTIVE:
+                _inv.check_cache(self)
+            return released
 
     def _evict_if_needed(self) -> None:
         """Caller holds ``_lock``."""

@@ -42,6 +42,7 @@ import numpy as np
 from ..core.cache import PredicateCache
 from ..core.keys import ScanKey, SemiJoinDescriptor
 from ..core.rowrange import RangeList
+from ..faults.errors import NodeDownError
 from ..predicates.ast import Predicate, TruePredicate
 from ..storage.slice import DataSlice
 from ..storage.table import Table
@@ -205,18 +206,44 @@ def execute_scan(
     node_contexts: List[_SliceCacheContext] = []
     if cache is not None and per_node:
         contexts = []
+        down_caches: List[object] = []
+        degraded_nodes = 0
         for slice_id in range(len(table.slices)):
             node_cache = cache.cache_for_slice(slice_id)
+            if node_cache is None:
+                # The cluster already marked this slice's node DOWN:
+                # route around it with a cache-off scan (degradation
+                # ladder, rung 2 — correctness never depends on the
+                # cache).  Count the degradation once per table scan.
+                if degraded_nodes == 0:
+                    counters.degraded_scans += 1
+                degraded_nodes += 1
+                contexts.append(None)
+                continue
+            if any(down is node_cache for down in down_caches):
+                contexts.append(None)
+                continue
             context = None
             for known in node_contexts:
                 if known.cache is node_cache:
                     context = known
                     break
             if context is None:
-                context = _prepare_cache_context(
-                    node_cache, table, predicate, plain_key, join_key,
-                    build_versions, current_versions, counters, tracer,
-                )
+                try:
+                    context = _prepare_cache_context(
+                        node_cache, table, predicate, plain_key, join_key,
+                        build_versions, current_versions, counters, tracer,
+                    )
+                except NodeDownError:
+                    # Undetected failure window: the node died but the
+                    # health monitor has not routed around it yet.  Same
+                    # fallback — cache-off for this node's slices.
+                    if degraded_nodes == 0:
+                        counters.degraded_scans += 1
+                    degraded_nodes += 1
+                    down_caches.append(node_cache)
+                    contexts.append(None)
+                    continue
                 node_contexts.append(context)
             contexts.append(context)
     elif cache is not None:

@@ -15,6 +15,7 @@ against a fault-free twin.
 from .breaker import CircuitBreaker
 from .errors import (
     CorruptedBlockError,
+    NodeDownError,
     RetryBudgetExceeded,
     StorageFault,
     TransientStorageError,
@@ -27,6 +28,7 @@ __all__ = [
     "CorruptedBlockError",
     "FaultDecision",
     "FaultInjector",
+    "NodeDownError",
     "RetryBudgetExceeded",
     "RetryPolicy",
     "StorageFault",

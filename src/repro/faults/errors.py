@@ -12,6 +12,10 @@ throws at a warehouse:
   only storage fault a query is ever allowed to surface: the bottom
   rung of the degradation ladder (cached scan -> full scan -> error
   only on exhausted budget).
+* :class:`NodeDownError` — a cluster compute node stopped answering
+  (crashed process, lost heartbeats).  Raised by a dead node's cache
+  tombstone; the scan path degrades to cache-off scans for that node's
+  slices and the health monitor routes around it (DESIGN.md §13).
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ __all__ = [
     "TransientStorageError",
     "CorruptedBlockError",
     "RetryBudgetExceeded",
+    "NodeDownError",
 ]
 
 
@@ -38,3 +43,7 @@ class CorruptedBlockError(StorageFault):
 
 class RetryBudgetExceeded(StorageFault):
     """Retries were exhausted; the read cannot be served."""
+
+
+class NodeDownError(StorageFault):
+    """A cluster node is unreachable; callers must route around it."""

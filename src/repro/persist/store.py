@@ -141,6 +141,7 @@ class CacheStore:
         self.stale_dropped = 0
         self.corrupt_sections = 0
         self.recoveries = 0
+        self.journal_replayed = 0
         self.recovery_seconds = 0.0
         self.last_recovery_seconds = 0.0
         self.compactions = 0
@@ -373,6 +374,7 @@ class CacheStore:
             result.stale_dropped = self._revalidate(records)
         result.seconds = time.perf_counter() - start
         self.recoveries += 1
+        self.journal_replayed += result.journal_records
         self.recovery_seconds += result.seconds
         self.last_recovery_seconds = result.seconds
         self.stale_dropped += result.stale_dropped
@@ -500,6 +502,7 @@ class CacheStore:
             ("snapshots_written", "Complete snapshots rotated in"),
             ("compactions", "Journal compactions folded into snapshots"),
             ("recoveries", "Load (recovery) operations"),
+            ("journal_replayed", "Journal events replayed during recoveries"),
             ("recovery_seconds", "Wall-clock seconds spent in recovery"),
             ("injected_latency_seconds", "Model-time latency injected on writes"),
         ):

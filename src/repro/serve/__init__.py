@@ -1,4 +1,4 @@
-"""Concurrent multi-client serving over one shared engine (DESIGN.md §12).
+"""Concurrent multi-client serving over one shared engine (DESIGN.md §12–§13).
 
 The serving layer turns the single-session :class:`~repro.engine.QueryEngine`
 into a multi-client front end: a bounded worker pool executes statements
@@ -6,18 +6,32 @@ from many clients concurrently, per-tenant admission control sheds load
 past configured queue/in-flight limits, deadlines are honored at
 dispatch, and DML serializes against concurrent SELECTs through a
 shared/exclusive statement lock.
+
+The resilience control plane (PR 8) lives here too: a
+:class:`ClusterHealthMonitor` heartbeats cluster nodes and fails over
+around dead ones, a :class:`RecoveryOrchestrator` stages mid-write
+crashes and drives warm restarts, and the
+:class:`AdmissionController` adaptively sheds overload (queue depth,
+unmeetable deadlines) with priority retention for hot tenants.
 """
 
-from .admission import AdmissionController, TenantState
+from .admission import SHED_REASONS, AdmissionController, TenantState
 from .envelope import Request, RequestStatus, Response
+from .health import ClusterHealthMonitor, NodeState
+from .recovery import RecoveryOrchestrator, RecoveryReport
 from .server import QueryServer, ReadWriteLock
 
 __all__ = [
     "AdmissionController",
+    "ClusterHealthMonitor",
+    "NodeState",
     "QueryServer",
     "ReadWriteLock",
+    "RecoveryOrchestrator",
+    "RecoveryReport",
     "Request",
     "RequestStatus",
     "Response",
+    "SHED_REASONS",
     "TenantState",
 ]

@@ -70,6 +70,10 @@ class Response:
     queued_seconds: float = 0.0
     #: Submission-to-completion seconds (queue wait + execution).
     total_seconds: float = 0.0
+    #: Why a REJECTED request was shed (an element of
+    #: :data:`~repro.serve.admission.SHED_REASONS`, or ``"server_closed"``);
+    #: ``None`` for every other status.
+    shed_reason: Optional[str] = None
 
     @property
     def ok(self) -> bool:

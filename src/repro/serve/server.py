@@ -219,18 +219,39 @@ class QueryServer:
         now = time.monotonic()
         with self._cv:
             accepting = self._accepting
+            queue_depth = len(self._queue)
         if not accepting:
             response = Response(
-                request, RequestStatus.REJECTED, error="server is not accepting requests"
+                request,
+                RequestStatus.REJECTED,
+                error="server is not accepting requests",
+                shed_reason="server_closed",
             )
             self._count_terminal(response)
             future.set_result(response)
             return future
-        if not self.admission.try_admit(request.tenant):
+        shed_reason = self.admission.should_shed(
+            request.tenant,
+            request.deadline_seconds,
+            queue_depth,
+            len(self._workers),
+        )
+        if shed_reason is not None:
+            response = Response(
+                request,
+                RequestStatus.REJECTED,
+                error=f"shed before admission ({shed_reason})",
+                shed_reason=shed_reason,
+            )
+            self._count_terminal(response)
+            future.set_result(response)
+            return future
+        if not self.admission.try_admit(request.tenant, request.request_id):
             response = Response(
                 request,
                 RequestStatus.REJECTED,
                 error=f"tenant {request.tenant!r} is over its admission limits",
+                shed_reason="tenant_limit",
             )
             self._count_terminal(response)
             future.set_result(response)
@@ -268,7 +289,7 @@ class QueryServer:
                         and now - pending.enqueued_at > deadline
                     ):
                         del self._queue[index]
-                        self.admission.on_abandon(request.tenant)
+                        self.admission.on_abandon(request.tenant, request.request_id)
                         response = Response(
                             request,
                             RequestStatus.TIMED_OUT,
@@ -283,7 +304,7 @@ class QueryServer:
                         pending.future.set_result(response)
                         self._cv.notify_all()
                         break  # rescan: indices shifted
-                    if self.admission.try_start(request.tenant):
+                    if self.admission.try_start(request.tenant, request.request_id):
                         del self._queue[index]
                         self._active += 1
                         return pending
@@ -336,6 +357,7 @@ class QueryServer:
         )
         self.admission.on_finish(request.tenant)
         self.admission.on_complete(request.tenant)
+        self.admission.observe_service_time(now - started)
         if self._m_latency is not None:
             self._m_queue_wait.observe(queued_seconds)
         self._count_terminal(response)
@@ -386,11 +408,14 @@ class QueryServer:
                 self._queue.clear()
             self._cv.notify_all()
         for pending in abandoned:
-            self.admission.on_abandon(pending.request.tenant)
+            self.admission.on_abandon(
+                pending.request.tenant, pending.request.request_id
+            )
             response = Response(
                 pending.request,
                 RequestStatus.REJECTED,
                 error="server shut down before execution",
+                shed_reason="server_closed",
             )
             self._count_terminal(response)
             pending.future.set_result(response)

@@ -203,9 +203,17 @@ def setup_load_tables(
 
 @dataclass
 class LoadReport:
-    """Everything a closed-loop run observed, per client and overall."""
+    """Everything a closed-loop run observed, per client and overall.
+
+    ``responses`` holds each client's *terminal* responses in statement
+    order.  Rejections a closed-loop client retried through (admission
+    pushback, overload sheds) never become terminal, so they are
+    tallied separately in ``rejections`` — keyed by client, then by
+    shed reason — which is what makes shed-mode runs diagnosable.
+    """
 
     responses: Dict[int, List[Response]] = field(default_factory=dict)
+    rejections: Dict[int, Dict[str, int]] = field(default_factory=dict)
     wall_seconds: float = 0.0
 
     @property
@@ -218,13 +226,38 @@ class LoadReport:
             return 0.0
         return self.total_requests / self.wall_seconds
 
+    def status_counts(self) -> Dict[RequestStatus, int]:
+        """Terminal responses per status, every status present (one pass)."""
+        counts = {status: 0 for status in RequestStatus}
+        for responses in self.responses.values():
+            for response in responses:
+                counts[response.status] += 1
+        return counts
+
     def count(self, status: RequestStatus) -> int:
+        return self.status_counts()[status]
+
+    def note_rejection(self, client_id: int, reason: str) -> None:
+        """Record one retried rejection (called by the client's own thread)."""
+        per_client = self.rejections.setdefault(client_id, {})
+        per_client[reason] = per_client.get(reason, 0) + 1
+
+    @property
+    def total_rejections(self) -> int:
+        """Rejections clients retried through (not terminal responses)."""
         return sum(
-            1
-            for responses in self.responses.values()
-            for response in responses
-            if response.status is status
+            count
+            for per_client in self.rejections.values()
+            for count in per_client.values()
         )
+
+    def rejections_by_reason(self) -> Dict[str, int]:
+        """Retried rejections summed across clients, keyed by shed reason."""
+        totals: Dict[str, int] = {}
+        for per_client in self.rejections.values():
+            for reason, count in per_client.items():
+                totals[reason] = totals.get(reason, 0) + count
+        return totals
 
     @property
     def errors(self) -> int:
@@ -255,27 +288,37 @@ class LoadReport:
         return self.percentile(99)
 
     def summary(self) -> Dict[str, float]:
+        counts = self.status_counts()
         return {
             "requests": self.total_requests,
             "qps": self.qps,
             "p50_seconds": self.p50,
             "p99_seconds": self.p99,
-            "ok": self.count(RequestStatus.OK),
-            "rejected": self.count(RequestStatus.REJECTED),
-            "timed_out": self.count(RequestStatus.TIMED_OUT),
-            "errors": self.errors,
+            "ok": counts[RequestStatus.OK],
+            "rejected": counts[RequestStatus.REJECTED],
+            "timed_out": counts[RequestStatus.TIMED_OUT],
+            "errors": counts[RequestStatus.ERROR],
+            "retried_rejections": self.total_rejections,
             "wall_seconds": self.wall_seconds,
         }
 
 
-def run_closed_loop(server, scripts: Sequence[LoadScript]) -> LoadReport:
+def run_closed_loop(
+    server,
+    scripts: Sequence[LoadScript],
+    deadline_seconds: Optional[float] = None,
+) -> LoadReport:
     """Drive the server with one closed-loop thread per script.
 
     Each client thread submits its statements strictly in order,
     waiting for every response before sending the next — a rejected
     statement is retried until admitted (closed-loop clients back off
     by blocking, they do not drop work), so every script runs to
-    completion and differential comparisons see all statements.
+    completion and differential comparisons see all statements.  Every
+    retried rejection is recorded on the report by shed reason, so
+    shed-mode runs stay diagnosable.  ``deadline_seconds`` stamps each
+    request with a latency budget (timed-out statements are terminal,
+    not retried).
     """
     report = LoadReport(responses={script.client_id: [] for script in scripts})
 
@@ -284,12 +327,19 @@ def run_closed_loop(server, scripts: Sequence[LoadScript]) -> LoadReport:
         for sql in script.statements:
             while True:
                 response = server.submit(
-                    Request(sql, tenant=script.tenant)
+                    Request(
+                        sql,
+                        tenant=script.tenant,
+                        deadline_seconds=deadline_seconds,
+                    )
                 ).result()
                 if response.status is not RequestStatus.REJECTED:
                     sink.append(response)
                     break
-                # Admission pushed back: yield and retry the statement.
+                # Admission pushed back: record why, yield, retry.
+                report.note_rejection(
+                    script.client_id, response.shed_reason or "admission"
+                )
                 time.sleep(0.0005)
 
     threads = [

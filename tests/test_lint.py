@@ -278,6 +278,90 @@ def test_rp007_ignores_public_and_non_self_mutations():
     assert lint_source(src, "repro/serve/server.py") == []
 
 
+# -- RP008: uncounted StorageFault on health/recovery paths --------------------
+
+
+def test_rp008_flags_swallowed_storage_fault():
+    src = (
+        "class Monitor:\n"
+        "    def probe(self, node):\n"
+        "        try:\n"
+        "            node.ping()\n"
+        "        except NodeDownError:\n"
+        "            pass\n"
+    )
+    found = lint_source(src, "repro/serve/health.py")
+    assert codes(found) == ["RP008"]
+    assert "failover" in found[0].message
+
+
+def test_rp008_flags_tuple_catch_with_unrelated_handling():
+    src = (
+        "class Orchestrator:\n"
+        "    def restart(self):\n"
+        "        try:\n"
+        "            self.store.load()\n"
+        "        except (ValueError, StorageFault):\n"
+        "            result = None\n"
+    )
+    found = lint_source(src, "repro/serve/recovery.py")
+    assert codes(found) == ["RP008"]
+
+
+def test_rp008_allows_counted_reraised_or_inc_handlers():
+    counted = (
+        "class Monitor:\n"
+        "    def probe(self, node):\n"
+        "        try:\n"
+        "            node.ping()\n"
+        "        except NodeDownError:\n"
+        "            self.ping_failures += 1\n"
+    )
+    assert lint_source(counted, "repro/serve/health.py") == []
+    reraised = (
+        "class Monitor:\n"
+        "    def probe(self, node):\n"
+        "        try:\n"
+        "            node.ping()\n"
+        "        except CorruptedBlockError:\n"
+        "            raise\n"
+    )
+    assert lint_source(reraised, "repro/serve/health.py") == []
+    inc_metric = (
+        "class Orchestrator:\n"
+        "    def restart(self):\n"
+        "        try:\n"
+        "            self.store.load()\n"
+        "        except TransientStorageError:\n"
+        "            self.gauge.inc()\n"
+    )
+    assert lint_source(inc_metric, "repro/serve/recovery.py") == []
+
+
+def test_rp008_scope_is_health_and_recovery_only():
+    src = (
+        "class Reader:\n"
+        "    def fetch(self):\n"
+        "        try:\n"
+        "            self.store.load()\n"
+        "        except StorageFault:\n"
+        "            pass\n"
+    )
+    # Outside the resilience modules other rules own this pattern.
+    assert "RP008" not in codes(lint_source(src, "repro/serve/server.py"))
+    assert "RP008" not in codes(lint_source(src, "repro/persist/store.py"))
+    # Non-storage exceptions are out of scope even inside them.
+    benign = (
+        "class Monitor:\n"
+        "    def probe(self, node):\n"
+        "        try:\n"
+        "            node.ping()\n"
+        "        except ValueError:\n"
+        "            pass\n"
+    )
+    assert "RP008" not in codes(lint_source(benign, "repro/serve/health.py"))
+
+
 # -- the real tree -------------------------------------------------------------
 
 

@@ -190,6 +190,147 @@ class TestServerBasics:
         assert tenants["a"].rejected == 0
 
 
+# -- admission idempotence and overload shedding ------------------------------
+
+
+class TestAdmissionIdempotence:
+    def test_on_abandon_is_idempotent_per_request_id(self):
+        """A request that times out at dequeue *and* is abandoned by its
+        client must release its queue slot exactly once (ISSUE 8)."""
+        admission = AdmissionController()
+        assert admission.try_admit("t", request_id=101)
+        admission.on_abandon("t", request_id=101)  # timeout at dequeue
+        admission.on_abandon("t", request_id=101)  # client abandon: no-op
+        state = admission.tenant_stats("t")
+        assert state.queued == 0
+        assert state.completed == 1
+
+    def test_on_abandon_after_start_is_a_noop(self):
+        """Once a request moved to in-flight its id is no longer queued,
+        so a late abandon must not touch the occupancy counters."""
+        admission = AdmissionController()
+        assert admission.try_admit("t", request_id=202)
+        assert admission.try_start("t", request_id=202)
+        admission.on_abandon("t", request_id=202)
+        state = admission.tenant_stats("t")
+        assert state.queued == 0
+        assert state.in_flight == 1
+        admission.on_finish("t")
+        assert admission.tenant_stats("t").outstanding == 0
+
+    def test_legacy_abandon_without_id_stays_unconditional(self):
+        admission = AdmissionController()
+        assert admission.try_admit("t")
+        admission.on_abandon("t")
+        assert admission.tenant_stats("t").queued == 0
+
+
+class TestOverloadShedding:
+    def test_queue_pressure_sheds_with_reason(self):
+        gen = LoadGenerator(num_clients=1, statements_per_client=1, seed=8)
+        engine = make_loaded_engine(gen)
+        engine.database.rms.fetch_delay_seconds = 0.02
+        admission = AdmissionController(
+            max_in_flight=4, max_queued=64, shed_queue_depth=1
+        )
+        server = QueryServer(engine, max_workers=1, admission=admission)
+        try:
+            sql = f"select count(*) from {gen.table_for(0)}"
+            futures = [server.submit(Request(sql)) for _ in range(6)]
+            responses = [f.result(timeout=30.0) for f in futures]
+        finally:
+            server.shutdown()
+        shed = [r for r in responses if r.status is RequestStatus.REJECTED]
+        assert shed, "queue pressure never shed"
+        assert all(r.shed_reason == "queue_full" for r in shed)
+        assert admission.sheds()["queue_full"] == len(shed)
+        assert all(
+            r.status is RequestStatus.OK for r in responses if r not in shed
+        )
+
+    def test_tenant_limit_rejections_carry_the_reason(self):
+        gen = LoadGenerator(num_clients=1, statements_per_client=1, seed=2)
+        engine = make_loaded_engine(gen)
+        engine.database.rms.fetch_delay_seconds = 0.02
+        admission = AdmissionController(max_in_flight=1, max_queued=0)
+        server = QueryServer(engine, max_workers=2, admission=admission)
+        try:
+            sql = f"select count(*) from {gen.table_for(0)}"
+            futures = [server.submit(Request(sql)) for _ in range(5)]
+            responses = [f.result(timeout=30.0) for f in futures]
+        finally:
+            server.shutdown()
+        rejected = [r for r in responses if r.status is RequestStatus.REJECTED]
+        assert len(rejected) == 4
+        assert all(r.shed_reason == "tenant_limit" for r in rejected)
+        assert admission.sheds()["tenant_limit"] == 4
+
+    def test_closed_server_rejections_carry_server_closed(self):
+        with make_server() as server:
+            pass
+        response = server.execute("vacuum")
+        assert response.status is RequestStatus.REJECTED
+        assert response.shed_reason == "server_closed"
+
+    def test_ok_responses_have_no_shed_reason(self):
+        with make_server() as server:
+            assert server.execute("vacuum").shed_reason is None
+
+
+class TestDeadlineDrainRace:
+    def test_deadline_expiry_races_drain_at_eight_clients(self):
+        """8 client threads submit tight-deadline requests while the
+        main thread drains: every admitted request must resolve to a
+        terminal Response (OK or TIMED_OUT) — nothing may hang."""
+        gen = LoadGenerator(num_clients=1, statements_per_client=1, seed=9)
+        engine = make_loaded_engine(gen)
+        engine.database.rms.fetch_delay_seconds = 0.004
+        admission = AdmissionController(max_in_flight=2, max_queued=64)
+        server = QueryServer(engine, max_workers=2, admission=admission)
+        sql = f"select count(*) from {gen.table_for(0)}"
+        futures = []
+        futures_lock = threading.Lock()
+        num_clients = 8
+        barrier = threading.Barrier(num_clients + 1)
+
+        def client() -> None:
+            barrier.wait(timeout=10)
+            mine = [
+                server.submit(Request(sql, deadline_seconds=0.002))
+                for _ in range(6)
+            ]
+            with futures_lock:
+                futures.extend(mine)
+
+        threads = [
+            threading.Thread(target=client, name=f"race-client-{i}")
+            for i in range(num_clients)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            barrier.wait(timeout=10)  # drain races the submissions
+            drained = server.drain(timeout=30.0)
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert all(not t.is_alive() for t in threads)
+            assert drained
+            responses = [f.result(timeout=30.0) for f in futures]
+        finally:
+            server.shutdown()
+        assert len(responses) == num_clients * 6
+        terminal = (
+            RequestStatus.OK,
+            RequestStatus.TIMED_OUT,
+            RequestStatus.REJECTED,
+        )
+        assert all(r.status in terminal for r in responses)
+        # Deadlines actually fired under the race, and every admitted
+        # slot was returned exactly once (no double releases).
+        assert any(r.status is RequestStatus.TIMED_OUT for r in responses)
+        assert admission.total_outstanding == 0
+
+
 # -- the concurrent differential oracle ---------------------------------------
 
 

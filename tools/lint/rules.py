@@ -41,6 +41,9 @@ RULES: Dict[str, str] = {
     "RP007": "unsynchronized shared-state mutation in serving/cache code "
              "(mutate private attributes under the owning lock, or in a "
              "helper documented as caller-holds-lock)",
+    "RP008": "StorageFault swallowed on a health/recovery path without "
+             "counting it (resilience decisions must be observable: "
+             "increment a metric or re-raise)",
 }
 
 #: The only module allowed to call builtin ``hash()`` (RP001).
@@ -143,6 +146,28 @@ _RP007_CONTAINER_MUTATORS = frozenset(
 #: the lock itself.
 _RP007_EXEMPT_DOCSTRING = re.compile(
     r"caller holds[^.\n]*lock|caller is `*__init__", re.IGNORECASE
+)
+
+#: Modules RP008 holds to the resilience observability contract: an
+#: except handler that catches a StorageFault subclass must count the
+#: fault (a ``self.<counter> += 1`` / ``.inc()`` call) or re-raise —
+#: a silently swallowed fault is an invisible failover decision.
+RESILIENCE_MODULES = (
+    "repro/serve/health.py",
+    "repro/serve/recovery.py",
+)
+
+#: The StorageFault family (repro/faults/errors.py) RP008 watches for
+#: in except clauses, matched by terminal name so qualified references
+#: (``faults.NodeDownError``) count too.
+_STORAGE_FAULT_NAMES = frozenset(
+    {
+        "StorageFault",
+        "TransientStorageError",
+        "CorruptedBlockError",
+        "RetryBudgetExceeded",
+        "NodeDownError",
+    }
 )
 
 
@@ -250,6 +275,7 @@ class _FileChecker(ast.NodeVisitor):
         self.check_hash = module != HASHING_MODULE
         self.check_determinism = module.startswith(DETERMINISTIC_PACKAGES)
         self.check_excepts = module.startswith(READ_PATH_PACKAGES)
+        self.check_resilience = module in RESILIENCE_MODULES
         self.check_worker_mutation = module in PARALLEL_SCAN_MODULES
         self.check_sync = (
             module.startswith(SYNCHRONIZED_PACKAGES)
@@ -478,6 +504,19 @@ class _FileChecker(ast.NodeVisitor):
                     "except Exception: pass on the read path silently "
                     "swallows StorageFault; handle or count the failure",
                 )
+        if (
+            self.check_resilience
+            and node.type is not None
+            and self._catches_storage_fault(node.type)
+            and not self._counts_fault(node.body)
+        ):
+            self._emit(
+                "RP008",
+                node,
+                "a StorageFault caught on a health/recovery path must be "
+                "counted (increment a self.<counter> or call .inc()) or "
+                "re-raised; a silent catch hides a failover decision",
+            )
         self.generic_visit(node)
 
     @staticmethod
@@ -490,6 +529,49 @@ class _FileChecker(ast.NodeVisitor):
                 "BaseException",
             ):
                 return True
+        return False
+
+    @staticmethod
+    def _catches_storage_fault(node: ast.expr) -> bool:
+        names: Iterable[ast.expr]
+        names = node.elts if isinstance(node, ast.Tuple) else (node,)
+        for name in names:
+            terminal = ""
+            if isinstance(name, ast.Attribute):
+                terminal = name.attr
+            elif isinstance(name, ast.Name):
+                terminal = name.id
+            if terminal in _STORAGE_FAULT_NAMES:
+                return True
+        return False
+
+    @staticmethod
+    def _counts_fault(body: Sequence[ast.stmt]) -> bool:
+        """True when a handler observably accounts for the fault:
+        a re-raise, a ``self.<counter> += 1``, or an ``.inc()`` call."""
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Raise):
+                    return True
+                if isinstance(sub, ast.AugAssign):
+                    target = sub.target
+                    while isinstance(target, ast.Subscript):
+                        target = target.value
+                    root = target
+                    while isinstance(root, ast.Attribute):
+                        root = root.value
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(root, ast.Name)
+                        and root.id == "self"
+                    ):
+                        return True
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "inc"
+                ):
+                    return True
         return False
 
     @staticmethod
