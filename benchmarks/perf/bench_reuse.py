@@ -1,0 +1,189 @@
+"""Benchmark: cross-query reuse lattice vs exact-match-only caching.
+
+The paper's predicate cache only serves *exact* repeats of a scan
+(Fig 13/14: repeated dashboard queries).  The reuse lattice (DESIGN.md
+§14) additionally serves from cached *conjuncts* (intersection
+composition) and cached *wider ranges* (subsumption), so drill-down
+sessions — where almost every predicate string is new — still hit.
+
+Three engines over identical SSB data:
+
+* ``oracle``      — no predicate cache (correctness reference),
+* ``exact_only``  — predicate cache, reuse disabled (the baseline),
+* ``reuse``       — predicate cache with the reuse lattice enabled.
+
+Workload: SSB-style drill-down sessions (``workloads.ssb
+.drilldown_queries``) plus a full repeat of the session (the
+fig13-style repeated-dashboard component, giving both modes their
+exact hits).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_reuse.py          # full
+    PYTHONPATH=src python benchmarks/perf/bench_reuse.py --smoke  # CI smoke
+
+Full mode enforces the PR gates: combined (exact + composed + subsumed)
+hit rate >= 1.5x the exact-only hit rate, blocks accessed on every
+reuse-served query <= the cache-off oracle, and zero correctness
+deltas.  Writes ``benchmarks/results/BENCH_reuse.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from repro import Database, PredicateCache, PredicateCacheConfig, QueryEngine
+from repro.workloads import ssb
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+HIT_RATE_GATE = 1.5  # combined hit rate vs exact-only baseline
+
+
+def build_engine(mode: str, scale: float) -> QueryEngine:
+    db = Database(num_slices=4, rows_per_block=256)
+    if mode == "oracle":
+        cache = None
+    else:
+        cache = PredicateCache(
+            PredicateCacheConfig(
+                variant="range", enable_reuse=(mode == "reuse")
+            )
+        )
+    engine = QueryEngine(db, predicate_cache=cache)
+    ssb.load(db, scale_factor=scale, seed=3)
+    return engine
+
+
+def run_workload(engine: QueryEngine, queries) -> dict:
+    """Execute the workload; classify how each query was served."""
+    per_query = []
+    for sql in queries:
+        result = engine.execute(sql)
+        counters = result.counters
+        if counters.reuse_composed_serves or counters.reuse_subsumed_serves:
+            served = (
+                "composed" if counters.reuse_composed_serves else "subsumed"
+            )
+        elif counters.cache_hits and not counters.cache_misses:
+            served = "exact"
+        else:
+            served = "miss"
+        per_query.append(
+            {
+                "served": served,
+                "rows": int(result.scalar()),
+                "blocks": int(counters.blocks_accessed),
+            }
+        )
+    total = len(per_query)
+    served_counts = {
+        kind: sum(1 for q in per_query if q["served"] == kind)
+        for kind in ("exact", "composed", "subsumed", "miss")
+    }
+    hits = total - served_counts["miss"]
+    return {
+        "queries": total,
+        "served": served_counts,
+        "hit_rate": hits / total if total else 0.0,
+        "per_query": per_query,
+    }
+
+
+def main() -> int:
+    smoke = "--smoke" in sys.argv
+    scale = 0.002 if smoke else 0.01
+    rounds = 3 if smoke else 8
+    session = ssb.drilldown_queries(rounds=rounds, seed=12)
+    # Drill-down session + one full repeat (fig13-style repeated scans).
+    workload = session + session
+    print(
+        f"BENCH_reuse: scale {scale}, {len(workload)} queries "
+        f"({'smoke' if smoke else 'full'} mode)"
+    )
+
+    runs = {}
+    for mode in ("oracle", "exact_only", "reuse"):
+        engine = build_engine(mode, scale)
+        runs[mode] = run_workload(engine, workload)
+        if mode == "reuse":
+            reuse_stats = engine.predicate_cache.reuse_stats
+            runs[mode]["reuse_stats"] = {
+                "conjunct_lookups": reuse_stats.conjunct_lookups,
+                "conjunct_hits": reuse_stats.conjunct_hits,
+                "conjunct_installs": reuse_stats.conjunct_installs,
+                "composed_serves": reuse_stats.composed_serves,
+                "subsumed_serves": reuse_stats.subsumed_serves,
+                "recheck_rows": reuse_stats.recheck_rows,
+                "skipped_rows": reuse_stats.skipped_rows,
+            }
+
+    # Gate 1: zero correctness deltas against the cache-off oracle.
+    deltas = 0
+    for mode in ("exact_only", "reuse"):
+        for i, (got, want) in enumerate(
+            zip(runs[mode]["per_query"], runs["oracle"]["per_query"])
+        ):
+            if got["rows"] != want["rows"]:
+                deltas += 1
+                print(f"  CORRECTNESS DELTA [{mode}] query {i}: "
+                      f"{got['rows']} != {want['rows']}")
+
+    # Gate 2: reuse-served queries never read more blocks than cache-off.
+    block_violations = 0
+    for i, (got, want) in enumerate(
+        zip(runs["reuse"]["per_query"], runs["oracle"]["per_query"])
+    ):
+        if got["served"] in ("composed", "subsumed") and (
+            got["blocks"] > want["blocks"]
+        ):
+            block_violations += 1
+            print(f"  BLOCK REGRESSION query {i} ({got['served']}): "
+                  f"{got['blocks']} > {want['blocks']}")
+
+    # Gate 3: combined hit rate >= 1.5x the exact-only baseline.
+    exact_rate = runs["exact_only"]["hit_rate"]
+    combined_rate = runs["reuse"]["hit_rate"]
+    ratio = combined_rate / exact_rate if exact_rate else float("inf")
+    gate_pass = (
+        deltas == 0
+        and block_violations == 0
+        and ratio >= HIT_RATE_GATE
+    )
+    print(f"  exact-only hit rate : {exact_rate:6.1%}")
+    print(f"  combined hit rate   : {combined_rate:6.1%}  "
+          f"(served: {runs['reuse']['served']})")
+    print(f"  ratio {ratio:4.2f}x (gate {HIT_RATE_GATE}x), "
+          f"deltas {deltas}, block regressions {block_violations} "
+          f"-> {'PASS' if gate_pass else 'FAIL'}")
+
+    for mode in runs:
+        runs[mode].pop("per_query")
+    report = {
+        "benchmark": "reuse",
+        "mode": "smoke" if smoke else "full",
+        "scale_factor": scale,
+        "workload_queries": len(workload),
+        "runs": runs,
+        "hit_rate_ratio": ratio,
+        "gate": {
+            "required_ratio": HIT_RATE_GATE,
+            "correctness_deltas": deltas,
+            "block_regressions": block_violations,
+            "pass": gate_pass,
+            "gating": not smoke,
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out = os.path.join(RESULTS_DIR, "BENCH_reuse.json")
+    with open(out, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"[saved to {out}]")
+    if not gate_pass and not smoke:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,7 @@ from .core import (
     PredicateCache,
     PredicateCacheConfig,
     RangeList,
+    ReuseStats,
     RowRange,
     ScanKey,
     SemiJoinDescriptor,
@@ -90,6 +91,7 @@ __all__ = [
     "Response",
     "RetryBudgetExceeded",
     "RetryPolicy",
+    "ReuseStats",
     "RowRange",
     "ScanKey",
     "SemiJoinDescriptor",

@@ -299,6 +299,8 @@ class ClusterCaches:
                 states,
                 stats=(record.hits, record.rows_qualifying, record.rows_considered),
                 table_layout=record.table_layout,
+                provenance=record.provenance,
+                source_digests=record.source_digests,
             )
 
     def clear(self) -> None:

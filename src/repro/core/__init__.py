@@ -19,10 +19,10 @@ from .cache import PredicateCache
 from .config import PredicateCacheConfig
 from .entry import BitmapSliceState, CacheEntry, RangeSliceState, SliceState
 from .gapheap import GapHeapRangeBuilder
-from .keys import ScanKey, SemiJoinDescriptor
+from .keys import ScanKey, SemiJoinDescriptor, conjunct_key
 from .policy import AdmissionPolicy, AlwaysAdmit, CostBasedPolicy
 from .rowrange import RangeList, RowRange
-from .stats import CacheStats
+from .stats import CacheStats, ReuseStats
 
 __all__ = [
     "AdmissionPolicy",
@@ -36,8 +36,10 @@ __all__ = [
     "PredicateCacheConfig",
     "RangeList",
     "RangeSliceState",
+    "ReuseStats",
     "RowRange",
     "ScanKey",
     "SemiJoinDescriptor",
     "SliceState",
+    "conjunct_key",
 ]

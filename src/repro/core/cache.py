@@ -39,7 +39,7 @@ from .entry import BitmapSliceState, CacheEntry, RangeSliceState, SliceState
 from .keys import ScanKey
 from .policy import AdmissionPolicy, AlwaysAdmit
 from .rowrange import RangeList
-from .stats import CacheStats
+from .stats import CacheStats, ReuseStats
 
 if TYPE_CHECKING:
     from ..obs.metrics import MetricsRegistry
@@ -73,6 +73,7 @@ class PredicateCache:
         self.policy = policy if policy is not None else AlwaysAdmit()
         self._entries: "OrderedDict[ScanKey, CacheEntry]" = OrderedDict()
         self.stats = CacheStats()
+        self.reuse_stats = ReuseStats()
         self._watched: Dict[str, object] = {}
         # Per-table invalidation generation: bumped whenever a table's
         # entries are dropped wholesale (vacuum/layout change).  Entries
@@ -160,12 +161,15 @@ class PredicateCache:
         slice_states: Mapping[int, SliceState],
         stats: Tuple[int, int, int] = (0, 0, 0),
         table_layout: Optional[int] = None,
+        provenance: str = "scan",
+        source_digests: Tuple[int, ...] = (),
     ) -> CacheEntry:
         """Install a warm-start entry recovered from a store.
 
         The entry is stamped with *this* cache's current generation for
         its table (revalidation already proved the row numbering is
         live), so subsequent scans may extend it like any other entry.
+        Derived entries keep their recorded provenance across restarts.
         Does not write through — hydration must not re-journal what the
         store just replayed.
         """
@@ -175,6 +179,8 @@ class PredicateCache:
                 num_slices,
                 dict(build_versions),
                 generation=self._generations.get(key.table, 0),
+                provenance=provenance,
+                source_digests=source_digests,
             )
             for slice_id, state in slice_states.items():
                 entry.slice_states[slice_id] = state
@@ -260,6 +266,44 @@ class PredicateCache:
             best.hits += 1
             return best
 
+    def lookup_part(
+        self,
+        key: ScanKey,
+        current_versions: Optional[Mapping[str, int]] = None,
+    ) -> Optional[CacheEntry]:
+        """Probe for one conjunct of a decomposed predicate (DESIGN.md §14).
+
+        Identical liveness/staleness semantics to :meth:`lookup`, but
+        accounted in :attr:`reuse_stats` rather than :attr:`stats` so the
+        paper's Fig. 13 exact-match ``hit_rate`` is not diluted by the
+        reuse lattice's extra probes.  Still touches the LRU and the
+        entry's hit count — a conjunct serving a composition is in use.
+        """
+        with self._lock:
+            self.reuse_stats.conjunct_lookups += 1
+            entry = self._find(key, current_versions)
+            if entry is None:
+                return None
+            self.reuse_stats.conjunct_hits += 1
+            entry.hits += 1
+            return entry
+
+    def record_reuse_serve(self, basis: str) -> None:
+        """Count one scan answered from derived entries ("composed"/"subsumed")."""
+        with self._lock:
+            if basis == "composed":
+                self.reuse_stats.composed_serves += 1
+            elif basis == "subsumed":
+                self.reuse_stats.subsumed_serves += 1
+            else:
+                raise ValueError(f"unknown reuse serve basis {basis!r}")
+
+    def record_reuse_rows(self, rechecked: int, skipped: int) -> None:
+        """Fold one reuse-served scan's re-checked vs. skipped row counts."""
+        with self._lock:
+            self.reuse_stats.recheck_rows += int(rechecked)
+            self.reuse_stats.skipped_rows += int(skipped)
+
     def __contains__(self, key: ScanKey) -> bool:
         with self._lock:
             return key in self._entries
@@ -275,8 +319,20 @@ class PredicateCache:
         key: ScanKey,
         num_slices: int,
         build_versions: Optional[Mapping[str, int]] = None,
+        provenance: str = "scan",
+        source_digests: Tuple[int, ...] = (),
     ) -> CacheEntry:
-        """The entry for ``key``, creating an empty one if needed."""
+        """The entry for ``key``, creating an empty one if needed.
+
+        ``provenance``/``source_digests`` only stamp a *newly created*
+        entry: an existing entry keeps its original provenance (a direct
+        scan of ``x < 25`` and the decomposer's ``x < 25`` conjunct share
+        one entry, first writer names it).  Derived entries are
+        first-class for accounting and eviction — their payload bytes
+        count against ``max_bytes`` exactly once, here, because the
+        ephemeral composed/subsumed servings built *from* them are never
+        installed (enforced by ``invariants.check_cache``).
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
@@ -289,9 +345,13 @@ class PredicateCache:
                 num_slices,
                 dict(build_versions or {}),
                 generation=self._generations.get(key.table, 0),
+                provenance=provenance,
+                source_digests=source_digests,
             )
             self._entries[key] = entry
             self.stats.inserts += 1
+            if provenance == "conjunct":
+                self.reuse_stats.conjunct_installs += 1
             self._evict_if_needed()
             return entry
 
@@ -551,6 +611,21 @@ class PredicateCache:
             labels=labels,
             fn=lambda: self.stats.hit_rate,
         )
+        # The reuse lattice's own metric family (DESIGN.md §14).  Keyed
+        # off the cache-family prefix so per-node cluster registrations
+        # ("repro_node_predicate_cache") stay distinct.
+        reuse_prefix = (
+            prefix.replace("predicate_cache", "reuse")
+            if "predicate_cache" in prefix
+            else f"{prefix}_reuse"
+        )
+        for field_name in vars(self.reuse_stats):
+            registry.counter(
+                f"{reuse_prefix}_{field_name}_total",
+                f"Reuse lattice {field_name.replace('_', ' ')}",
+                labels=labels,
+                fn=lambda s=self, f=field_name: getattr(s.reuse_stats, f),
+            )
 
     # -- introspection -------------------------------------------------------------
 

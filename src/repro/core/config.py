@@ -29,6 +29,17 @@ class PredicateCacheConfig:
             prototype.
         min_rows_to_cache: scans over fewer candidate rows than this are
             not worth an entry (tiny tables gain nothing).
+        enable_reuse: turn on the cross-query reuse lattice (DESIGN.md
+            §14): conjunct decomposition on install, intersection
+            composition and subsumption matching on a full-key miss.
+            Off by default, like ``normalize_keys`` — the paper's cache
+            is exact-match only.
+        reuse_max_conjuncts: predicates that normalize to more conjuncts
+            than this are not decomposed (CNF blow-up guard).
+        reuse_composition: serve ``A AND B`` misses from the vectorized
+            intersection of cached per-conjunct entries.
+        reuse_subsumption: serve a range predicate from a cached wider
+            range on the same column, with a residual re-check.
     """
 
     variant: str = "bitmap"
@@ -39,6 +50,10 @@ class PredicateCacheConfig:
     cache_join_keys: bool = True
     normalize_keys: bool = False
     min_rows_to_cache: int = 0
+    enable_reuse: bool = False
+    reuse_max_conjuncts: int = 8
+    reuse_composition: bool = True
+    reuse_subsumption: bool = True
 
     def __post_init__(self) -> None:
         if self.variant not in ("bitmap", "range"):
@@ -47,3 +62,5 @@ class PredicateCacheConfig:
             raise ValueError("max_ranges_per_slice must be >= 1")
         if self.bitmap_block_rows < 1:
             raise ValueError("bitmap_block_rows must be >= 1")
+        if self.reuse_max_conjuncts < 1:
+            raise ValueError("reuse_max_conjuncts must be >= 1")

@@ -29,13 +29,23 @@ old state, which would silently skip tail rows.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from .rowrange import RangeList
 
-__all__ = ["SliceState", "RangeSliceState", "BitmapSliceState", "CacheEntry"]
+__all__ = [
+    "SliceState",
+    "RangeSliceState",
+    "BitmapSliceState",
+    "CacheEntry",
+    "PROVENANCES",
+]
+
+# How an entry came to exist (DESIGN.md §14).  Order matters: the
+# persistence layer encodes provenance as the index into this tuple.
+PROVENANCES: Tuple[str, ...] = ("scan", "conjunct", "composed", "subsumed")
 
 
 class SliceState:
@@ -179,10 +189,18 @@ class CacheEntry:
         "hits",
         "rows_qualifying",
         "rows_considered",
+        "provenance",
+        "source_digests",
     )
 
     def __init__(
-        self, key, num_slices: int, build_versions: dict, generation: int = 0
+        self,
+        key,
+        num_slices: int,
+        build_versions: dict,
+        generation: int = 0,
+        provenance: str = "scan",
+        source_digests: Tuple[int, ...] = (),
     ) -> None:
         self.key = key
         self.slice_states: List[Optional[SliceState]] = [None] * num_slices
@@ -198,6 +216,15 @@ class CacheEntry:
         self.hits = 0
         self.rows_qualifying = 0
         self.rows_considered = 0
+        # How this entry came to exist (DESIGN.md §14): "scan" for a
+        # direct install, "conjunct" for a decomposed part, "composed" /
+        # "subsumed" for full-key entries filled by a reuse-served scan.
+        # Derived entries record the key digests they were built from so
+        # explain/analyze and the invariant checker can audit the lattice.
+        if provenance not in PROVENANCES:
+            raise ValueError(f"unknown entry provenance {provenance!r}")
+        self.provenance = provenance
+        self.source_digests: Tuple[int, ...] = tuple(source_digests)
 
     @property
     def complete(self) -> bool:

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Tuple
 
-__all__ = ["SemiJoinDescriptor", "ScanKey"]
+__all__ = ["SemiJoinDescriptor", "ScanKey", "conjunct_key"]
 
 
 @dataclass(frozen=True)
@@ -97,3 +97,18 @@ class ScanKey:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.key()
+
+
+def conjunct_key(table: str, predicate_key: str) -> ScanKey:
+    """The canonical cache key for one conjunct of a decomposed predicate.
+
+    A conjunct key is a *plain* :class:`ScanKey` — never join-extended —
+    over the conjunct's normalized canonical rendering.  Using the plain
+    form means a direct scan of the same single-conjunct predicate and
+    the reuse lattice's decomposer share one entry: there is no separate
+    key namespace for derived entries, only a provenance tag on the
+    :class:`~repro.core.entry.CacheEntry`.
+    """
+    if not predicate_key:
+        raise ValueError("conjunct predicate key must be non-empty")
+    return ScanKey(table, predicate_key)

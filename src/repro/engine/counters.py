@@ -32,6 +32,11 @@ class QueryCounters:
     cache_misses: int = 0
     bloom_probes: int = 0
     bloom_positives: int = 0
+    # Reuse-lattice counters (zero unless enable_reuse is configured).
+    reuse_composed_serves: int = 0
+    reuse_subsumed_serves: int = 0
+    reuse_recheck_rows: int = 0
+    reuse_skipped_rows: int = 0
     # Resilience counters (zero unless fault injection is armed).
     storage_faults: int = 0
     corrupt_blocks: int = 0
@@ -67,6 +72,10 @@ class QueryCounters:
         self.cache_misses += other.cache_misses
         self.bloom_probes += other.bloom_probes
         self.bloom_positives += other.bloom_positives
+        self.reuse_composed_serves += other.reuse_composed_serves
+        self.reuse_subsumed_serves += other.reuse_subsumed_serves
+        self.reuse_recheck_rows += other.reuse_recheck_rows
+        self.reuse_skipped_rows += other.reuse_skipped_rows
         self.storage_faults += other.storage_faults
         self.corrupt_blocks += other.corrupt_blocks
         self.storage_retries += other.storage_retries
@@ -97,6 +106,10 @@ class QueryCounters:
         self.cache_misses = 0
         self.bloom_probes = 0
         self.bloom_positives = 0
+        self.reuse_composed_serves = 0
+        self.reuse_subsumed_serves = 0
+        self.reuse_recheck_rows = 0
+        self.reuse_skipped_rows = 0
         self.storage_faults = 0
         self.corrupt_blocks = 0
         self.storage_retries = 0

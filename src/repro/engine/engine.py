@@ -151,6 +151,10 @@ class QueryEngine:
                 "cache_misses",
                 "bloom_probes",
                 "bloom_positives",
+                "reuse_composed_serves",
+                "reuse_subsumed_serves",
+                "reuse_recheck_rows",
+                "reuse_skipped_rows",
                 "storage_faults",
                 "corrupt_blocks",
                 "storage_retries",

@@ -21,6 +21,16 @@ those candidates, so it must not write the plain entry.  A scan
 restricted by the *plain* entry covers every join-qualifying row (the
 join result is a subset of the predicate result), so it may write both.
 
+With ``enable_reuse`` on (DESIGN.md §14), a full-key miss additionally
+consults the reuse lattice (:mod:`repro.reuse`): the predicate's cached
+conjuncts — or a cached wider range on the same column — yield an
+ephemeral serving whose candidates are a superset of the truth, so step
+3's re-evaluation keeps the result bit-identical to a cache-off scan.
+Served or not, the scan derives per-conjunct qualifying sets on the way
+(each padded with the complement of the candidate set, so they stay
+supersets under *any* serving basis) and installs them at the same
+coordinator barrier as every other entry.
+
 Execution is coordinator/worker structured (see ``parallel.py``): the
 coordinating thread resolves cache contexts, dispatches one
 :func:`_scan_slice` task per slice (serially, or over a worker pool),
@@ -265,8 +275,14 @@ def execute_scan(
                 # row numbering this slice no longer has (an invalidation
                 # was missed).  Drop the entry — through _drop, so
                 # metrics fire — and fall back to full scans for the
-                # rest of this table scan.
-                context.cache.drop_stale(context.entry.key)
+                # rest of this table scan.  An ephemeral reuse serving
+                # names the *source* entries it was composed from; those
+                # are what hold the stale state.
+                stale_keys = getattr(context.entry, "source_keys", None) or (
+                    context.entry.key,
+                )
+                for stale_key in stale_keys:
+                    context.cache.drop_stale(stale_key)
                 counters.degraded_scans += 1
                 context.entry = None
 
@@ -281,14 +297,15 @@ def execute_scan(
             table, predicate, semijoins, txid, counters,
             contexts, scan_columns, list(gather_columns), tracer, num_workers,
         )
-    per_slice: List[RangeList] = [qualifying for qualifying, _, _ in results]
-    prefetched = [materialized for _, _, materialized in results]
+    per_slice: List[RangeList] = [qualifying for qualifying, _, _, _ in results]
+    prefetched = [materialized for _, _, materialized, _ in results]
 
     # -- barrier: install cache entries, coordinator-side, in slice order ----
     # Workers never write the cache (RP006); batching the installs here
     # keeps the cache mutation sequence identical whatever order the
-    # slice tasks actually completed in.
-    for slice_id, (qualifying, q_plain, _) in enumerate(results):
+    # slice tasks actually completed in.  Derived conjunct entries ride
+    # the same barrier (RP009: the reuse package itself never writes).
+    for slice_id, (qualifying, q_plain, _, extras) in enumerate(results):
         context = contexts[slice_id]
         if context is None:
             continue
@@ -307,12 +324,28 @@ def execute_scan(
             context.cache.record_entry_stats(
                 context.plain_entry, q_plain.num_rows, num_rows
             )
+        if context.conjunct_entries and extras.conjunct_lists is not None:
+            for (c_entry, _), c_list in zip(
+                context.conjunct_entries, extras.conjunct_lists
+            ):
+                context.cache.record_slice_scan(c_entry, slice_id, c_list, num_rows)
+                context.cache.record_entry_stats(c_entry, c_list.num_rows, num_rows)
+        if (
+            context.basis in ("composed", "subsumed")
+            and context.entry is not None
+        ):
+            # The subsumption/composition re-check accounting: candidate
+            # rows were re-evaluated, the rest were skipped outright.
+            rechecked = extras.candidate_rows
+            counters.reuse_recheck_rows += rechecked
+            counters.reuse_skipped_rows += num_rows - rechecked
+            context.cache.record_reuse_rows(rechecked, num_rows - rechecked)
 
     # One policy observation per (node, scan) — not per slice — so a
     # "sighting" means one execution of the scan, like the paper's
     # repetitiveness notion.
     if cache is not None and per_node:
-        for slice_id, (qualifying, _, _) in enumerate(results):
+        for slice_id, (qualifying, _, _, _) in enumerate(results):
             context = contexts[slice_id]
             if context is not None:
                 context.qualifying_rows += qualifying.num_rows
@@ -342,10 +375,10 @@ def _run_slices_serial(
     scan_columns: List[str],
     gather_columns: List[str],
     tracer,
-) -> List[Tuple[RangeList, RangeList, Dict[str, np.ndarray]]]:
+) -> List["_SliceResult"]:
     """Scan every slice on the calling thread, in slice order."""
     rms = table.rms
-    results: List[Tuple[RangeList, RangeList, Dict[str, np.ndarray]]] = []
+    results: List["_SliceResult"] = []
     rms.begin_scan_phase(concurrent=False)
     try:
         for slice_id, data_slice in enumerate(table.slices):
@@ -362,6 +395,7 @@ def _run_slices_serial(
                 txid, counters,
                 context.entry if context is not None else None,
                 scan_columns, gather_columns,
+                context.conjunct_predicates() if context is not None else (),
             )
             if slice_span is not None:
                 slice_span.update(counters.delta(counters_before))
@@ -388,7 +422,7 @@ def _run_slices_parallel(
     gather_columns: List[str],
     tracer,
     num_workers: int,
-) -> List[Tuple[RangeList, RangeList, Dict[str, np.ndarray]]]:
+) -> List["_SliceResult"]:
     """Fan the slice scans over a worker pool; merge at the barrier.
 
     Each task gets a fresh ``QueryCounters`` and records its own span
@@ -406,11 +440,13 @@ def _run_slices_parallel(
     phase = rms.begin_scan_phase(concurrent=True)
     query_context = rms.current_query_context()
 
-    def make_task(slice_id: int, data_slice: DataSlice, entry):
-        def task() -> Tuple[
-            Tuple[RangeList, RangeList, Dict[str, np.ndarray]],
-            QueryCounters, float, float,
-        ]:
+    def make_task(
+        slice_id: int,
+        data_slice: DataSlice,
+        entry,
+        conjunct_predicates: Tuple[Predicate, ...],
+    ):
+        def task() -> Tuple["_SliceResult", QueryCounters, float, float]:
             local = QueryCounters()
             adopted = rms.adopt_scan_context(phase, query_context)
             try:
@@ -418,6 +454,7 @@ def _run_slices_parallel(
                 pair = _scan_slice(
                     table, data_slice, slice_id, predicate, semijoins,
                     txid, local, entry, scan_columns, gather_columns,
+                    conjunct_predicates,
                 )
                 end = tracer.now() if tracer is not None else 0.0
             finally:
@@ -432,6 +469,9 @@ def _run_slices_parallel(
                 slice_id,
                 data_slice,
                 contexts[slice_id].entry if contexts[slice_id] is not None else None,
+                contexts[slice_id].conjunct_predicates()
+                if contexts[slice_id] is not None
+                else (),
             )
             for slice_id, data_slice in enumerate(table.slices)
         ]
@@ -439,7 +479,7 @@ def _run_slices_parallel(
     finally:
         access_counts = rms.end_scan_phase()
 
-    results: List[Tuple[RangeList, RangeList, Dict[str, np.ndarray]]] = []
+    results: List["_SliceResult"] = []
     for slice_id, (pair, local, start, end) in enumerate(outcomes):
         counters.merge(local)
         if tracer is not None:
@@ -459,8 +499,9 @@ class _SliceCacheContext:
 
     Built by the coordinator before dispatch and mutated only by the
     coordinator afterwards; workers read ``entry`` (immutable slice
-    states) and nothing else.  ``qualifying_rows``/``total_rows``
-    accumulate the per-node policy observation at the barrier.
+    states) and the conjunct predicates, nothing else.
+    ``qualifying_rows``/``total_rows`` accumulate the per-node policy
+    observation at the barrier.
     """
 
     cache: PredicateCache
@@ -468,8 +509,14 @@ class _SliceCacheContext:
     join_entry: Optional[object]
     plain_entry: Optional[object]
     basis: str = "full"
+    #: Derived per-conjunct entries this scan installs at the barrier,
+    #: paired with the normalized conjunct predicate each one records.
+    conjunct_entries: List[Tuple[object, Predicate]] = field(default_factory=list)
     qualifying_rows: int = 0
     total_rows: int = 0
+
+    def conjunct_predicates(self) -> Tuple[Predicate, ...]:
+        return tuple(predicate for _, predicate in self.conjunct_entries)
 
 
 def _prepare_cache_context(
@@ -490,20 +537,71 @@ def _prepare_cache_context(
     if join_key is not None and cache_join:
         candidate_keys.append(join_key)
     candidate_keys.append(plain_key)
+    decomposition = None
+    if cache.config.enable_reuse and not isinstance(predicate, TruePredicate):
+        # Deferred import: the reuse package sits above the engine in
+        # the import graph (it reads persist/ for key digests).
+        from ..reuse import decompose
+
+        decomposition = decompose(
+            table.name, predicate, cache.config.reuse_max_conjuncts
+        )
     lookup_span = None
     if tracer is not None:
         lookup_span = tracer.begin(
             "cache-lookup", table=table.name, candidates=len(candidate_keys)
         )
     entry = cache.select_entry(candidate_keys, current_versions)
+    serving = None
     if entry is None:
+        # The exact-match miss is counted regardless of a reuse serve:
+        # stats.hit_rate stays the paper's Fig. 13 metric, reuse serves
+        # are accounted on top in reuse_stats.
         counters.cache_misses += 1
         basis = "full"
+        if decomposition is not None:
+            from ..reuse import plan_reuse
+
+            plan_span = None
+            if tracer is not None:
+                plan_span = tracer.begin(
+                    "reuse-plan",
+                    table=table.name,
+                    conjuncts=len(decomposition.conjuncts),
+                )
+            plan = plan_reuse(
+                cache, decomposition, plain_key, current_versions,
+                table.num_slices,
+            )
+            if plan is not None:
+                serving = plan.serving
+                entry = serving
+                basis = serving.basis
+                cache.record_reuse_serve(basis)
+                if basis == "composed":
+                    counters.reuse_composed_serves += 1
+                else:
+                    counters.reuse_subsumed_serves += 1
+            if plan_span is not None:
+                plan_span.set("outcome", basis if plan is not None else "none")
+                if plan is not None:
+                    plan_span.set("resolved", plan.resolved)
+                    plan_span.set("subsumed_parts", plan.subsumed_parts)
+                    plan_span.set(
+                        "sources", [str(k) for k in plan.serving.source_keys]
+                    )
+                tracer.end(plan_span)
     else:
         counters.cache_hits += 1
         basis = "join" if entry.key.is_join_key else "plain"
     if lookup_span is not None:
-        lookup_span.set("outcome", "miss" if entry is None else "hit")
+        if entry is None:
+            outcome = "miss"
+        elif serving is not None:
+            outcome = f"reuse-{basis}"
+        else:
+            outcome = "hit"
+        lookup_span.set("outcome", outcome)
         lookup_span.set("basis", basis)
         if entry is not None:
             lookup_span.set("entry_selectivity", round(entry.selectivity, 6))
@@ -512,6 +610,7 @@ def _prepare_cache_context(
 
     join_entry = None
     plain_entry = None
+    conjunct_entries: List[Tuple[object, Predicate]] = []
     if _should_cache(cache, table):
         if join_key is not None and cache_join and cache.admits(join_key):
             join_entry = cache.get_or_create(
@@ -525,8 +624,41 @@ def _prepare_cache_context(
             and not isinstance(predicate, TruePredicate)
             and cache.admits(plain_key)
         ):
-            plain_entry = cache.get_or_create(plain_key, table.num_slices, {})
-    return _SliceCacheContext(cache, entry, join_entry, plain_entry, basis)
+            if serving is not None:
+                # A reuse-served scan evaluates the real predicate over
+                # a candidate superset, so its q_plain is exact — the
+                # full-key entry it fills records how it was derived.
+                plain_entry = cache.get_or_create(
+                    plain_key,
+                    table.num_slices,
+                    {},
+                    provenance=serving.basis,
+                    source_digests=serving.source_digests,
+                )
+            else:
+                plain_entry = cache.get_or_create(plain_key, table.num_slices, {})
+        # Derived conjunct entries: sound under any serving basis except
+        # "join" (where the complement-padded sets would be uselessly
+        # wide — the join candidates are already heavily filtered).
+        if decomposition is not None and basis != "join":
+            for conjunct in decomposition.conjuncts:
+                if conjunct.key == plain_key or not cache.admits(conjunct.key):
+                    continue
+                conjunct_entries.append(
+                    (
+                        cache.get_or_create(
+                            conjunct.key,
+                            table.num_slices,
+                            {},
+                            provenance="conjunct",
+                        ),
+                        conjunct.predicate,
+                    )
+                )
+    return _SliceCacheContext(
+        cache, entry, join_entry, plain_entry, basis,
+        conjunct_entries=conjunct_entries,
+    )
 
 
 def _observe_policy(
@@ -550,6 +682,23 @@ def _should_cache(cache: PredicateCache, table: Table) -> bool:
     return table.num_rows >= cache.config.min_rows_to_cache
 
 
+@dataclass
+class _SliceScanExtras:
+    """Worker-side byproducts the coordinator's barrier consumes."""
+
+    #: Candidate rows this slice actually re-evaluated (post zone-map);
+    #: for a reuse-served scan these are the re-checked rows.
+    candidate_rows: int
+    #: Derived per-conjunct qualifying sets (each padded with the
+    #: complement of the candidate set so it stays a superset of the
+    #: conjunct's truth under any serving basis), or ``None`` when the
+    #: slice evaluated nothing.
+    conjunct_lists: Optional[List[RangeList]] = None
+
+
+_SliceResult = Tuple[RangeList, RangeList, Dict[str, np.ndarray], _SliceScanExtras]
+
+
 def _scan_slice(
     table: Table,
     data_slice: DataSlice,
@@ -561,9 +710,10 @@ def _scan_slice(
     entry,
     scan_columns: List[str],
     gather_columns: List[str],
-) -> Tuple[RangeList, RangeList, Dict[str, np.ndarray]]:
+    conjunct_predicates: Tuple[Predicate, ...] = (),
+) -> _SliceResult:
     """Scan one slice; returns ``(qualifying, plain-qualifying,
-    materialized gather columns)``.
+    materialized gather columns, extras)``.
 
     Worker-side code: may run on a pool thread with a per-task
     ``counters``.  It must not mutate shared engine or cache state —
@@ -589,6 +739,7 @@ def _scan_slice(
         )
 
     counters.rows_scanned += candidates.num_rows
+    extras = _SliceScanExtras(candidate_rows=candidates.num_rows)
 
     if candidates.num_rows == 0:
         qualifying = RangeList.empty()
@@ -620,6 +771,23 @@ def _scan_slice(
             if full_mask is plain_mask
             else RangeList.from_rows(row_ids[plain_mask])
         )
+        if conjunct_predicates:
+            # Per-conjunct qualifying sets for the reuse lattice.  Rows
+            # outside the candidate set were not evaluated here, so each
+            # set is padded with the complement — a false-positive-only
+            # superset of the conjunct's truth whatever basis restricted
+            # this scan (zone-map-pruned rows included; they re-prune).
+            complement = candidates.complement(num_rows)
+            conjunct_lists: List[RangeList] = []
+            for conjunct in conjunct_predicates:
+                c_mask = conjunct.evaluate(batch)
+                if c_mask.shape == ():
+                    c_mask = np.full(candidates.num_rows, bool(c_mask))
+                c_mask = c_mask & vis_mask
+                conjunct_lists.append(
+                    RangeList.from_rows(row_ids[c_mask]).union(complement)
+                )
+            extras.conjunct_lists = conjunct_lists
 
     counters.rows_qualifying += qualifying.num_rows
 
@@ -633,7 +801,7 @@ def _scan_slice(
                 qualifying, table.rms
             )
 
-    return qualifying, q_plain, materialized
+    return qualifying, q_plain, materialized, extras
 
 
 def _prune_with_zonemaps(

@@ -181,6 +181,11 @@ def check_slice_state(state: Any, slice_rows: Optional[int] = None) -> None:
 
 # -- cache accounting -------------------------------------------------------
 
+#: Mirrors :data:`repro.core.entry.PROVENANCES` — duplicated because
+#: this module deliberately imports nothing from the package (see
+#: module docstring); ``test_reuse`` asserts the two stay equal.
+_PROVENANCES = ("scan", "conjunct", "composed", "subsumed")
+
 
 def check_cache(cache: Any) -> None:
     """Whole-cache accounting invariants.
@@ -193,7 +198,12 @@ def check_cache(cache: Any) -> None:
       invalidation and stale installs refused — a mismatch means one
       slipped through), and generations never go negative;
     * policy accounting: a bounded admission policy never tracks more
-      keys than its configured bound.
+      keys than its configured bound;
+    * reuse provenance (DESIGN.md §14): no ephemeral serving object is
+      ever installed as an entry (its bytes would double-count against
+      the budget), every entry's provenance tag is known, and derived
+      provenances (``composed``/``subsumed``) carry source digests while
+      primary ones (``scan``/``conjunct``) carry none.
     """
     entries = cache.entries()
     limit = cache.config.max_entries
@@ -216,6 +226,28 @@ def check_cache(cache: Any) -> None:
             )
         if len(entry.slice_states) == 0:
             _fail(f"entry {entry.key.key()!r} has zero slices")
+        if getattr(entry, "ephemeral", False):
+            _fail(
+                f"ephemeral reuse serving for {entry.key.key()!r} was "
+                "installed as a cache entry (budget double-count)"
+            )
+        provenance = getattr(entry, "provenance", "scan")
+        if provenance not in _PROVENANCES:
+            _fail(
+                f"entry {entry.key.key()!r} has unknown provenance "
+                f"{provenance!r}"
+            )
+        sources = tuple(getattr(entry, "source_digests", ()))
+        if provenance in ("composed", "subsumed") and not sources:
+            _fail(
+                f"derived entry {entry.key.key()!r} ({provenance}) has "
+                "no source digests"
+            )
+        if provenance in ("scan", "conjunct") and sources:
+            _fail(
+                f"primary entry {entry.key.key()!r} ({provenance}) "
+                f"carries source digests {sources}"
+            )
     tracked = getattr(cache.policy, "tracked_keys", None)
     max_tracked = getattr(cache.policy, "max_tracked", None)
     if tracked is not None and max_tracked is not None and tracked > max_tracked:

@@ -25,7 +25,14 @@ the slice ids whose states were dropped).
 
 Forward compatibility: the header version is checked on read; files
 written by a *newer* format are refused wholesale (cold start) instead
-of being half-parsed.
+of being half-parsed.  Version 2 appended entry provenance (a code into
+:data:`repro.core.entry.PROVENANCES` plus the source-entry digests of
+the reuse lattice, DESIGN.md §14) to the entry metadata; version-1
+snapshots still decode, with every entry defaulting to ``"scan"``.
+Journal records carry no version of their own — they are paired with a
+snapshot from the same writer — so a journal from an older writer reads
+as a torn tail (replay stops, recovery degrades toward cold, exactly
+like any other unreadable journal).
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
+from ..core.entry import PROVENANCES
 from ..storage.compression import array_checksum
 from .records import (
     EntryRecord,
@@ -61,7 +69,11 @@ __all__ = [
 ]
 
 SNAPSHOT_MAGIC = b"RPPCSNAP"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+# Entry provenance on the wire: the index into PROVENANCES (order is
+# part of the format — append-only).
+_PROVENANCE_CODES = {name: code for code, name in enumerate(PROVENANCES)}
 
 _HEADER = struct.Struct("<8sHHI")          # magic, version, flags, reserved
 _SECTION = struct.Struct("<B3xQI")         # kind, payload_len, crc32
@@ -134,9 +146,16 @@ def _encode_meta(buf: bytearray, record: EntryRecord) -> None:
     for name in sorted(record.build_versions):
         _put_bytes(buf, name.encode("utf-8"))
         buf += struct.pack("<Q", record.build_versions[name])
+    # Version 2: provenance code + reuse-lattice source digests.
+    buf += struct.pack("<B", _PROVENANCE_CODES[record.provenance])
+    buf += struct.pack("<I", len(record.source_digests))
+    for source_digest in record.source_digests:
+        buf += struct.pack("<q", source_digest)
 
 
-def _decode_meta(data: bytes, off: int) -> Tuple[EntryRecord, int]:
+def _decode_meta(
+    data: bytes, off: int, version: int = FORMAT_VERSION
+) -> Tuple[EntryRecord, int]:
     key_json, off = _get_bytes(data, off)
     key = key_from_obj(json.loads(key_json.decode("utf-8")))
     (
@@ -156,9 +175,25 @@ def _decode_meta(data: bytes, off: int) -> Tuple[EntryRecord, int]:
     build_versions: Dict[str, int] = {}
     for _ in range(n_build):
         name, off = _get_bytes(data, off)
-        (version,) = struct.unpack_from("<Q", data, off)
+        (build_version,) = struct.unpack_from("<Q", data, off)
         off += 8
-        build_versions[name.decode("utf-8")] = int(version)
+        build_versions[name.decode("utf-8")] = int(build_version)
+    provenance = "scan"
+    source_digests: Tuple[int, ...] = ()
+    if version >= 2:
+        (provenance_code,) = struct.unpack_from("<B", data, off)
+        off += 1
+        if provenance_code >= len(PROVENANCES):
+            raise ValueError(f"unknown provenance code {provenance_code}")
+        provenance = PROVENANCES[provenance_code]
+        (n_sources,) = struct.unpack_from("<I", data, off)
+        off += 4
+        if off + 8 * n_sources > len(data):
+            raise ValueError("source digests overrun payload")
+        source_digests = tuple(
+            int(d) for d in struct.unpack_from(f"<{n_sources}q", data, off)
+        )
+        off += 8 * n_sources
     record = EntryRecord(
         key=key,
         digest=int(digest),
@@ -169,6 +204,8 @@ def _decode_meta(data: bytes, off: int) -> Tuple[EntryRecord, int]:
         hits=int(hits),
         rows_qualifying=int(qualifying),
         rows_considered=int(considered),
+        provenance=provenance,
+        source_digests=source_digests,
     )
     return record, off
 
@@ -223,8 +260,8 @@ def encode_entry(record: EntryRecord) -> bytes:
     return bytes(buf)
 
 
-def decode_entry(payload: bytes) -> EntryRecord:
-    record, off = _decode_meta(payload, 0)
+def decode_entry(payload: bytes, version: int = FORMAT_VERSION) -> EntryRecord:
+    record, off = _decode_meta(payload, 0, version)
     (n_states,) = struct.unpack_from("<I", payload, off)
     off += 4
     for _ in range(n_states):
@@ -296,7 +333,7 @@ def decode_snapshot(
             if kind == SECTION_META:
                 meta = json.loads(payload.decode("utf-8"))
             elif kind == SECTION_ENTRY:
-                record = decode_entry(payload)
+                record = decode_entry(payload, version)
                 records[record.digest] = record
             elif kind == SECTION_END:
                 saw_end = True

@@ -23,7 +23,7 @@ the shape a snapshot stores and a re-shard redistributes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, Mapping, Tuple
 
 import numpy as np
 
@@ -171,6 +171,8 @@ class EntryRecord:
     hits: int = 0
     rows_qualifying: int = 0
     rows_considered: int = 0
+    provenance: str = "scan"
+    source_digests: Tuple[int, ...] = ()
     states: Dict[int, StateRecord] = field(default_factory=dict)
 
     @classmethod
@@ -194,6 +196,8 @@ class EntryRecord:
             hits=int(entry.hits),
             rows_qualifying=int(entry.rows_qualifying),
             rows_considered=int(entry.rows_considered),
+            provenance=entry.provenance,
+            source_digests=tuple(entry.source_digests),
             states=states,
         )
 
@@ -206,6 +210,8 @@ class EntryRecord:
         self.hits = other.hits
         self.rows_qualifying = other.rows_qualifying
         self.rows_considered = other.rows_considered
+        self.provenance = other.provenance
+        self.source_digests = tuple(other.source_digests)
 
     def equals(self, other: "EntryRecord") -> bool:
         """Bit-identical comparison (the round-trip property)."""
@@ -219,6 +225,8 @@ class EntryRecord:
             and self.hits == other.hits
             and self.rows_qualifying == other.rows_qualifying
             and self.rows_considered == other.rows_considered
+            and self.provenance == other.provenance
+            and self.source_digests == other.source_digests
             and set(self.states) == set(other.states)
             and all(self.states[s].equals(other.states[s]) for s in self.states)
         )

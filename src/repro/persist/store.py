@@ -470,6 +470,8 @@ class CacheStore:
                 states,
                 stats=(record.hits, record.rows_qualifying, record.rows_considered),
                 table_layout=record.table_layout,
+                provenance=record.provenance,
+                source_digests=record.source_digests,
             )
             tables.add(record.key.table)
             restored += 1

@@ -9,7 +9,7 @@ exercise of the paper's join-index extension: every scan of
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
@@ -18,7 +18,7 @@ from ..storage.dtypes import DataType
 from ..storage.table import ColumnSpec, TableSchema
 from .tpch import zipf_choice
 
-__all__ = ["SCHEMAS", "generate", "load", "queries", "query"]
+__all__ = ["SCHEMAS", "drilldown_queries", "generate", "load", "queries", "query"]
 
 _D = DataType
 
@@ -322,3 +322,54 @@ def queries() -> Dict[str, str]:
 def query(name: str) -> str:
     """One SSB query by name (``"Q1.1"`` … ``"Q4.3"``)."""
     return queries()[name]
+
+
+def drilldown_queries(rounds: int = 8, seed: int = 0) -> List[str]:
+    """SSB-style drill-down sessions over ``lineorder`` (DESIGN.md §14).
+
+    Models an analyst narrowing in on a slice of the fact table: each
+    round starts from a broad single-conjunct filter ``A``, adds
+    conjuncts (``A AND B``, then ``A AND B AND C``), and then repeats
+    the hierarchy with progressively narrower ranges contained in the
+    originals.  The shape is deliberately hostile to exact-match
+    caching — almost every predicate string is new — while being ideal
+    for the reuse lattice: later conjunctions decompose into already
+    cached conjuncts (composition) and narrowed ranges sit inside
+    cached wider ones (subsumption).
+
+    Pure fact-table scans (no dimension joins) so every query takes the
+    decomposable plain-scan path.  Returns the session's queries in
+    drill-down order.
+    """
+    rng = np.random.default_rng(seed)
+    out: List[str] = []
+    for _ in range(max(0, rounds)):
+        # Broad base ranges for the three drill-down dimensions.
+        q_lo = int(rng.integers(1, 20))
+        q_hi = q_lo + int(rng.integers(15, 30))
+        d_lo = int(rng.integers(0, 4))
+        d_hi = d_lo + int(rng.integers(3, 7))
+        year = int(rng.integers(1992, 1998))
+        months = int(rng.integers(6, 12))
+        date_lo = year * 10_000 + 101
+        date_hi = year * 10_000 + (months + 1) * 100 + 1
+        a = f"lo_quantity between {q_lo} and {q_hi}"
+        b = f"lo_discount between {d_lo} and {d_hi}"
+        c = f"lo_orderdate >= {date_lo} and lo_orderdate < {date_hi}"
+        out.append(f"select count(*) from lineorder where {a}")
+        out.append(f"select count(*) from lineorder where {a} and {b}")
+        out.append(f"select count(*) from lineorder where {a} and {b} and {c}")
+        # Narrowed repeat: every range contained in its broad original.
+        nq_lo = q_lo + int(rng.integers(1, 5))
+        nq_hi = max(nq_lo, q_hi - int(rng.integers(1, 5)))
+        nd_hi = max(d_lo, d_hi - 1)
+        ndate_hi = year * 10_000 + (max(1, months // 2) + 1) * 100 + 1
+        na = f"lo_quantity between {nq_lo} and {nq_hi}"
+        nb = f"lo_discount between {d_lo} and {nd_hi}"
+        nc = f"lo_orderdate >= {date_lo} and lo_orderdate < {ndate_hi}"
+        out.append(f"select count(*) from lineorder where {na}")
+        out.append(f"select count(*) from lineorder where {na} and {nb}")
+        out.append(
+            f"select count(*) from lineorder where {na} and {nb} and {nc}"
+        )
+    return out

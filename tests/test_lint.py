@@ -362,6 +362,49 @@ def test_rp008_scope_is_health_and_recovery_only():
     assert "RP008" not in codes(lint_source(benign, "repro/serve/health.py"))
 
 
+# -- RP009: cache writes from reuse planning code ------------------------------
+
+
+def test_rp009_flags_cache_writes_in_reuse_modules():
+    src = (
+        "def plan(cache, key, num_slices):\n"
+        "    entry = cache.lookup_part(key)\n"
+        "    if entry is None:\n"
+        "        entry = cache.get_or_create(key, num_slices, {})\n"
+        "    return entry\n"
+    )
+    found = lint_source(src, "repro/reuse/compose.py")
+    assert codes(found) == ["RP009"]
+    assert "read-only" in found[0].message
+    dropper = (
+        "def refresh(cache, key):\n"
+        "    cache.drop_stale(key)\n"
+        "    cache.record_slice_scan(key, 0, None, 0)\n"
+    )
+    assert codes(lint_source(dropper, "repro/reuse/subsume.py")) == [
+        "RP009",
+        "RP009",
+    ]
+
+
+def test_rp009_allows_reads_and_other_modules():
+    reads = (
+        "def plan(cache, key, versions):\n"
+        "    entry = cache.lookup_part(key, versions)\n"
+        "    for candidate in cache.entries():\n"
+        "        pass\n"
+        "    return entry\n"
+    )
+    assert lint_source(reads, "repro/reuse/compose.py") == []
+    # The same writer calls are fine outside repro/reuse/ — the
+    # coordinator barrier in engine/scan.py is exactly where they go.
+    writer = (
+        "def barrier(cache, entry, s, lst, n):\n"
+        "    cache.record_slice_scan(entry, s, lst, n)\n"
+    )
+    assert "RP009" not in codes(lint_source(writer, "repro/engine/scan.py"))
+
+
 # -- the real tree -------------------------------------------------------------
 
 

@@ -17,6 +17,7 @@ import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.core.entry import PROVENANCES
 from repro.core.keys import ScanKey, SemiJoinDescriptor
 from repro.persist import CacheStore
 from repro.persist.format import (
@@ -105,6 +106,21 @@ def entry_records(draw):
     states = {
         sid: draw(st.one_of(range_states(), bitmap_states())) for sid in slice_ids
     }
+    # Reuse-lattice provenance (DESIGN.md §14): derived entries carry
+    # the digests of the conjunct entries they were composed from.
+    provenance = draw(st.sampled_from(PROVENANCES))
+    if provenance in ("composed", "subsumed"):
+        source_digests = tuple(
+            draw(
+                st.lists(
+                    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+                    min_size=1,
+                    max_size=4,
+                )
+            )
+        )
+    else:
+        source_digests = ()
     return EntryRecord(
         key=key,
         digest=key_digest(key),
@@ -118,6 +134,8 @@ def entry_records(draw):
         hits=draw(st.integers(min_value=0, max_value=2**40)),
         rows_qualifying=draw(st.integers(min_value=0, max_value=2**40)),
         rows_considered=draw(st.integers(min_value=0, max_value=2**40)),
+        provenance=provenance,
+        source_digests=source_digests,
         states=states,
     )
 

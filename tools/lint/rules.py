@@ -44,6 +44,9 @@ RULES: Dict[str, str] = {
     "RP008": "StorageFault swallowed on a health/recovery path without "
              "counting it (resilience decisions must be observable: "
              "increment a metric or re-raise)",
+    "RP009": "cache-mutating call inside repro/reuse/ (reuse planning is "
+             "read-only; every served result must route through the "
+             "differential-oracle-covered install path in engine/scan.py)",
 }
 
 #: The only module allowed to call builtin ``hash()`` (RP001).
@@ -155,6 +158,32 @@ _RP007_EXEMPT_DOCSTRING = re.compile(
 RESILIENCE_MODULES = (
     "repro/serve/health.py",
     "repro/serve/recovery.py",
+)
+
+#: Modules RP009 holds to the reuse read-only contract (DESIGN.md §14):
+#: conjunct decomposition, composition, and subsumption matching may
+#: *read* the cache (``lookup_part``, ``entries``, ``select_entry``) but
+#: never write it — ad-hoc installs from planning code would bypass the
+#: coordinator-barrier install path that the differential oracle covers.
+REUSE_MODULES = ("repro/reuse/",)
+
+#: Cache methods that mutate entries, accounting, or watch state.
+_RP009_CACHE_WRITERS = frozenset(
+    {
+        "record_slice_scan",
+        "record_entry_stats",
+        "record_scan_stats",
+        "get_or_create",
+        "install_restored",
+        "invalidate_table",
+        "invalidate_block",
+        "invalidate_build_side",
+        "clear",
+        "drop_stale",
+        "trim_to_bytes",
+        "attach_store",
+        "watch_table",
+    }
 )
 
 #: The StorageFault family (repro/faults/errors.py) RP008 watches for
@@ -277,6 +306,7 @@ class _FileChecker(ast.NodeVisitor):
         self.check_excepts = module.startswith(READ_PATH_PACKAGES)
         self.check_resilience = module in RESILIENCE_MODULES
         self.check_worker_mutation = module in PARALLEL_SCAN_MODULES
+        self.check_reuse_readonly = module.startswith(REUSE_MODULES)
         self.check_sync = (
             module.startswith(SYNCHRONIZED_PACKAGES)
             or module in SYNCHRONIZED_MODULES
@@ -417,6 +447,19 @@ class _FileChecker(ast.NodeVisitor):
                 f".{node.func.attr}() mutates shared engine/cache state "
                 "from scan worker code; batch it at the coordinator's "
                 "barrier (parallel workers must not install entries)",
+            )
+        if (
+            self.check_reuse_readonly
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RP009_CACHE_WRITERS
+        ):
+            self._emit(
+                "RP009",
+                node,
+                f".{node.func.attr}() mutates the cache from reuse "
+                "planning code; reuse modules are read-only — serve "
+                "through the coordinator install path in engine/scan.py "
+                "(covered by the differential oracle)",
             )
         if (
             self.check_sync
