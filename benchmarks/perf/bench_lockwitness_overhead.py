@@ -1,0 +1,221 @@
+"""Microbenchmark: lock-order-witness overhead with REPRO_LOCK_WITNESS unset.
+
+The witness factories (repro/obs/lockwitness.py) check the environment
+once per lock *construction*::
+
+    if not enabled():
+        return threading.RLock()      # plain stdlib lock, zero wrapper
+
+so a disabled witness costs nothing per acquisition — the only charge
+is the factory indirection at component construction time.  This bench
+verifies the "<= 0.5% when off" claim two ways:
+
+1. **Analytic gate** (deterministic, CI-stable): measure the per-call
+   cost delta of ``named_rlock()`` vs a raw ``threading.RLock()``,
+   count how many witness factory calls one full serving stack
+   (engine + store + 2-node cluster + monitor + server) executes, and
+   bound the disabled-witness overhead as
+   ``constructions x delta / warm_query_time``.  That bound is very
+   conservative: constructions happen once per process, not per query.
+   The gate requires it under OVERHEAD_GATE (0.5%).
+
+2. **Enabled-mode reference** (reported, not gated): per-acquisition
+   cost of a ``with`` block through :class:`WitnessLock` vs a plain
+   ``RLock`` shows what ``REPRO_LOCK_WITNESS=1`` actually costs — the
+   debug/CI mode is allowed to be slower.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_lockwitness_overhead.py          # full
+    PYTHONPATH=src python benchmarks/perf/bench_lockwitness_overhead.py --smoke  # CI smoke
+
+Writes ``benchmarks/results/BENCH_lockwitness_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import tempfile
+import threading
+import time
+import timeit
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_scan_repeat import QUERY, build_database  # noqa: E402
+
+from repro import (  # noqa: E402
+    Database,
+    PredicateCache,
+    PredicateCacheConfig,
+    QueryEngine,
+    QueryServer,
+)
+from repro.cluster import ClusterCaches  # noqa: E402
+from repro.obs import lockwitness  # noqa: E402
+from repro.persist import CacheStore  # noqa: E402
+from repro.serve.health import ClusterHealthMonitor  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+OVERHEAD_GATE = 0.005  # disabled witness must cost < 0.5% of a warm query
+
+
+def warm_query_seconds(db, repeats: int) -> float:
+    """Median cached-repeat wall time (the unit the gate is relative to)."""
+    cache = PredicateCache(PredicateCacheConfig(variant="range"))
+    engine = QueryEngine(db, predicate_cache=cache)
+    cold = engine.execute(QUERY)
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        warm = engine.execute(QUERY)
+        times.append(time.perf_counter() - t0)
+    assert warm.counters.cache_hits > 0, "repeat missed the predicate cache"
+    assert warm.column("c")[0] == cold.column("c")[0]
+    return statistics.median(times)
+
+
+def factory_delta_seconds(iterations: int) -> tuple:
+    """(named_rlock cost, raw RLock cost) per construction."""
+    os.environ.pop(lockwitness.ENV_VAR, None)
+    t_factory = timeit.timeit(
+        "named_rlock('Bench._lock')",
+        globals={"named_rlock": lockwitness.named_rlock},
+        number=iterations,
+    ) / iterations
+    t_raw = timeit.timeit(
+        "RLock()", globals={"RLock": threading.RLock}, number=iterations
+    ) / iterations
+    return t_factory, t_raw
+
+
+def count_constructions() -> int:
+    """Witness factory calls one full serving stack executes, counted by
+    substituting counting wrappers around the three factories."""
+    originals = (
+        lockwitness.named_lock,
+        lockwitness.named_rlock,
+        lockwitness.named_condition,
+    )
+    hits = {"n": 0}
+
+    def wrap(factory):
+        def counting(name):
+            hits["n"] += 1
+            return factory(name)
+        return counting
+
+    lockwitness.named_lock = wrap(originals[0])
+    lockwitness.named_rlock = wrap(originals[1])
+    lockwitness.named_condition = wrap(originals[2])
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            db = Database()
+            store = CacheStore(tmp, catalog=db)
+            cluster = ClusterCaches(2, store=store)
+            engine = QueryEngine(db, predicate_cache=cluster)
+            ClusterHealthMonitor(cluster)
+            server = QueryServer(engine, max_workers=3)
+            server.shutdown()
+    finally:
+        (
+            lockwitness.named_lock,
+            lockwitness.named_rlock,
+            lockwitness.named_condition,
+        ) = originals
+    return hits["n"]
+
+
+def acquisition_cost_seconds(iterations: int) -> tuple:
+    """Per-``with``-block cost: instrumented WitnessLock vs raw RLock."""
+    os.environ[lockwitness.ENV_VAR] = "1"
+    try:
+        lockwitness.reset()
+        witness = lockwitness.named_rlock("Bench._acq")
+        t_witness = timeit.timeit(
+            "\nwith lock:\n    pass",
+            globals={"lock": witness},
+            number=iterations,
+        ) / iterations
+    finally:
+        os.environ.pop(lockwitness.ENV_VAR, None)
+        lockwitness.reset()
+    raw = threading.RLock()
+    t_raw = timeit.timeit(
+        "\nwith lock:\n    pass", globals={"lock": raw}, number=iterations
+    ) / iterations
+    return t_witness, t_raw
+
+
+def main() -> int:
+    smoke = "--smoke" in sys.argv
+    num_rows = 40_000 if smoke else 240_000
+    repeats = 3 if smoke else 7
+    iterations = 50_000 if smoke else 300_000
+    print(
+        f"BENCH_lockwitness_overhead: {num_rows} rows, {repeats} repeats, "
+        f"{iterations} factory iterations ({'smoke' if smoke else 'full'} mode)"
+    )
+
+    db = build_database(num_rows)
+    query_s = warm_query_seconds(db, repeats)
+    t_factory, t_raw = factory_delta_seconds(iterations)
+    delta = max(t_factory - t_raw, 0.0)
+    constructions = count_constructions()
+    off_overhead = constructions * delta / query_s
+    gate_pass = off_overhead <= OVERHEAD_GATE
+
+    t_acq_witness, t_acq_raw = acquisition_cost_seconds(iterations)
+    on_per_acq = t_acq_witness / t_acq_raw - 1.0 if t_acq_raw else 0.0
+
+    print(f"  warm cached repeat:            {query_s * 1e3:8.3f} ms")
+    print(
+        f"  factory {t_factory * 1e9:7.1f} ns vs raw {t_raw * 1e9:7.1f} ns "
+        f"-> delta {delta * 1e9:.1f} ns/construction"
+    )
+    print(
+        f"  {constructions} constructions/stack x {delta * 1e9:.1f} ns "
+        f"-> disabled overhead {off_overhead * 100:.4f}%"
+    )
+    print(
+        f"  enabled (REPRO_LOCK_WITNESS=1) acquisition "
+        f"{t_acq_witness * 1e9:.1f} ns vs {t_acq_raw * 1e9:.1f} ns "
+        f"({on_per_acq * 100:+.1f}%/acquire, reference only)"
+    )
+    print(
+        f"gate disabled <= {OVERHEAD_GATE * 100:.1f}% -> "
+        f"{'PASS' if gate_pass else 'FAIL'}"
+    )
+
+    report = {
+        "benchmark": "lockwitness_overhead",
+        "mode": "smoke" if smoke else "full",
+        "query": QUERY,
+        "num_rows": num_rows,
+        "warm_query_s": query_s,
+        "factory_cost_ns": t_factory * 1e9,
+        "raw_rlock_cost_ns": t_raw * 1e9,
+        "delta_ns_per_construction": delta * 1e9,
+        "constructions_per_stack": constructions,
+        "disabled_overhead_fraction": off_overhead,
+        "enabled_acquire_ns": t_acq_witness * 1e9,
+        "raw_acquire_ns": t_acq_raw * 1e9,
+        "enabled_overhead_per_acquire": on_per_acq,
+        "gate": {
+            "max_disabled_overhead": OVERHEAD_GATE,
+            "pass": gate_pass,
+            "gating": True,
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out = os.path.join(RESULTS_DIR, "BENCH_lockwitness_overhead.json")
+    with open(out, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"[saved to {out}]")
+    return 0 if gate_pass else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

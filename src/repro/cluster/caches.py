@@ -91,6 +91,21 @@ class ClusterCaches:
     :meth:`cache_for_slice`).  Administrative operations themselves
     (resize/fail_node racing each other) are expected to be serialized
     by the operator, e.g. under the serving layer's write lock.
+
+    **Canonical shard-lock order** (enforced by ``tools.analyze``
+    RP010 on the global lock-order graph): at most one node cache's
+    lock may be held at a time.  Cross-node operations — aggregate
+    stats, ``clear_all``, hydration, the health monitor's probes —
+    visit nodes sequentially in ascending node id and never call into
+    node *j*'s cache while holding node *i*'s lock.  All node caches
+    share the lock name ``PredicateCache._lock``, and the runtime
+    witness skips only *same-instance* re-entry — so a nested
+    cross-node acquisition records a ``PredicateCache._lock →
+    PredicateCache._lock`` edge that is absent from the static graph
+    (the static side elides re-entrant self-edges) and fails the
+    witness cross-check.  The reference-swap mutations above are
+    deliberately lock-free and carry RP012 waivers (see
+    ``tools/analyze/waivers.toml``).
     """
 
     def __init__(

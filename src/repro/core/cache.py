@@ -34,6 +34,7 @@ from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from .. import invariants as _inv
+from ..obs import lockwitness
 from .config import PredicateCacheConfig
 from .entry import BitmapSliceState, CacheEntry, RangeSliceState, SliceState
 from .keys import ScanKey
@@ -89,7 +90,7 @@ class PredicateCache:
         self._store: Optional["CacheStore"] = None
         # Re-entrant: invariant validation re-enters public read
         # methods (entries, generation_of, total_nbytes) under the lock.
-        self._lock = threading.RLock()
+        self._lock = lockwitness.named_rlock("PredicateCache._lock")
 
     # -- wiring ------------------------------------------------------------------
 

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Optional
 
 from .. import invariants as _inv
+from ..obs import lockwitness
 from .format import (
     DecodeIssues,
     decode_snapshot,
@@ -130,7 +131,7 @@ class CacheStore:
         # snapshots.  Lock ordering is cache → store (a cache calls in
         # while holding its own lock); hydration installs therefore run
         # *without* this lock held (see :meth:`hydrate`).
-        self._io_lock = threading.RLock()
+        self._io_lock = lockwitness.named_rlock("CacheStore._io_lock")
         # Monotonic counters (scrape-time metrics read these directly).
         self.snapshots_written = 0
         self.journal_records = 0
@@ -169,6 +170,7 @@ class CacheStore:
     # -- fault hooks -----------------------------------------------------------
 
     def _draw(self):
+        """Caller holds ``_io_lock`` (fault counters are shared state)."""
         if self.injector is None or not self.injector.can_fault:
             return None
         decision = self.injector.draw()
@@ -373,12 +375,17 @@ class CacheStore:
         if revalidate and self.catalog is not None:
             result.stale_dropped = self._revalidate(records)
         result.seconds = time.perf_counter() - start
-        self.recoveries += 1
-        self.journal_replayed += result.journal_records
-        self.recovery_seconds += result.seconds
-        self.last_recovery_seconds = result.seconds
-        self.stale_dropped += result.stale_dropped
-        self.corrupt_sections += result.corrupt_sections
+        # Recovery counters are read by the health monitor thread while
+        # failover hydrations run on workers — update them under the
+        # I/O lock (re-entrant, so the nested _read_state acquire above
+        # already released it).
+        with self._io_lock:
+            self.recoveries += 1
+            self.journal_replayed += result.journal_records
+            self.recovery_seconds += result.seconds
+            self.last_recovery_seconds = result.seconds
+            self.stale_dropped += result.stale_dropped
+            self.corrupt_sections += result.corrupt_sections
         if span is not None:
             span.set("entries", len(records))
             span.set("journal_records", result.journal_records)
@@ -459,7 +466,8 @@ class CacheStore:
                     if owned is None or owned(slice_id)
                 }
             except Exception:
-                self.corrupt_sections += 1
+                with self._io_lock:
+                    self.corrupt_sections += 1
                 continue
             if not states:
                 continue
@@ -475,7 +483,8 @@ class CacheStore:
             )
             tables.add(record.key.table)
             restored += 1
-            self.warm_restores += 1
+            with self._io_lock:
+                self.warm_restores += 1
         if self.catalog is not None:
             for name in tables:
                 table = self.catalog.tables.get(name)

@@ -31,6 +31,8 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Optional
 
+from ..obs import lockwitness
+
 __all__ = ["AdmissionController", "TenantState", "SHED_REASONS"]
 
 #: Stable shed-reason vocabulary (metric label values; never reorder).
@@ -99,7 +101,7 @@ class AdmissionController:
         self.shed_queue_depth = shed_queue_depth
         self.priority_tenants: FrozenSet[str] = frozenset(priority_tenants)
         self.service_time_alpha = service_time_alpha
-        self._lock = threading.Lock()
+        self._lock = lockwitness.named_lock("AdmissionController._lock")
         self._tenants: Dict[str, TenantState] = {}
         self._queued_ids: Dict[int, str] = {}
         self._sheds: Dict[str, int] = {reason: 0 for reason in SHED_REASONS}

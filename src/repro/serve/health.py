@@ -36,6 +36,7 @@ import threading
 from typing import Dict, List, Optional
 
 from ..faults.errors import NodeDownError
+from ..obs import lockwitness
 
 __all__ = ["ClusterHealthMonitor", "NodeState"]
 
@@ -93,7 +94,7 @@ class ClusterHealthMonitor:
         self.auto_restore = auto_restore
         self.memory_budget_bytes = memory_budget_bytes
         self.interval_seconds = interval_seconds
-        self._lock = threading.Lock()
+        self._lock = lockwitness.named_lock("ClusterHealthMonitor._lock")
         self._missed: Dict[int, int] = {}
         self._states: Dict[int, NodeState] = {}
         self._thread: Optional[threading.Thread] = None

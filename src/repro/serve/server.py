@@ -30,6 +30,7 @@ from collections import deque
 from concurrent.futures import Future
 from typing import Deque, List, Optional
 
+from ..obs import lockwitness
 from .admission import AdmissionController
 from .envelope import Request, RequestStatus, Response
 
@@ -50,7 +51,7 @@ class ReadWriteLock:
     """
 
     def __init__(self) -> None:
-        self._cv = threading.Condition()
+        self._cv = lockwitness.named_condition("ReadWriteLock._cv")
         self._readers = 0
         self._writer_active = False
         self._writers_waiting = 0
@@ -142,7 +143,7 @@ class QueryServer:
             if admission is not None
             else AdmissionController(max_in_flight=max_workers, max_queued=4 * max_workers)
         )
-        self._cv = threading.Condition()
+        self._cv = lockwitness.named_condition("QueryServer._cv")
         self._queue: Deque[_Pending] = deque()
         self._accepting = True
         self._stopping = False

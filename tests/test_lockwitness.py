@@ -1,0 +1,237 @@
+"""Runtime lock-order witness: unit tests + static↔dynamic cross-check.
+
+The toy-fixture tests pin the wrapper semantics (env gating, edge
+recording, same-instance re-entry elision, cross-instance self-edges,
+condition integration) and the required regression: a deliberately
+*inverted* acquisition order over two locks is caught by
+:func:`~repro.obs.lockwitness.assert_acyclic` even when the two
+threads never actually deadlock.
+
+The live test drives a real serving + failover workload with
+``REPRO_LOCK_WITNESS=1`` and proves every observed acquisition-order
+edge is contained in the lock-order graph ``tools.analyze`` computed
+statically — the soundness contract that lets CI trust the static
+analyzer.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import lockwitness
+
+
+@pytest.fixture(autouse=True)
+def _witness_on(monkeypatch):
+    monkeypatch.setenv(lockwitness.ENV_VAR, "1")
+    lockwitness.reset()
+    yield
+    lockwitness.reset()
+
+
+class TestFactories:
+    def test_disabled_returns_plain_stdlib_locks(self, monkeypatch):
+        monkeypatch.delenv(lockwitness.ENV_VAR, raising=False)
+        assert not lockwitness.enabled()
+        assert not isinstance(
+            lockwitness.named_lock("X._lock"), lockwitness.WitnessLock
+        )
+        assert not isinstance(
+            lockwitness.named_rlock("X._lock"), lockwitness.WitnessLock
+        )
+        cv = lockwitness.named_condition("X._cv")
+        assert isinstance(cv, threading.Condition)
+        assert not isinstance(cv._lock, lockwitness.WitnessLock)
+
+    def test_enabled_returns_instrumented(self):
+        assert isinstance(
+            lockwitness.named_lock("X._lock"), lockwitness.WitnessLock
+        )
+        cv = lockwitness.named_condition("X._cv")
+        assert isinstance(cv._lock, lockwitness.WitnessLock)
+
+
+class TestEdgeRecording:
+    def test_nested_acquisition_records_edge(self):
+        a = lockwitness.named_lock("A._lock")
+        b = lockwitness.named_lock("B._lock")
+        with a:
+            with b:
+                pass
+        assert ("A._lock", "B._lock") in lockwitness.observed_edges()
+        assert ("B._lock", "A._lock") not in lockwitness.observed_edges()
+
+    def test_sequential_acquisition_records_nothing(self):
+        a = lockwitness.named_lock("A._lock")
+        b = lockwitness.named_lock("B._lock")
+        with a:
+            pass
+        with b:
+            pass
+        assert lockwitness.observed_edges() == set()
+
+    def test_same_instance_reentry_records_no_edge(self):
+        a = lockwitness.named_rlock("A._lock")
+        with a:
+            with a:
+                pass
+        assert lockwitness.observed_edges() == set()
+
+    def test_cross_instance_same_name_records_self_edge(self):
+        # Two shard caches share a lock name; nesting them is the
+        # cross-shard acquisition ClusterCaches forbids.
+        shard0 = lockwitness.named_rlock("PredicateCache._lock")
+        shard1 = lockwitness.named_rlock("PredicateCache._lock")
+        with shard0:
+            with shard1:
+                pass
+        assert (
+            "PredicateCache._lock",
+            "PredicateCache._lock",
+        ) in lockwitness.observed_edges()
+        with pytest.raises(AssertionError, match="cycle"):
+            lockwitness.assert_acyclic()
+
+    def test_edges_recorded_per_thread(self):
+        a = lockwitness.named_lock("A._lock")
+        b = lockwitness.named_lock("B._lock")
+
+        def worker():
+            with b:
+                pass
+
+        with a:
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # The worker thread held nothing of its own: no A->B edge.
+        assert lockwitness.observed_edges() == set()
+
+    def test_condition_wait_releases_through_wrapper(self):
+        cv = lockwitness.named_condition("Q._cv")
+        hits = []
+
+        def waiter():
+            with cv:
+                while not hits:
+                    cv.wait(timeout=2.0)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.02)
+        with cv:
+            hits.append(1)
+            cv.notify_all()
+        t.join(timeout=2.0)
+        assert not t.is_alive()
+        lockwitness.assert_acyclic()
+
+
+class TestInvertedOrderRegression:
+    def test_inverted_two_lock_order_is_caught(self):
+        """The required regression: A->B in one thread, B->A in the
+        other.  Sequential execution means no actual deadlock occurs,
+        but the observed graph has the cycle and teardown fails."""
+        a = lockwitness.named_lock("Toy.A")
+        b = lockwitness.named_lock("Toy.B")
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        def backward():  # deliberately inverted
+            with b:
+                with a:
+                    pass
+
+        t1 = threading.Thread(target=forward)
+        t1.start()
+        t1.join()
+        t2 = threading.Thread(target=backward)
+        t2.start()
+        t2.join()
+
+        edges = lockwitness.observed_edges()
+        assert ("Toy.A", "Toy.B") in edges
+        assert ("Toy.B", "Toy.A") in edges
+        with pytest.raises(AssertionError, match="Toy\\."):
+            lockwitness.assert_acyclic()
+        cycle = lockwitness.find_cycle()
+        assert cycle is not None and cycle[0] == cycle[-1]
+
+    def test_consistent_order_passes(self):
+        a = lockwitness.named_lock("Toy.A")
+        b = lockwitness.named_lock("Toy.B")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        lockwitness.assert_acyclic()
+        assert lockwitness.missing_from({("Toy.A", "Toy.B")}) == set()
+        assert lockwitness.missing_from(set()) == {("Toy.A", "Toy.B")}
+
+
+class TestLiveWorkloadContainment:
+    def test_observed_edges_subset_of_static_graph(self, tmp_path):
+        """Serving + DML + node failover under the witness: the
+        observed graph must be acyclic and contained in the static
+        lock-order graph (``tools.analyze``)."""
+        import os
+        import sys
+
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        if repo_root not in sys.path:
+            sys.path.insert(0, repo_root)
+        from tools.analyze import analyze_paths
+
+        from repro import (
+            Database,
+            PredicateCache,
+            QueryEngine,
+            QueryServer,
+            Request,
+        )
+        from repro.cluster import ClusterCaches
+        from repro.persist import CacheStore
+        from repro.serve.health import ClusterHealthMonitor
+        from repro.workloads.loadgen import LoadGenerator, setup_load_tables
+
+        gen = LoadGenerator(
+            num_clients=4, statements_per_client=10, seed=97, hot_fraction=0.5
+        )
+        db = Database()
+        store = CacheStore(tmp_path, catalog=db)
+        cluster = ClusterCaches(2, store=store)
+        engine = QueryEngine(db, predicate_cache=cluster)
+        setup_load_tables(engine, gen, rows_per_table=1200)
+        monitor = ClusterHealthMonitor(
+            cluster, suspect_after=1, down_after=2, auto_restore=True
+        )
+        server = QueryServer(engine, max_workers=3)
+        try:
+            futures = []
+            for script in gen.scripts():
+                for sql in script.statements:
+                    futures.append(server.submit(Request(sql=sql)))
+            cluster.kill_node(1)
+            for _ in range(8):
+                monitor.tick()
+            for future in futures:
+                future.result(timeout=30)
+        finally:
+            server.shutdown()
+
+        observed = lockwitness.observed_edges()
+        assert observed, "the workload should exercise nested locking"
+        lockwitness.assert_acyclic()
+
+        static = analyze_paths(
+            [os.path.join(repo_root, "src", "repro")]
+        ).edge_names()
+        missing = lockwitness.missing_from(static)
+        assert missing == set(), (
+            "observed lock-order edges absent from the static graph: "
+            f"{sorted(missing)}"
+        )

@@ -1,0 +1,195 @@
+"""Whole-program concurrency analyzer for the repro tree.
+
+Pipeline (one parse of every file, shared with ``tools.lint``):
+
+1. :func:`tools.lint.astutils.parse_files` — read + parse once;
+2. :func:`tools.analyze.project.build_project` — functions, classes,
+   attribute-type inference, docstring contracts;
+3. :func:`tools.analyze.locks.build_inventory` /
+   :func:`~tools.analyze.locks.extract_effects` — lock inventory and
+   per-function acquire/call/blocking/mutation effects;
+4. :func:`tools.analyze.callgraph.build_callgraph` — call-site
+   resolution (typed where inferable, by-name fallback otherwise);
+5. :func:`tools.analyze.fixpoint.compute_summaries` /
+   :func:`~tools.analyze.fixpoint.build_lock_order` — interprocedural
+   fixpoint and the global lock-order graph;
+6. :func:`tools.analyze.rules.run_rules` — RP010–RP012 findings,
+   filtered through ``waivers.toml``.
+
+Usage::
+
+    python -m tools.analyze src/repro            # exit 1 on unwaived
+    python -m tools.analyze src/repro --graph    # print lock-order edges
+    python -m tools.analyze --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from tools.lint.astutils import ProjectFiles, parse_files, parse_sources
+
+from .callgraph import CallGraph, build_callgraph
+from .fixpoint import (
+    LockOrderEdge,
+    Summaries,
+    build_lock_order,
+    compute_summaries,
+)
+from .locks import (
+    FunctionEffects,
+    LockInventory,
+    build_inventory,
+    extract_effects,
+)
+from .project import Project, build_project
+from .rules import ANALYZE_RULES, Finding, run_rules
+from .waivers import Waiver, apply_waivers, load_waivers, parse_waivers
+
+__all__ = [
+    "ANALYZE_RULES",
+    "AnalysisResult",
+    "Finding",
+    "analyze_files",
+    "analyze_paths",
+    "analyze_sources",
+    "default_waivers_path",
+    "main",
+]
+
+#: Waiver file shipped next to this package.
+_WAIVERS_FILE = os.path.join(os.path.dirname(__file__), "waivers.toml")
+
+
+def default_waivers_path() -> str:
+    return _WAIVERS_FILE
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced."""
+
+    findings: List[Finding]
+    edges: List[LockOrderEdge]
+    inventory: LockInventory
+    project: Project
+    graph: CallGraph
+    summaries: Summaries
+    effects: Dict[str, FunctionEffects] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    @property
+    def unwaived(self) -> List[Finding]:
+        return [f for f in self.findings if not f.waived]
+
+    @property
+    def waived(self) -> List[Finding]:
+        return [f for f in self.findings if f.waived]
+
+    def edge_names(self) -> Set[Tuple[str, str]]:
+        """The static lock-order graph as ``(src, dst)`` name pairs.
+
+        The runtime witness checks every *observed* edge is in here.
+        """
+        return {(e.src, e.dst) for e in self.edges}
+
+
+def analyze_files(
+    files: ProjectFiles, waivers: Sequence[Waiver] = ()
+) -> AnalysisResult:
+    """Run the full pipeline over already-parsed files."""
+    start = time.perf_counter()
+    project = build_project(files)
+    inventory = build_inventory(project)
+    effects = extract_effects(project, inventory)
+    graph = build_callgraph(project, effects)
+    summaries = compute_summaries(effects, graph)
+    edges = build_lock_order(effects, graph, summaries, inventory)
+    findings = run_rules(project, effects, graph, summaries, edges, inventory)
+    apply_waivers(findings, waivers)
+    return AnalysisResult(
+        findings=findings,
+        edges=edges,
+        inventory=inventory,
+        project=project,
+        graph=graph,
+        summaries=summaries,
+        effects=effects,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def analyze_paths(
+    paths: Sequence[str], waivers_path: Optional[str] = None
+) -> AnalysisResult:
+    """Analyze every ``.py`` file under ``paths``."""
+    waivers: Sequence[Waiver] = ()
+    if waivers_path is None and os.path.exists(_WAIVERS_FILE):
+        waivers_path = _WAIVERS_FILE
+    if waivers_path is not None:
+        waivers = load_waivers(waivers_path)
+    return analyze_files(parse_files(paths), waivers)
+
+
+def analyze_sources(
+    sources: Dict[str, str], waivers_toml: str = ""
+) -> AnalysisResult:
+    """Analyze in-memory sources (fixture tests)."""
+    waivers = parse_waivers(waivers_toml) if waivers_toml else ()
+    return analyze_files(parse_sources(sources), waivers)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analyze",
+        description="Whole-program concurrency analysis (RP010-RP012).",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument(
+        "--waivers", default=None,
+        help="waiver TOML (default: tools/analyze/waivers.toml)",
+    )
+    parser.add_argument(
+        "--graph", action="store_true",
+        help="print the lock-acquisition-order graph",
+    )
+    parser.add_argument(
+        "--show-waived", action="store_true",
+        help="also print waived findings",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(ANALYZE_RULES):
+            print(f"{code}: {ANALYZE_RULES[code]}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given")
+
+    result = analyze_paths(args.paths, args.waivers)
+
+    if args.graph:
+        print(f"lock-order graph: {len(result.edges)} edge(s), "
+              f"{len(result.inventory.locks)} lock(s)")
+        for edge in result.edges:
+            print(f"  {edge.src} -> {edge.dst}   [{' -> '.join(edge.chain)}]")
+
+    unwaived = result.unwaived
+    shown = result.findings if args.show_waived else unwaived
+    for finding in shown:
+        print(finding.render())
+
+    files = len(result.project.files)
+    print(
+        f"tools.analyze: {len(unwaived)} finding(s) "
+        f"({len(result.waived)} waived) across {files} file(s) "
+        f"in {result.seconds:.2f}s"
+    )
+    return 1 if unwaived else 0

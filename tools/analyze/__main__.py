@@ -1,0 +1,8 @@
+"""``python -m tools.analyze`` entry point."""
+
+import sys
+
+from tools.analyze import main
+
+if __name__ == "__main__":
+    sys.exit(main())

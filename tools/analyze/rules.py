@@ -1,0 +1,294 @@
+"""Concurrency rules RP010–RP012 over the interprocedural model.
+
+* **RP010 — lock-order cycle.**  Any cycle in the global
+  lock-acquisition-order graph is a potential deadlock: two threads
+  traversing the cycle from different entry edges can each hold one
+  lock and wait for the other forever.  A non-re-entrant self-acquire
+  is the one-lock special case.
+
+* **RP011 — blocking while holding a lock.**  ``time.sleep``, file
+  I/O (``open``/``os.replace``/``os.fsync``), thread joins,
+  ``Future.result``/pool waits, and waiting on a *different*
+  condition are flagged whenever some call path reaches them with a
+  lock held.  Blocking under a hot lock turns one slow operation into
+  a system-wide stall.
+
+* **RP012 — unguarded shared-state escape.**  The interprocedural
+  upgrade of the syntactic RP007: a mutation of an instance attribute
+  of a guarded class (``PredicateCache``, ``QueryServer``,
+  ``AdmissionController``, ``ClusterHealthMonitor``, ``CacheStore``,
+  ``ClusterCaches``) on some path from a concurrent entry point
+  (``scan._scan_slice``, ``QueryServer._worker_loop``,
+  ``ClusterHealthMonitor._run``) without a dominating lock
+  acquisition, docstring contract, or ``__init__`` context.  RP012
+  also checks contracts interprocedurally: calling a
+  ``Caller holds ...`` helper without that lock in the held-set at
+  the call site is a finding even though the helper itself is exempt.
+
+Every finding carries a stable ``key`` that ``waivers.toml`` patterns
+match against (fnmatch), so audited exceptions survive line churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from .callgraph import CallGraph
+from .fixpoint import LockOrderEdge, Summaries, find_cycles
+from .locks import FunctionEffects, LockInventory
+from .project import Project
+
+__all__ = [
+    "ANALYZE_RULES",
+    "ENTRY_POINTS",
+    "GUARDED_CLASSES",
+    "Finding",
+    "run_rules",
+]
+
+#: Rule registry (mirrored into ``tools.lint --list-rules``).
+ANALYZE_RULES = {
+    "RP010": "lock-acquisition-order graph must be acyclic (deadlock)",
+    "RP011": "no blocking operation while holding a lock",
+    "RP012": "shared state reached from worker entry points must be "
+             "lock-guarded (interprocedural RP007)",
+}
+
+#: Classes whose instance attributes are shared across threads.
+GUARDED_CLASSES = frozenset(
+    {
+        "PredicateCache",
+        "QueryServer",
+        "AdmissionController",
+        "ClusterHealthMonitor",
+        "CacheStore",
+        "ClusterCaches",
+    }
+)
+
+#: Function displays that concurrent threads enter directly.
+ENTRY_POINTS = (
+    "scan._scan_slice",
+    "QueryServer._worker_loop",
+    "ClusterHealthMonitor._run",
+)
+
+
+@dataclass
+class Finding:
+    """One analyzer finding; ``key`` is the stable waiver handle."""
+
+    rule: str
+    key: str
+    path: str
+    line: int
+    message: str
+    waived: bool = False
+    waiver_reason: str = ""
+
+    def render(self) -> str:
+        mark = f"  [waived: {self.waiver_reason}]" if self.waived else ""
+        return f"{self.path}:{self.line}: {self.rule} {self.message}{mark}"
+
+
+def _chain_text(chain: Sequence[str]) -> str:
+    return " -> ".join(chain)
+
+
+# -- RP010 --------------------------------------------------------------------
+
+
+def _rp010(
+    edges: List[LockOrderEdge], inventory: LockInventory
+) -> List[Finding]:
+    findings: List[Finding] = []
+    by_pair = {(e.src, e.dst): e for e in edges}
+    for cycle in find_cycles(edges):
+        key = "RP010:" + "->".join(cycle)
+        witness_parts = []
+        for src, dst in zip(cycle, cycle[1:]):
+            edge = by_pair.get((src, dst))
+            if edge is not None:
+                witness_parts.append(
+                    f"{src} -> {dst} at {_chain_text(edge.chain)}"
+                )
+        first = by_pair.get((cycle[0], cycle[1]))
+        lock = inventory.locks.get(cycle[0])
+        findings.append(
+            Finding(
+                rule="RP010",
+                key=key,
+                path=lock.module if lock else "<project>",
+                line=first.line if first else 0,
+                message=(
+                    "lock-order cycle "
+                    + " -> ".join(cycle)
+                    + " (potential deadlock); "
+                    + "; ".join(witness_parts)
+                ),
+            )
+        )
+    return findings
+
+
+# -- RP011 --------------------------------------------------------------------
+
+
+def _rp011(
+    effects: Dict[str, FunctionEffects],
+    graph: CallGraph,
+    summaries: Summaries,
+) -> List[Finding]:
+    findings: Dict[str, Finding] = {}
+
+    def emit(
+        holder_display: str,
+        module: str,
+        line: int,
+        kind: str,
+        detail: str,
+        cv: str,
+        held: FrozenSet[str],
+        chain: Sequence[str],
+    ) -> None:
+        relevant = set(held) - ({cv} if kind == "cv_wait" else set())
+        if not relevant:
+            return
+        origin = chain[-1].rsplit(":", 1)[0] if chain else holder_display
+        key = f"RP011:{holder_display}:{detail}@{origin}"
+        if key in findings:
+            return
+        findings[key] = Finding(
+            rule="RP011",
+            key=key,
+            path=module,
+            line=line,
+            message=(
+                f"blocking {kind} ({detail}) while holding "
+                + ", ".join(sorted(relevant))
+                + (f" via {_chain_text(chain)}" if len(chain) > 1 else "")
+            ),
+        )
+
+    for qualid, fx in effects.items():
+        info = fx.info
+        for op in fx.blocking:
+            emit(
+                info.display, info.module, op.line,
+                op.kind, op.detail, op.cv, op.held,
+                (f"{info.display}:{op.line}",),
+            )
+        for edge in graph.callees(qualid):
+            if not edge.held:
+                continue
+            for entry in summaries.blocking.get(edge.callee, {}).values():
+                emit(
+                    info.display, info.module, edge.line,
+                    entry.kind, entry.detail, entry.cv, edge.held,
+                    (f"{info.display}:{edge.line}", *entry.chain),
+                )
+    return list(findings.values())
+
+
+# -- RP012 --------------------------------------------------------------------
+
+
+def _reachable(graph: CallGraph, roots: Sequence[str]) -> Set[str]:
+    seen: Set[str] = set(roots)
+    stack = list(roots)
+    while stack:
+        current = stack.pop()
+        for edge in graph.callees(current):
+            if edge.callee not in seen:
+                seen.add(edge.callee)
+                stack.append(edge.callee)
+    return seen
+
+
+def _rp012(
+    project: Project,
+    effects: Dict[str, FunctionEffects],
+    graph: CallGraph,
+    inventory: LockInventory,
+) -> List[Finding]:
+    roots = [
+        qualid
+        for qualid, fx in effects.items()
+        if fx.info.display in ENTRY_POINTS
+    ]
+    reachable = _reachable(graph, roots)
+    findings: Dict[str, Finding] = {}
+
+    for qualid in sorted(reachable):
+        fx = effects.get(qualid)
+        if fx is None:
+            continue
+        info = fx.info
+        # Unguarded mutations of guarded-class state.
+        if info.cls in GUARDED_CLASSES:
+            for mutation in fx.mutations:
+                if mutation.guarded:
+                    continue
+                key = f"RP012:{info.display}:{mutation.attr}"
+                if key in findings:
+                    continue
+                findings[key] = Finding(
+                    rule="RP012",
+                    key=key,
+                    path=info.module,
+                    line=mutation.line,
+                    message=(
+                        f"unguarded write to self.{mutation.attr} "
+                        f"({mutation.kind}) reachable from a worker "
+                        "entry point without a dominating lock"
+                    ),
+                )
+        # Contract violations: calling a caller-holds helper bare.
+        for edge in graph.callees(qualid):
+            if not edge.exact:
+                continue  # by-name fallback is too coarse for contracts
+            callee = project.functions.get(edge.callee)
+            if callee is None or not callee.contracts:
+                continue
+            required = {
+                inventory.resolve_self_attr(callee.cls, attr)
+                for attr in callee.contracts
+            }
+            required.discard(None)
+            missing = sorted(lock for lock in required if lock not in edge.held)
+            if not missing:
+                continue
+            key = f"RP012:{info.display}:calls:{callee.display}"
+            if key in findings:
+                continue
+            findings[key] = Finding(
+                rule="RP012",
+                key=key,
+                path=info.module,
+                line=edge.line,
+                message=(
+                    f"calls {callee.display} (contract: caller holds "
+                    + ", ".join(missing)
+                    + ") without holding it"
+                ),
+            )
+    return list(findings.values())
+
+
+def run_rules(
+    project: Project,
+    effects: Dict[str, FunctionEffects],
+    graph: CallGraph,
+    summaries: Summaries,
+    edges: List[LockOrderEdge],
+    inventory: LockInventory,
+) -> List[Finding]:
+    """All RP010–RP012 findings, deterministically ordered."""
+    findings = (
+        _rp010(edges, inventory)
+        + _rp011(effects, graph, summaries)
+        + _rp012(project, effects, graph, inventory)
+    )
+    findings.sort(key=lambda f: (f.rule, f.path, f.line, f.key))
+    return findings

@@ -35,8 +35,10 @@ or from the command line::
 from __future__ import annotations
 
 import sys
+import time
 from typing import Optional, Sequence
 
+from .astutils import parse_files
 from .rules import (
     RULES,
     Finding,
@@ -44,6 +46,7 @@ from .rules import (
     check_counters,
     extract_format_constants,
     lint_paths,
+    lint_project,
     lint_source,
 )
 
@@ -54,6 +57,7 @@ __all__ = [
     "check_counters",
     "extract_format_constants",
     "lint_paths",
+    "lint_project",
     "lint_source",
     "main",
 ]
@@ -63,15 +67,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point: lint the given paths, print findings, exit 1 on any."""
     args = list(sys.argv[1:] if argv is None else argv)
     if "--list-rules" in args:
-        for code in sorted(RULES):
-            print(f"{code}  {RULES[code]}")
+        # The whole-program concurrency rules live in tools.analyze but
+        # share this numbering; list both sets so `--list-rules` is the
+        # one catalogue of RP codes.
+        from tools.analyze.rules import ANALYZE_RULES
+
+        combined = {**RULES, **ANALYZE_RULES}
+        for code in sorted(combined):
+            print(f"{code}  {combined[code]}")
         return 0
     paths = [a for a in args if not a.startswith("-")] or ["src"]
-    findings = lint_paths(paths)
+    started = time.perf_counter()
+    project = parse_files(paths)
+    findings = lint_project(project)
+    elapsed = time.perf_counter() - started
     for finding in findings:
         print(f"{finding.path}:{finding.line}:{finding.col} "
               f"{finding.code} {finding.message}")
-    if findings:
-        print(f"{len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    return 0
+    print(
+        f"tools.lint: {len(findings)} finding(s) across "
+        f"{len(project)} file(s) in {elapsed:.2f}s",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0

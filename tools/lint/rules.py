@@ -5,6 +5,13 @@ module applicability is decided from the file's path relative to the
 source root (``repro/engine/scan.py`` etc.), so fixture tests can run
 any rule by handing :func:`lint_source` a virtual path.  RP004 is a
 cross-file rule over ``engine/counters.py`` and ``engine/engine.py``.
+
+Every source file is read and parsed exactly once: :func:`lint_paths`
+builds one :class:`~tools.lint.astutils.ProjectFiles` and hands the
+shared trees to the per-file checker and the cross-file rules.  The
+string-taking entry points (:func:`lint_source`,
+:func:`check_counters`, :func:`extract_format_constants`) are thin
+wrappers over the tree-taking cores, kept for fixture tests.
 """
 
 from __future__ import annotations
@@ -15,14 +22,27 @@ import re
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from .astutils import (
+    LOCK_NAME_HINTS as _LOCK_NAME_HINTS,
+    ProjectFiles,
+    attr_chain as _attr_chain,
+    normalize_path as _normalize_path,
+    parse_files,
+    terminal_name as _terminal_name,
+)
+
 __all__ = [
     "Finding",
     "FormatConstants",
     "RULES",
     "check_counters",
+    "check_counters_trees",
     "extract_format_constants",
+    "extract_format_constants_tree",
     "lint_paths",
+    "lint_project",
     "lint_source",
+    "lint_tree",
 ]
 
 RULES: Dict[str, str] = {
@@ -117,8 +137,8 @@ SYNCHRONIZED_PACKAGES = ("repro/serve/",)
 SYNCHRONIZED_MODULES = ("repro/core/cache.py",)
 
 #: Identifier fragments that mark a ``with`` context expression as a
-#: lock for RP007 (``with self._lock:``, ``with self._cv:``, ...).
-_LOCK_NAME_HINTS = ("lock", "cv", "cond", "guard", "mutex")
+#: lock for RP007 — shared with the analyzer via ``astutils``
+#: (imported above as ``_LOCK_NAME_HINTS``).
 
 #: Container methods that mutate their receiver (RP007): calling one on
 #: a private ``self._x`` container is a shared-state write.
@@ -227,13 +247,17 @@ class FormatConstants:
 
 
 def extract_format_constants(source: str) -> FormatConstants:
+    """String wrapper over :func:`extract_format_constants_tree`."""
+    return extract_format_constants_tree(ast.parse(source))
+
+
+def extract_format_constants_tree(tree: ast.Module) -> FormatConstants:
     """Pull the format constants out of ``repro/persist/format.py``.
 
     Only plain module-level ``NAME = <constant>`` assignments to the
     known constant names are read, so the extraction keeps working as
     the module grows.
     """
-    tree = ast.parse(source)
     magic = b""
     ints: List[int] = []
     for node in tree.body:
@@ -252,40 +276,6 @@ def extract_format_constants(source: str) -> FormatConstants:
         elif isinstance(value, int):
             ints.append(value)
     return FormatConstants(magic=magic, ints=tuple(ints))
-
-
-def _normalize_path(path: str) -> str:
-    """Posix-ish path relative to the source root (``repro/...``)."""
-    norm = path.replace(os.sep, "/")
-    marker = "repro/"
-    idx = norm.find("src/" + marker)
-    if idx >= 0:
-        return norm[idx + 4 :]
-    idx = norm.find(marker)
-    if idx >= 0:
-        return norm[idx:]
-    return norm
-
-
-def _attr_chain(node: ast.AST) -> str:
-    """Dotted-name text of a Name/Attribute chain (``"time.time"``)."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return ""
-
-
-def _terminal_name(node: ast.AST) -> str:
-    """The last identifier of a Name/Attribute chain, lowercased."""
-    if isinstance(node, ast.Attribute):
-        return node.attr.lower()
-    if isinstance(node, ast.Name):
-        return node.id.lower()
-    return ""
 
 
 class _FileChecker(ast.NodeVisitor):
@@ -682,7 +672,16 @@ def lint_source(
     path: str,
     format_constants: Optional[FormatConstants] = None,
 ) -> List[Finding]:
-    """Run every applicable per-file rule on one module's source.
+    """String wrapper over :func:`lint_tree` (fixture tests)."""
+    return lint_tree(ast.parse(source), path, format_constants)
+
+
+def lint_tree(
+    tree: ast.Module,
+    path: str,
+    format_constants: Optional[FormatConstants] = None,
+) -> List[Finding]:
+    """Run every applicable per-file rule on one parsed module.
 
     ``path`` decides applicability (virtual paths like
     ``"repro/core/x.py"`` work); ``format_constants`` feeds RP005 and
@@ -690,7 +689,7 @@ def lint_source(
     """
     module = _normalize_path(path)
     checker = _FileChecker(path, module, format_constants)
-    checker.visit(ast.parse(source))
+    checker.visit(tree)
     return checker.findings
 
 
@@ -738,6 +737,21 @@ def check_counters(
     counters_path: str = "repro/engine/counters.py",
     engine_path: str = "repro/engine/engine.py",
 ) -> List[Finding]:
+    """String wrapper over :func:`check_counters_trees` (fixture tests)."""
+    return check_counters_trees(
+        ast.parse(counters_source),
+        ast.parse(engine_source),
+        counters_path=counters_path,
+        engine_path=engine_path,
+    )
+
+
+def check_counters_trees(
+    counters_tree: ast.Module,
+    engine_tree: ast.Module,
+    counters_path: str = "repro/engine/counters.py",
+    engine_path: str = "repro/engine/engine.py",
+) -> List[Finding]:
     """RP004: QueryCounters fields vs. merge/reset and metric names.
 
     A field added to the dataclass but forgotten in ``merge`` silently
@@ -748,8 +762,6 @@ def check_counters(
     string constant of the engine module (the registration name lists).
     """
     findings: List[Finding] = []
-    counters_tree = ast.parse(counters_source)
-    engine_tree = ast.parse(engine_source)
     fields = _counter_fields(counters_tree)
     if not fields:
         return findings
@@ -798,60 +810,40 @@ def check_counters(
 # -- driver ------------------------------------------------------------------
 
 
-def _iter_py_files(paths: Sequence[Union[str, os.PathLike]]) -> List[str]:
-    files: List[str] = []
-    for path in paths:
-        path = os.fspath(path)
-        if os.path.isfile(path):
-            if path.endswith(".py"):
-                files.append(path)
-            continue
-        for root, dirs, names in os.walk(path):
-            dirs[:] = sorted(
-                d for d in dirs if d not in ("__pycache__", ".git")
-                and not d.endswith(".egg-info")
-            )
-            for name in sorted(names):
-                if name.endswith(".py"):
-                    files.append(os.path.join(root, name))
-    return files
+def lint_project(project: ProjectFiles) -> List[Finding]:
+    """Lint every file of an already-parsed project with all rules.
 
-
-def lint_paths(paths: Sequence[Union[str, os.PathLike]]) -> List[Finding]:
-    """Lint every ``.py`` file under ``paths`` with all rules.
-
-    RP005's constant values are extracted from ``repro/persist/format.py``
-    when it is among the linted files; RP004 runs when both
-    ``engine/counters.py`` and ``engine/engine.py`` are present.
+    Each tree is walked once per file by the combined per-file checker;
+    the cross-file rules (RP004, RP005's constant extraction) consume
+    the same shared trees instead of re-parsing.  RP005's constant
+    values come from ``repro/persist/format.py`` when it is among the
+    parsed files; RP004 runs when both ``engine/counters.py`` and
+    ``engine/engine.py`` are present.
     """
-    files = _iter_py_files(paths)
-    sources: Dict[str, str] = {}
-    for file_path in files:
-        with open(file_path, "r", encoding="utf-8") as handle:
-            sources[file_path] = handle.read()
-
-    by_module = {_normalize_path(p): p for p in files}
     format_constants: Optional[FormatConstants] = None
-    format_path = by_module.get(FORMAT_MODULE)
-    if format_path is not None:
-        format_constants = extract_format_constants(sources[format_path])
+    format_tree = project.tree_for_module(FORMAT_MODULE)
+    if format_tree is not None:
+        format_constants = extract_format_constants_tree(format_tree)
 
     findings: List[Finding] = []
-    for file_path in files:
-        findings.extend(
-            lint_source(sources[file_path], file_path, format_constants)
-        )
+    for file_path, tree in project.trees.items():
+        findings.extend(lint_tree(tree, file_path, format_constants))
 
-    counters_path = by_module.get("repro/engine/counters.py")
-    engine_path = by_module.get("repro/engine/engine.py")
+    counters_path = project.by_module.get("repro/engine/counters.py")
+    engine_path = project.by_module.get("repro/engine/engine.py")
     if counters_path is not None and engine_path is not None:
         findings.extend(
-            check_counters(
-                sources[counters_path],
-                sources[engine_path],
+            check_counters_trees(
+                project.trees[counters_path],
+                project.trees[engine_path],
                 counters_path=counters_path,
                 engine_path=engine_path,
             )
         )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings
+
+
+def lint_paths(paths: Sequence[Union[str, os.PathLike]]) -> List[Finding]:
+    """Read + parse every ``.py`` file under ``paths`` once, lint all."""
+    return lint_project(parse_files(paths))
